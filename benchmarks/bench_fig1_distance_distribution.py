@@ -1,0 +1,19 @@
+"""Fig. 1 — pdf of the distortion distance: real vs normal vs uniform.
+
+Paper claim: the i.i.d. normal model is close to the real distribution of
+``||dS||`` while the uniform-spherical assumption (volume-percentage error
+measure) is far off.  Pass condition: KS(normal) << KS(uniform).
+"""
+
+from conftest import run_and_report
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_distance_distribution(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        capsys,
+        lambda: run_fig1(num_clips=4, frames_per_clip=120, num_bins=28, seed=0),
+    )
+    assert result.ks_normal < result.ks_uniform

@@ -1,0 +1,18 @@
+"""Fig. 2 — Hilbert p-block partitions in 2-D (illustration + invariants).
+
+Paper claim: the regular partition of the curve into 2^p intervals induces
+2^p hyper-rectangular blocks of equal volume and shape.
+"""
+
+from conftest import run_and_report
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_partition(benchmark, capsys):
+    result = run_and_report(
+        benchmark, capsys, lambda: run_fig2(order=4, depths=(3, 4, 5))
+    )
+    for summary in result.summaries:
+        assert summary.covers_grid and summary.disjoint
+        assert len(summary.distinct_shapes) == 1

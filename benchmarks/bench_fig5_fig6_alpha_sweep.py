@@ -1,0 +1,32 @@
+"""Figs. 5 & 6 — statistical vs eps-range query across alpha.
+
+Paper claims: (Fig. 5) retrieval rates of the two query types are
+comparable at equal expectation; (Fig. 6) the statistical query is 17-132x
+faster because the sphere's geometric constraint intersects a huge number
+of bounding regions in dimension 20.
+"""
+
+from conftest import run_and_report
+
+from repro.experiments import run_fig56
+
+
+def test_fig5_fig6_statistical_vs_range(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        capsys,
+        lambda: run_fig56(
+            alphas=(0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95),
+            db_rows=200_000,
+            num_queries=100,
+            num_range_queries=20,
+            seed=0,
+        ),
+    )
+    for row in result.rows:
+        # Fig. 6: statistical query faster at every alpha.
+        assert row.speedup > 1.0
+        # Fig. 5: retrieval comparable (range cannot be much better).
+        assert row.stat_retrieval >= row.range_retrieval - 0.15
+    # Meaningful speed-ups on at least the mid-alpha range.
+    assert max(row.speedup for row in result.rows) > 3.0

@@ -1,0 +1,33 @@
+"""Table I — retrieval rate for transformations of decreasing severity.
+
+Paper claims: with alpha = 85% and the model calibrated on the most severe
+transformation, (i) every milder transformation retrieves at least as well
+as the reference, and (ii) R grows as the severity sigma-hat falls.
+"""
+
+from conftest import run_and_report
+
+from repro.experiments import run_table1
+
+
+def test_table1_severity_ladder(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        capsys,
+        lambda: run_table1(
+            num_clips=4,
+            frames_per_clip=100,
+            db_rows=50_000,
+            max_queries=150,
+            seed=0,
+        ),
+    )
+    rows = result.rows  # sorted by decreasing severity
+    reference_rate = rows[0].retrieval
+    for row in rows[1:]:
+        assert row.retrieval >= reference_rate - 0.05
+    # Broad monotone trend: mildest third clearly above severest third.
+    third = max(len(rows) // 3, 1)
+    severe = sum(r.retrieval for r in rows[:third]) / third
+    mild = sum(r.retrieval for r in rows[-third:]) / third
+    assert mild >= severe

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md §4) at laptop scale, times it through pytest-benchmark and prints
+the rows/series the paper reports, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the whole evaluation section.
+"""
+
+from __future__ import annotations
+
+
+def run_and_report(benchmark, capsys, fn):
+    """Run *fn* once under the benchmark timer and print its rendering."""
+    holder = {}
+
+    def _invoke():
+        holder["result"] = fn()
+
+    benchmark.pedantic(_invoke, rounds=1, iterations=1)
+    result = holder["result"]
+    with capsys.disabled():
+        print()
+        print(result.render())
+    return result
+

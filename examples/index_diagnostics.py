@@ -1,0 +1,51 @@
+"""Index diagnostics — occupancy skew and Hilbert clustering in action.
+
+Shows the two empirical properties the S³ design leans on:
+
+* extracted fingerprints are heavily clustered, so the p-block occupancy
+  is skewed (high Gini) — which is why the statistical filtering pays off;
+* blocks selected together are contiguous on the curve far more often than
+  chance, so refinement touches few memory sections.
+
+Run:  python examples/index_diagnostics.py
+"""
+
+import numpy as np
+
+from repro import NormalDistortionModel, S3Index
+from repro.corpus import build_reference_corpus, model_queries, scale_store
+from repro.index import clustering_summary, occupancy_summary
+
+
+def main() -> None:
+    print("building a reference index from extracted fingerprints ...")
+    corpus = build_reference_corpus(num_videos=8, frames_per_video=120, seed=3)
+    store = scale_store(corpus.store, 60_000, rng=3)
+    sigma = 18.0
+    index = S3Index(store, model=NormalDistortionModel(20, sigma))
+    print(f"  {len(index)} fingerprints, keys resolve "
+          f"{index.layout.key_bits} bits")
+
+    print("\nblock occupancy by partition depth:")
+    print("  depth | populated blocks | occupancy | mean rows | max rows | Gini")
+    for depth in (8, 12, 16, 20, 24):
+        s = occupancy_summary(index, depth=depth)
+        print(f"  p={s.depth:3d} | {s.populated_blocks:16d} | "
+              f"{s.occupancy_rate:9.2e} | {s.mean_rows:9.1f} | "
+              f"{s.max_rows:8d} | {s.gini:.2f}")
+    print("  (tiny occupancy + high Gini = the clustering real descriptors"
+          " exhibit)")
+
+    print("\nHilbert clustering on statistical queries (alpha = 80%):")
+    workload = model_queries(store, 25, sigma, rng=7)
+    for depth in (12, 16, 20):
+        s = clustering_summary(index, workload.queries, 0.8, depth=depth)
+        print(f"  p={depth:3d}: {s.mean_blocks:6.1f} blocks -> "
+              f"{s.mean_sections:6.1f} contiguous sections "
+              f"(merge factor {s.merge_factor:.2f})")
+    print("  (each section is one sequential scan - the curve keeps the "
+          "access pattern compact)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Partition visualisation — the paper's Fig. 2 as ASCII art.
+
+Renders the space partition the Hilbert curve induces on a 2-D grid at
+several depths, then overlays a statistical query: the blocks selected for
+a given expectation α hug the distortion distribution with no shape
+constraint, unlike the circle an ε-range query is stuck with.
+
+Run:  python examples/partition_visualization.py
+"""
+
+import numpy as np
+
+from repro import HilbertCurve, NormalDistortionModel
+from repro.experiments import run_fig2
+from repro.experiments.fig2_partition import render_ascii
+from repro.hilbert import blocks_at_depth, partition_grid_2d
+from repro.index import range_blocks, statistical_blocks
+
+
+def main() -> None:
+    result = run_fig2(order=4, depths=(3, 4, 5))
+    for summary in result.summaries:
+        print(f"depth p={summary.depth}: {summary.num_blocks} blocks of "
+              f"{summary.block_volume} cells "
+              f"(shape {summary.distinct_shapes[0][0]}x{summary.distinct_shapes[0][1]})")
+    print("\npartition at p=5 (one glyph per block):")
+    print(render_ascii(result.grids[5]))
+
+    # --- a statistical query on the 2-D grid -------------------------------
+    curve = HilbertCurve(2, 5)  # 32 x 32 grid for a finer picture
+    depth = 7
+    query = np.array([20.0, 11.0])
+    model = NormalDistortionModel(2, sigma=3.5)
+    statistical = statistical_blocks(query, model, curve, depth, alpha=0.8)
+    chosen = set(statistical.prefixes.tolist())
+    epsilon = 3.5 * 1.8  # roughly matched coverage, for the picture
+    spherical = set(range_blocks(query, epsilon, curve, depth).prefixes.tolist())
+
+    grid = partition_grid_2d(curve, depth)
+    print(f"\nstatistical query alpha=80% at Q=({query[0]:.0f},{query[1]:.0f}) "
+          f"on the p={depth} partition")
+    print("  '#' = selected by the statistical query, 'o' = intersected by "
+          "the eps-sphere only, '.' = untouched\n")
+    lines = []
+    for y in range(curve.side - 1, -1, -1):
+        row = []
+        for x in range(curve.side):
+            prefix = int(grid[y, x])
+            if prefix in chosen:
+                row.append("#")
+            elif prefix in spherical:
+                row.append("o")
+            else:
+                row.append(".")
+        lines.append("".join(row))
+    print("\n".join(lines))
+    print(f"\nstatistical blocks: {len(chosen)}   "
+          f"sphere-intersected blocks: {len(spherical)}")
+    print("(in dimension 20 the sphere's count explodes while the "
+          "statistical set stays tight - Fig. 6 of the paper)")
+
+    # sanity: every selected block exists in the partition
+    all_prefixes = {node.prefix for node in blocks_at_depth(curve, depth)}
+    assert chosen <= all_prefixes
+
+
+if __name__ == "__main__":
+    main()

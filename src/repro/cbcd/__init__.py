@@ -1,0 +1,59 @@
+"""The content-based copy detection decision layer (paper §III).
+
+Robust temporal-offset estimation (:mod:`~repro.cbcd.mestimator`), the
+voting strategy (:mod:`~repro.cbcd.voting`), the assembled detector
+(:mod:`~repro.cbcd.detector`) and the evaluation/calibration protocol of
+§V-C (:mod:`~repro.cbcd.evaluation`).
+"""
+
+from .detector import CopyDetector, Detection, DetectionReport, DetectorConfig
+from .evaluation import (
+    DetectionRateResult,
+    GroundTruth,
+    TrialOutcome,
+    calibrate_decision_threshold,
+    evaluate_candidates,
+    false_alarm_nsim_distribution,
+    is_good_detection,
+)
+from .mestimator import OffsetEstimate, estimate_offset, tukey_rho, tukey_weight
+from .monitor import MonitorConfig, StreamDetection, StreamMonitor
+from .spatial import (
+    PositionedStore,
+    SpatialSearchIndex,
+    SpatioTemporalMatch,
+    SpatioTemporalVote,
+    spatio_temporal_vote,
+)
+from .voting import QueryMatches, Vote, count_votes, group_by_identifier, vote
+
+__all__ = [
+    "CopyDetector",
+    "Detection",
+    "DetectionRateResult",
+    "DetectionReport",
+    "DetectorConfig",
+    "GroundTruth",
+    "MonitorConfig",
+    "OffsetEstimate",
+    "PositionedStore",
+    "QueryMatches",
+    "SpatialSearchIndex",
+    "SpatioTemporalMatch",
+    "SpatioTemporalVote",
+    "StreamDetection",
+    "StreamMonitor",
+    "TrialOutcome",
+    "Vote",
+    "calibrate_decision_threshold",
+    "count_votes",
+    "estimate_offset",
+    "evaluate_candidates",
+    "false_alarm_nsim_distribution",
+    "group_by_identifier",
+    "is_good_detection",
+    "spatio_temporal_vote",
+    "tukey_rho",
+    "tukey_weight",
+    "vote",
+]

@@ -1,0 +1,194 @@
+"""The complete content-based copy detector (paper §III + §IV).
+
+Wires the pieces together: candidate fingerprints (extracted from a clip or
+supplied directly) are searched in an :class:`~repro.index.s3.S3Index` with
+statistical queries of expectation α; the per-query matches are buffered
+and merged by the voting strategy; identifiers whose similarity measure
+``n_sim`` reaches the decision threshold are reported as copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..distortion.model import IndependentDistortionModel
+from ..errors import ConfigurationError, ExtractionError
+from ..fingerprint.extractor import ExtractorConfig, FingerprintExtractor
+from ..index.s3 import S3Index
+from ..video.synthetic import VideoClip
+from .voting import QueryMatches, Vote, vote
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A reported copy: candidate material matches a referenced video."""
+
+    video_id: int
+    offset: float
+    nsim: int
+    num_candidates: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Detection(id={self.video_id}, b={self.offset:.1f}, "
+            f"nsim={self.nsim})"
+        )
+
+
+@dataclass
+class DetectorConfig:
+    """Decision-layer parameters."""
+
+    alpha: float = 0.8
+    vote_tolerance: float = 2.0
+    tukey_c: float = 6.0
+    decision_threshold: int = 5
+    min_matches: int = 2
+    extractor: ExtractorConfig = field(default_factory=ExtractorConfig)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.decision_threshold < 1:
+            raise ConfigurationError(
+                f"decision_threshold must be >= 1, got {self.decision_threshold}"
+            )
+
+
+@dataclass
+class DetectionReport:
+    """Everything a detection run produced (decisions + diagnostics)."""
+
+    detections: list[Detection]
+    votes: list[Vote]
+    num_queries: int
+    rows_scanned: int
+    search_seconds: float
+
+    def best(self) -> Optional[Detection]:
+        """The strongest detection, or ``None``."""
+        return self.detections[0] if self.detections else None
+
+
+class CopyDetector:
+    """Statistical-search copy detector over a reference index."""
+
+    def __init__(
+        self,
+        index: S3Index,
+        config: DetectorConfig | None = None,
+        model: Optional[IndependentDistortionModel] = None,
+    ):
+        self.index = index
+        self.config = config or DetectorConfig()
+        self.model = model
+        self._extractor = FingerprintExtractor(self.config.extractor)
+
+    # ------------------------------------------------------------------
+    def detect_fingerprints(
+        self,
+        fingerprints: np.ndarray,
+        timecodes: np.ndarray,
+    ) -> DetectionReport:
+        """Detect copies given pre-extracted candidate fingerprints.
+
+        *timecodes* are the candidate time-codes ``tc'_j`` (frames from the
+        start of the candidate material).
+        """
+        fingerprints = np.asarray(fingerprints)
+        timecodes = np.asarray(timecodes, dtype=np.float64)
+        if fingerprints.ndim != 2 or fingerprints.shape[0] != timecodes.shape[0]:
+            raise ConfigurationError(
+                "fingerprints must be (N, D) aligned with (N,) timecodes"
+            )
+        cfg = self.config
+        # Per-run determinism: the index's warm-start cache is scoped to
+        # one candidate clip (still warm across its ~hundreds of queries).
+        self.index.reset_threshold_cache()
+        matches: list[QueryMatches] = []
+        rows_scanned = 0
+        search_seconds = 0.0
+        for fp, tc in zip(fingerprints, timecodes):
+            result = self.index.statistical_query(
+                fp.astype(np.float64), cfg.alpha, model=self.model
+            )
+            rows_scanned += result.stats.rows_scanned
+            search_seconds += result.stats.total_seconds
+            if len(result):
+                matches.append(
+                    QueryMatches(
+                        timecode=float(tc),
+                        ids=result.ids,
+                        timecodes=result.timecodes,
+                    )
+                )
+        votes = vote(
+            matches,
+            tolerance=cfg.vote_tolerance,
+            tukey_c=cfg.tukey_c,
+            min_matches=cfg.min_matches,
+        )
+        detections = [
+            Detection(
+                video_id=v.video_id,
+                offset=v.offset,
+                nsim=v.nsim,
+                num_candidates=v.num_candidates,
+            )
+            for v in votes
+            if v.nsim >= cfg.decision_threshold
+        ]
+        return DetectionReport(
+            detections=detections,
+            votes=votes,
+            num_queries=int(fingerprints.shape[0]),
+            rows_scanned=rows_scanned,
+            search_seconds=search_seconds,
+        )
+
+    def detect_clip(self, clip: VideoClip) -> DetectionReport:
+        """Extract fingerprints from *clip* and detect copies."""
+        extraction = self._extractor.extract(clip, video_id=0)
+        return self.detect_fingerprints(
+            extraction.store.fingerprints, extraction.store.timecodes
+        )
+
+    # ------------------------------------------------------------------
+    def monitor_stream(
+        self,
+        clip: VideoClip,
+        window_frames: int,
+        hop_frames: Optional[int] = None,
+    ) -> list[tuple[int, DetectionReport]]:
+        """Continuously monitor a stream (the paper's TV monitoring, §V-D).
+
+        The stream is processed in sliding windows of *window_frames*; each
+        window's fingerprints go through the detection pipeline.  Returns
+        ``(window_start_frame, report)`` pairs.
+        """
+        if window_frames < 8:
+            raise ConfigurationError(
+                f"window_frames must be >= 8, got {window_frames}"
+            )
+        hop = hop_frames if hop_frames is not None else window_frames
+        if hop < 1:
+            raise ConfigurationError(f"hop_frames must be >= 1, got {hop}")
+        reports = []
+        start = 0
+        while start + window_frames <= clip.num_frames:
+            window = clip.subclip(start, start + window_frames)
+            try:
+                report = self.detect_clip(window)
+            except ExtractionError:
+                # Featureless windows (e.g. black sequences) produce no
+                # fingerprints; they simply yield no detections.
+                report = DetectionReport(
+                    detections=[], votes=[], num_queries=0,
+                    rows_scanned=0, search_seconds=0.0,
+                )
+            reports.append((start, report))
+            start += hop
+        return reports

@@ -1,0 +1,175 @@
+"""Robust temporal-offset estimation (paper §III, eq. (2)).
+
+For each video identifier ``id`` present in the search results, the voting
+strategy estimates the single parameter ``b`` of the temporal model
+``tc' = tc + b`` (candidate time-code = referenced time-code + offset) by
+minimising the robust cost
+
+``b(id) = argmin_b  Σ_j  min_{k : Id_jk = id}  ρ(|tc'_j − (tc_jk + b)|)``
+
+where ``ρ`` is the Tukey biweight M-estimator (after Black & Anandan), whose
+redescending influence function suppresses outliers — the falsely retrieved
+fingerprints an approximate search inevitably returns.
+
+The minimisation is solved Hough-style: every pairwise difference
+``tc'_j − tc_jk`` is a candidate offset; a coarse histogram proposes the
+best few modes and the exact robust cost is evaluated on the candidate
+offsets inside those modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def tukey_rho(u: np.ndarray, c: float) -> np.ndarray:
+    """Tukey's biweight loss ``ρ(u)``.
+
+    ``ρ(u) = c²/6 · (1 − (1 − (u/c)²)³)`` for ``|u| <= c`` and ``c²/6``
+    beyond — bounded, so distant outliers contribute a constant.
+    """
+    if c <= 0:
+        raise ConfigurationError(f"c must be > 0, got {c}")
+    u = np.asarray(u, dtype=np.float64)
+    scaled = np.clip(np.abs(u) / c, 0.0, 1.0)
+    return (c * c / 6.0) * (1.0 - (1.0 - scaled * scaled) ** 3)
+
+
+def tukey_weight(u: np.ndarray, c: float) -> np.ndarray:
+    """Tukey's biweight weight function ``w(u) = (1 − (u/c)²)²`` inside ``c``."""
+    if c <= 0:
+        raise ConfigurationError(f"c must be > 0, got {c}")
+    u = np.asarray(u, dtype=np.float64)
+    inside = np.abs(u) <= c
+    w = (1.0 - (u / c) ** 2) ** 2
+    return np.where(inside, w, 0.0)
+
+
+@dataclass(frozen=True)
+class OffsetEstimate:
+    """Result of the robust offset estimation for one identifier."""
+
+    offset: float
+    cost: float
+    num_candidates: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OffsetEstimate(b={self.offset:.2f}, cost={self.cost:.3g})"
+
+
+def _robust_cost(
+    b: float,
+    candidate_tcs: list[float],
+    matched_tcs: list[np.ndarray],
+    c: float,
+) -> float:
+    total = 0.0
+    for tc_prime, tcs in zip(candidate_tcs, matched_tcs):
+        residuals = np.abs(tc_prime - (tcs + b))
+        total += float(tukey_rho(residuals.min(), c))
+    return total
+
+
+def estimate_offset(
+    candidate_tcs: list[float],
+    matched_tcs: list[np.ndarray],
+    c: float = 6.0,
+    max_modes: int = 5,
+) -> OffsetEstimate:
+    """Solve eq. (2) for one identifier.
+
+    Parameters
+    ----------
+    candidate_tcs:
+        The time-codes ``tc'_j`` of the candidate fingerprints that
+        retrieved at least one fingerprint of this identifier.
+    matched_tcs:
+        For each candidate ``j``, the array of referenced time-codes
+        ``tc_jk`` with this identifier.
+    c:
+        Tukey scale, in the same time unit as the time-codes.
+    max_modes:
+        Number of histogram modes whose member offsets get an exact cost
+        evaluation.
+    """
+    if len(candidate_tcs) != len(matched_tcs):
+        raise ConfigurationError(
+            "candidate_tcs and matched_tcs must have equal length"
+        )
+    if not candidate_tcs:
+        raise ConfigurationError("cannot estimate an offset from zero candidates")
+
+    diffs = np.concatenate(
+        [tc_prime - np.asarray(tcs, dtype=np.float64)
+         for tc_prime, tcs in zip(candidate_tcs, matched_tcs)]
+    )
+    if diffs.size == 1:
+        b = float(diffs[0])
+        return OffsetEstimate(
+            offset=b,
+            cost=_robust_cost(b, candidate_tcs, matched_tcs, c),
+            num_candidates=1,
+        )
+
+    # Hough stage: coarse histogram of candidate offsets, bin width ~ c.
+    lo, hi = float(diffs.min()), float(diffs.max())
+    width = max(c, 1e-9)
+    nbins = max(int(np.ceil((hi - lo) / width)), 1)
+    nbins = min(nbins, 1_000_000)
+    counts, edges = np.histogram(diffs, bins=nbins, range=(lo, hi + 1e-9))
+    top_bins = np.argsort(counts, kind="stable")[::-1][:max_modes]
+    top_bins = top_bins[counts[top_bins] > 0]
+
+    best_b = float(diffs[0])
+    best_cost = np.inf
+    evaluated = 0
+    for bin_idx in top_bins:
+        in_bin = diffs[(diffs >= edges[bin_idx]) & (diffs <= edges[bin_idx + 1])]
+        # Evaluate exact cost at each member offset (they are the only
+        # values where some residual is exactly zero, hence the only local
+        # minimiser candidates of the piecewise-smooth cost that matter).
+        for b in np.unique(in_bin):
+            cost = _robust_cost(float(b), candidate_tcs, matched_tcs, c)
+            evaluated += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_b = float(b)
+
+    # Local refinement: one weighted least-squares step (IRLS) around the
+    # best offset, using the per-candidate closest match.
+    refined = _irls_refine(best_b, candidate_tcs, matched_tcs, c)
+    refined_cost = _robust_cost(refined, candidate_tcs, matched_tcs, c)
+    if refined_cost < best_cost:
+        best_b, best_cost = refined, refined_cost
+
+    return OffsetEstimate(
+        offset=best_b, cost=best_cost, num_candidates=len(candidate_tcs)
+    )
+
+
+def _irls_refine(
+    b: float,
+    candidate_tcs: list[float],
+    matched_tcs: list[np.ndarray],
+    c: float,
+    iterations: int = 3,
+) -> float:
+    for _ in range(iterations):
+        residuals = []
+        for tc_prime, tcs in zip(candidate_tcs, matched_tcs):
+            r = tc_prime - (np.asarray(tcs, dtype=np.float64) + b)
+            residuals.append(r[np.argmin(np.abs(r))])
+        residuals = np.asarray(residuals)
+        weights = tukey_weight(residuals, c)
+        wsum = weights.sum()
+        if wsum <= 0:
+            break
+        step = float((weights * residuals).sum() / wsum)
+        b += step
+        if abs(step) < 1e-9:
+            break
+    return b

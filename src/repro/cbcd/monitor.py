@@ -1,0 +1,211 @@
+"""Stateful TV-stream monitoring (paper §III buffer + §V-D deployment).
+
+The paper's production system continuously monitors a channel: search
+results "are stored in a buffer for a fixed number of key-frames in order
+to estimate the best sequences".  :class:`StreamMonitor` implements that
+stateful loop:
+
+* frames are *fed* incrementally (any chunk size);
+* extraction runs over a sliding analysis window every ``hop_frames``;
+* per-key-frame matches accumulate in a bounded buffer of the most recent
+  ``buffer_keyframes`` key-frames — so a copy straddling two analysis
+  windows still accumulates a single coherent vote;
+* the voting strategy runs on the buffer after every analysis step, and
+  newly confirmed detections are emitted exactly once (identifier +
+  aligned offset de-duplication).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, ExtractionError
+from ..fingerprint.extractor import ExtractorConfig, FingerprintExtractor
+from ..index.s3 import S3Index
+from ..video.synthetic import VideoClip
+from .detector import Detection
+from .voting import QueryMatches, vote
+
+
+@dataclass
+class MonitorConfig:
+    """Knobs of the continuous monitor."""
+
+    alpha: float = 0.8
+    window_frames: int = 80
+    hop_frames: int = 40
+    buffer_keyframes: int = 64
+    vote_tolerance: float = 2.0
+    tukey_c: float = 6.0
+    decision_threshold: int = 10
+    min_matches: int = 2
+    dedupe_offset_tolerance: float = 4.0
+    extractor: ExtractorConfig = field(default_factory=ExtractorConfig)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.window_frames < 8:
+            raise ConfigurationError(
+                f"window_frames must be >= 8, got {self.window_frames}"
+            )
+        if not 1 <= self.hop_frames <= self.window_frames:
+            raise ConfigurationError(
+                "hop_frames must be in [1, window_frames], got "
+                f"{self.hop_frames}"
+            )
+        if self.buffer_keyframes < 2:
+            raise ConfigurationError(
+                f"buffer_keyframes must be >= 2, got {self.buffer_keyframes}"
+            )
+
+
+@dataclass(frozen=True)
+class StreamDetection:
+    """A detection anchored on the stream's absolute time axis."""
+
+    video_id: int
+    stream_offset: float
+    nsim: int
+    first_seen_frame: int
+
+    def as_detection(self) -> Detection:
+        """The plain :class:`~repro.cbcd.detector.Detection` view."""
+        return Detection(
+            video_id=self.video_id,
+            offset=self.stream_offset,
+            nsim=self.nsim,
+            num_candidates=0,
+        )
+
+
+class StreamMonitor:
+    """Incremental copy detector over a continuous frame stream."""
+
+    def __init__(self, index: S3Index, config: MonitorConfig | None = None):
+        self.index = index
+        self.config = config or MonitorConfig()
+        self._extractor = FingerprintExtractor(self.config.extractor)
+        self._frames: np.ndarray | None = None
+        self._stream_pos = 0          # absolute index of buffer start
+        self._next_analysis = 0       # absolute frame where next window ends
+        self._matches: deque[QueryMatches] = deque()
+        self._reported: list[StreamDetection] = []
+        self._frames_seen = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def frames_seen(self) -> int:
+        """Total frames fed so far."""
+        return self._frames_seen
+
+    @property
+    def detections(self) -> list[StreamDetection]:
+        """Everything reported so far, in order of first confirmation."""
+        return list(self._reported)
+
+    def feed(self, frames: np.ndarray) -> list[StreamDetection]:
+        """Consume a chunk of frames; return detections confirmed by it.
+
+        *frames* is ``(T, H, W)`` uint8 (any ``T >= 1``); chunks may be
+        single frames or whole minutes of material.
+        """
+        frames = np.asarray(frames, dtype=np.uint8)
+        if frames.ndim != 3:
+            raise ConfigurationError(
+                f"frames must be (T, H, W), got shape {frames.shape}"
+            )
+        if self._frames is None:
+            self._frames = frames.copy()
+        else:
+            if frames.shape[1:] != self._frames.shape[1:]:
+                raise ConfigurationError(
+                    "frame geometry changed mid-stream: "
+                    f"{frames.shape[1:]} vs {self._frames.shape[1:]}"
+                )
+            self._frames = np.concatenate([self._frames, frames])
+        self._frames_seen += frames.shape[0]
+
+        new_detections: list[StreamDetection] = []
+        cfg = self.config
+        while self._buffer_end() >= self._next_analysis + cfg.window_frames:
+            window_start = self._next_analysis
+            new_detections.extend(self._analyse(window_start))
+            self._next_analysis = window_start + cfg.hop_frames
+            self._trim_frames()
+        return new_detections
+
+    # ------------------------------------------------------------------
+    def _buffer_end(self) -> int:
+        return self._stream_pos + (
+            0 if self._frames is None else self._frames.shape[0]
+        )
+
+    def _trim_frames(self) -> None:
+        """Drop frames no future analysis window can need."""
+        keep_from = self._next_analysis
+        if self._frames is None or keep_from <= self._stream_pos:
+            return
+        drop = min(keep_from - self._stream_pos, self._frames.shape[0])
+        self._frames = self._frames[drop:]
+        self._stream_pos += drop
+
+    def _analyse(self, window_start: int) -> list[StreamDetection]:
+        cfg = self.config
+        rel = window_start - self._stream_pos
+        window = VideoClip(self._frames[rel:rel + cfg.window_frames])
+        try:
+            extraction = self._extractor.extract(window, video_id=0)
+        except ExtractionError:
+            return []
+
+        self.index.reset_threshold_cache()
+        for fp, tc in zip(
+            extraction.store.fingerprints, extraction.store.timecodes
+        ):
+            result = self.index.statistical_query(
+                fp.astype(np.float64), cfg.alpha
+            )
+            if len(result):
+                self._matches.append(
+                    QueryMatches(
+                        timecode=float(tc) + window_start,  # stream time
+                        ids=result.ids,
+                        timecodes=result.timecodes,
+                    )
+                )
+        # Bound the buffer to the most recent key-frame matches.
+        while len(self._matches) > cfg.buffer_keyframes:
+            self._matches.popleft()
+
+        votes = vote(
+            list(self._matches),
+            tolerance=cfg.vote_tolerance,
+            tukey_c=cfg.tukey_c,
+            min_matches=cfg.min_matches,
+        )
+        fresh: list[StreamDetection] = []
+        for v in votes:
+            if v.nsim < cfg.decision_threshold:
+                continue
+            if self._already_reported(v.video_id, v.offset):
+                continue
+            detection = StreamDetection(
+                video_id=v.video_id,
+                stream_offset=v.offset,
+                nsim=v.nsim,
+                first_seen_frame=window_start,
+            )
+            self._reported.append(detection)
+            fresh.append(detection)
+        return fresh
+
+    def _already_reported(self, video_id: int, offset: float) -> bool:
+        tol = self.config.dedupe_offset_tolerance
+        return any(
+            d.video_id == video_id and abs(d.stream_offset - offset) <= tol
+            for d in self._reported
+        )

@@ -1,0 +1,128 @@
+"""The voting strategy (paper §III): from search results to decisions.
+
+After the similarity search has returned, for every candidate fingerprint
+``S_j``, a set of referenced fingerprints with identifiers and time-codes,
+the decision is taken *per identifier*:
+
+1. estimate the temporal offset ``b(id)`` robustly (eq. (2),
+   :mod:`~repro.cbcd.mestimator`);
+2. count the similarity measure ``n_sim(id)``: the number of candidate
+   fingerprints (interest points) with at least one match of this
+   identifier consistent with ``b(id)`` within a small tolerance interval;
+3. threshold ``n_sim`` — the temporal coherence of many fingerprints is
+   rare by chance, which is what keeps false alarms low even under a very
+   approximate search.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .mestimator import OffsetEstimate, estimate_offset
+
+
+@dataclass(frozen=True)
+class Vote:
+    """Per-identifier outcome of the voting strategy."""
+
+    video_id: int
+    offset: float
+    nsim: int
+    num_candidates: int
+    cost: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Vote(id={self.video_id}, b={self.offset:.2f}, "
+            f"nsim={self.nsim}/{self.num_candidates})"
+        )
+
+
+@dataclass
+class QueryMatches:
+    """Matches of one candidate fingerprint: arrays of equal length."""
+
+    timecode: float
+    ids: np.ndarray
+    timecodes: np.ndarray
+
+
+def group_by_identifier(
+    matches: list[QueryMatches],
+) -> dict[int, tuple[list[float], list[np.ndarray]]]:
+    """Regroup per-query matches into per-identifier vote inputs.
+
+    Returns, for each identifier, the candidate time-codes ``tc'_j`` that
+    matched it and, aligned, the arrays of referenced time-codes
+    ``tc_jk``.
+    """
+    grouped: dict[int, tuple[list[float], list[np.ndarray]]] = defaultdict(
+        lambda: ([], [])
+    )
+    for match in matches:
+        ids = np.asarray(match.ids)
+        tcs = np.asarray(match.timecodes, dtype=np.float64)
+        if ids.shape != tcs.shape:
+            raise ConfigurationError("ids and timecodes must align")
+        for uid in np.unique(ids):
+            sel = tcs[ids == uid]
+            entry = grouped[int(uid)]
+            entry[0].append(float(match.timecode))
+            entry[1].append(sel)
+    return dict(grouped)
+
+
+def count_votes(
+    candidate_tcs: list[float],
+    matched_tcs: list[np.ndarray],
+    offset: float,
+    tolerance: float,
+) -> int:
+    """Count candidates consistent with *offset* within *tolerance*.
+
+    One vote per candidate fingerprint (interest point), however many of
+    its matches agree.
+    """
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+    votes = 0
+    for tc_prime, tcs in zip(candidate_tcs, matched_tcs):
+        residuals = np.abs(tc_prime - (np.asarray(tcs, dtype=np.float64) + offset))
+        if residuals.min() <= tolerance:
+            votes += 1
+    return votes
+
+
+def vote(
+    matches: list[QueryMatches],
+    tolerance: float = 2.0,
+    tukey_c: float = 6.0,
+    min_matches: int = 2,
+) -> list[Vote]:
+    """Run the full voting strategy over a buffer of query matches.
+
+    Returns one :class:`Vote` per identifier with at least *min_matches*
+    matched candidates, sorted by decreasing ``n_sim``.
+    """
+    grouped = group_by_identifier(matches)
+    votes: list[Vote] = []
+    for uid, (cand_tcs, match_tcs) in grouped.items():
+        if len(cand_tcs) < min_matches:
+            continue
+        estimate: OffsetEstimate = estimate_offset(cand_tcs, match_tcs, c=tukey_c)
+        nsim = count_votes(cand_tcs, match_tcs, estimate.offset, tolerance)
+        votes.append(
+            Vote(
+                video_id=uid,
+                offset=estimate.offset,
+                nsim=nsim,
+                num_candidates=len(cand_tcs),
+                cost=estimate.cost,
+            )
+        )
+    votes.sort(key=lambda v: (-v.nsim, v.cost))
+    return votes

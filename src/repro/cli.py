@@ -1,0 +1,201 @@
+"""Command-line interface: ``repro-s3``.
+
+Drives the whole system from the shell — generate material, extract
+fingerprints, build an index, query it, run copy detection::
+
+    repro-s3 synth --frames 200 --seed 1 --out clip.npy
+    repro-s3 extract clip.npy --video-id 0 --out db.fp
+    repro-s3 merge db0.fp db1.fp --out db.fp
+    repro-s3 build db.fp --sigma 20 --out archive
+    repro-s3 query archive --alpha 0.8 --from-row 7
+    repro-s3 detect archive candidate.npy --alpha 0.8 --threshold 10
+    repro-s3 info db.fp
+
+Videos are exchanged as ``.npy`` arrays of shape ``(T, H, W)`` uint8;
+fingerprint stores use the single-file binary format of
+:mod:`repro.index.store`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .cbcd.detector import CopyDetector, DetectorConfig
+from .distortion.model import NormalDistortionModel
+from .errors import ReproError
+from .fingerprint.extractor import FingerprintExtractor
+from .index.s3 import S3Index
+from .index.store import FingerprintStore, read_header
+from .video.synthetic import VideoClip, generate_clip
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    clip = generate_clip(args.frames, seed=args.seed)
+    np.save(args.out, clip.frames)
+    print(f"wrote {args.frames} frames ({clip.height}x{clip.width}) to {args.out}")
+    return 0
+
+
+def _load_clip(path: str) -> VideoClip:
+    frames = np.load(path)
+    return VideoClip(frames)
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    clip = _load_clip(args.video)
+    extractor = FingerprintExtractor()
+    result = extractor.extract(clip, video_id=args.video_id)
+    result.store.save(args.out)
+    print(
+        f"extracted {len(result.store)} fingerprints "
+        f"({result.keyframes.size} key-frames) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    stores = [FingerprintStore.load(path) for path in args.stores]
+    merged = FingerprintStore.concatenate(stores)
+    merged.save(args.out)
+    print(f"merged {len(stores)} stores ({len(merged)} fingerprints) -> {args.out}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    store = FingerprintStore.load(args.store)
+    model = NormalDistortionModel(store.ndims, args.sigma)
+    index = S3Index(store, depth=args.depth, model=model)
+    index.save(args.out)
+    print(
+        f"indexed {len(index)} fingerprints at depth p={index.depth} "
+        f"-> {args.out}.store / {args.out}.meta.json"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = S3Index.load(args.index)
+    if args.queries is not None:
+        queries = np.load(args.queries).astype(np.float64)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+    elif args.from_row is not None:
+        queries = index.store.fingerprints[args.from_row][None, :].astype(
+            np.float64
+        )
+    else:
+        print("error: pass --queries FILE or --from-row N", file=sys.stderr)
+        return 2
+    for i, q in enumerate(queries):
+        result = index.statistical_query(q, args.alpha)
+        stats = result.stats
+        print(
+            f"query {i}: {len(result)} results, "
+            f"{stats.blocks_selected} blocks, "
+            f"{stats.total_seconds * 1e3:.2f} ms"
+        )
+        for row in range(min(len(result), args.limit)):
+            print(
+                f"  id={result.ids[row]} tc={result.timecodes[row]:.1f}"
+            )
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    index = S3Index.load(args.index)
+    config = DetectorConfig(alpha=args.alpha, decision_threshold=args.threshold)
+    detector = CopyDetector(index, config)
+    clip = _load_clip(args.video)
+    report = detector.detect_clip(clip)
+    if not report.detections:
+        print("no copy detected")
+        return 1
+    for det in report.detections:
+        print(
+            f"copy of video {det.video_id}: offset b={det.offset:.1f} frames, "
+            f"n_sim={det.nsim}/{det.num_candidates}"
+        )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    count, ndims = read_header(args.store)
+    size = Path(args.store).stat().st_size
+    print(f"{args.store}: {count} fingerprints, dimension {ndims}, "
+          f"{size / 1e6:.2f} MB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-s3`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-s3",
+        description="Statistical similarity search / video copy detection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synth", help="generate a procedural test clip")
+    p.add_argument("--frames", type=int, default=150)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("extract", help="extract fingerprints from a video")
+    p.add_argument("video", help="(T, H, W) uint8 .npy file")
+    p.add_argument("--video-id", type=int, required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_extract)
+
+    p = sub.add_parser("merge", help="concatenate fingerprint stores")
+    p.add_argument("stores", nargs="+")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_merge)
+
+    p = sub.add_parser("build", help="build an S3 index from a store")
+    p.add_argument("store")
+    p.add_argument("--sigma", type=float, default=20.0)
+    p.add_argument("--depth", type=int, default=None)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("query", help="run statistical queries")
+    p.add_argument("index", help="index prefix (from `build --out`)")
+    p.add_argument("--alpha", type=float, default=0.8)
+    p.add_argument("--queries", default=None, help="(N, D) .npy of queries")
+    p.add_argument("--from-row", type=int, default=None,
+                   help="query with a stored fingerprint (sanity check)")
+    p.add_argument("--limit", type=int, default=5,
+                   help="matches to print per query")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("detect", help="detect copies in a candidate video")
+    p.add_argument("index", help="index prefix")
+    p.add_argument("video", help="(T, H, W) uint8 .npy file")
+    p.add_argument("--alpha", type=float, default=0.8)
+    p.add_argument("--threshold", type=int, default=10)
+    p.set_defaults(func=_cmd_detect)
+
+    p = sub.add_parser("info", help="describe a fingerprint store file")
+    p.add_argument("store")
+    p.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

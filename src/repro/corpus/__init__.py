@@ -1,0 +1,16 @@
+"""Experiment data plumbing: reference corpora, filler, query workloads."""
+
+from .builder import ReferenceCorpus, build_reference_corpus
+from .filler import FILLER_ID_BASE, resample_fingerprints, scale_store
+from .workload import ModelQueryWorkload, model_queries, stream_queries
+
+__all__ = [
+    "FILLER_ID_BASE",
+    "ModelQueryWorkload",
+    "ReferenceCorpus",
+    "build_reference_corpus",
+    "model_queries",
+    "resample_fingerprints",
+    "scale_store",
+    "stream_queries",
+]

@@ -1,0 +1,108 @@
+"""Reference-corpus construction for the experiments.
+
+Bundles the video generator and the extraction pipeline into the objects
+the experiments consume: a set of referenced clips, their merged
+fingerprint store (one identifier per clip) and helpers to cut ground-truth
+candidate segments out of them — the paper's "we extract randomly 100 video
+sequences of 10 seconds each from the reference databases".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cbcd.evaluation import GroundTruth
+from ..errors import ConfigurationError
+from ..fingerprint.extractor import (
+    ExtractionResult,
+    ExtractorConfig,
+    FingerprintExtractor,
+)
+from ..index.store import FingerprintStore
+from ..rng import SeedLike, resolve_rng
+from ..video.synthetic import SceneConfig, VideoClip, generate_corpus
+
+
+@dataclass
+class ReferenceCorpus:
+    """Referenced clips plus their extracted fingerprints."""
+
+    clips: list[VideoClip]
+    extractions: list[ExtractionResult]
+    store: FingerprintStore
+    extractor: FingerprintExtractor
+
+    @property
+    def num_videos(self) -> int:
+        """Number of referenced programmes in the corpus."""
+        return len(self.clips)
+
+    def fingerprints_per_clip(self) -> np.ndarray:
+        """Number of fingerprints each referenced clip contributed."""
+        return np.array([len(e) for e in self.extractions], dtype=np.int64)
+
+    def candidate(
+        self,
+        video_id: int,
+        start_frame: int,
+        num_frames: int,
+    ) -> tuple[VideoClip, GroundTruth]:
+        """Cut a candidate segment with its ground truth."""
+        if not 0 <= video_id < self.num_videos:
+            raise ConfigurationError(
+                f"video_id must be in [0, {self.num_videos}), got {video_id}"
+            )
+        clip = self.clips[video_id]
+        sub = clip.subclip(start_frame, start_frame + num_frames)
+        return sub, GroundTruth(video_id=video_id, start_frame=float(start_frame))
+
+    def random_candidates(
+        self,
+        num: int,
+        num_frames: int,
+        rng: SeedLike = None,
+    ) -> list[tuple[VideoClip, GroundTruth]]:
+        """Draw *num* random candidate segments (paper §V-C protocol)."""
+        gen = resolve_rng(rng)
+        candidates = []
+        for _ in range(num):
+            vid = int(gen.integers(0, self.num_videos))
+            max_start = self.clips[vid].num_frames - num_frames
+            if max_start < 0:
+                raise ConfigurationError(
+                    f"clips of {self.clips[vid].num_frames} frames cannot "
+                    f"provide {num_frames}-frame candidates"
+                )
+            start = int(gen.integers(0, max_start + 1))
+            candidates.append(self.candidate(vid, start, num_frames))
+        return candidates
+
+
+def build_reference_corpus(
+    num_videos: int,
+    frames_per_video: int,
+    scene: SceneConfig | None = None,
+    extractor_config: ExtractorConfig | None = None,
+    seed: SeedLike = None,
+) -> ReferenceCorpus:
+    """Generate clips and extract the reference fingerprint database.
+
+    Clip ``i`` gets identifier ``i``; time-codes are frame indices within
+    each clip.
+    """
+    if num_videos < 1:
+        raise ConfigurationError(f"num_videos must be >= 1, got {num_videos}")
+    rng = resolve_rng(seed)
+    clips = generate_corpus(
+        num_videos, frames_per_video, config=scene, seed=rng
+    )
+    extractor = FingerprintExtractor(extractor_config)
+    extractions = [
+        extractor.extract(clip, video_id=i) for i, clip in enumerate(clips)
+    ]
+    store = FingerprintStore.concatenate([e.store for e in extractions])
+    return ReferenceCorpus(
+        clips=clips, extractions=extractions, store=store, extractor=extractor
+    )

@@ -1,0 +1,92 @@
+"""Resampling-based database up-scaling (DESIGN.md §2, substitution).
+
+The paper sweeps databases up to 1.5 billion fingerprints — 30,000 hours of
+real television.  Extracting that many fingerprints from procedural video
+is pointless (the pixels are synthetic anyway); what matters for index
+behaviour is the *distribution* of the stored points, because it drives
+p-block occupancy.  The filler therefore draws rows from a pool of
+genuinely extracted fingerprints and perturbs them slightly, preserving the
+empirical marginals and local clustering while producing arbitrarily many
+rows.
+
+Filler fingerprints carry identifiers from a reserved range so experiment
+code can always distinguish real referenced material from ballast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..index.store import FingerprintStore
+from ..rng import SeedLike, resolve_rng
+
+#: Identifiers at or above this value denote filler material.
+FILLER_ID_BASE = 1_000_000
+
+
+def resample_fingerprints(
+    pool: FingerprintStore,
+    count: int,
+    jitter_sigma: float = 4.0,
+    id_base: int = FILLER_ID_BASE,
+    rows_per_id: int = 500,
+    timecode_span: float = 250.0,
+    rng: SeedLike = None,
+) -> FingerprintStore:
+    """Draw *count* filler fingerprints from *pool*.
+
+    Each row is a pool row plus i.i.d. normal jitter of *jitter_sigma*
+    (clipped to bytes).  Identifiers are assigned in blocks of
+    *rows_per_id* rows, each block mimicking one archived programme with
+    time-codes uniform over *timecode_span* frames — matching the
+    fingerprint-per-frame density of real extracted clips, so the chance
+    of coincidental temporal coherence on ballast identifiers is the same
+    as on genuine ones.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    if len(pool) == 0:
+        raise ConfigurationError("pool store is empty")
+    if jitter_sigma < 0:
+        raise ConfigurationError(f"jitter_sigma must be >= 0, got {jitter_sigma}")
+    if rows_per_id < 1:
+        raise ConfigurationError(f"rows_per_id must be >= 1, got {rows_per_id}")
+    if timecode_span <= 0:
+        raise ConfigurationError(
+            f"timecode_span must be > 0, got {timecode_span}"
+        )
+    gen = resolve_rng(rng)
+
+    if count == 0:
+        return FingerprintStore.empty(pool.ndims)
+    rows = gen.integers(0, len(pool), size=count)
+    fps = pool.fingerprints[rows].astype(np.float64)
+    if jitter_sigma > 0:
+        fps = fps + gen.normal(0.0, jitter_sigma, fps.shape)
+    fps = np.clip(np.round(fps), 0, 255).astype(np.uint8)
+
+    block = np.arange(count) // rows_per_id
+    ids = (id_base + block).astype(np.uint32)
+    timecodes = gen.uniform(0.0, timecode_span, size=count)
+    return FingerprintStore(fingerprints=fps, ids=ids, timecodes=timecodes)
+
+
+def scale_store(
+    base: FingerprintStore,
+    target_rows: int,
+    jitter_sigma: float = 4.0,
+    rng: SeedLike = None,
+) -> FingerprintStore:
+    """Grow *base* to *target_rows* rows by appending filler.
+
+    The base rows (real referenced material) are kept verbatim at the
+    front; the remainder is resampled ballast.  With ``target_rows <=
+    len(base)`` the base is returned unchanged.
+    """
+    if target_rows <= len(base):
+        return base
+    filler = resample_fingerprints(
+        base, target_rows - len(base), jitter_sigma=jitter_sigma, rng=rng
+    )
+    return FingerprintStore.concatenate([base, filler])

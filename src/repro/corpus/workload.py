@@ -1,0 +1,93 @@
+"""Query workload generators for the search benchmarks (paper §V-A/B).
+
+Two workload styles appear in the paper:
+
+* **model queries** (§V-A): pick real stored fingerprints ``S`` and query
+  ``Q = S + ΔS`` with ``ΔS`` drawn from the distortion model — ground truth
+  is known exactly (did the search return ``S``?);
+* **stream queries** (§V-B): fingerprints extracted from an unrelated
+  stream, i.e. realistic candidate material with no planted answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..index.store import FingerprintStore
+from ..rng import SeedLike, resolve_rng
+
+
+@dataclass
+class ModelQueryWorkload:
+    """Planted queries with known originals.
+
+    ``queries[i]`` is a distorted copy of store row ``rows[i]``; a search
+    *retrieves* the original when that row's fingerprint appears in its
+    results.
+    """
+
+    queries: np.ndarray
+    rows: np.ndarray
+    originals: np.ndarray
+    sigma: float
+
+    def __len__(self) -> int:
+        return int(self.queries.shape[0])
+
+    def retrieved(self, i: int, result_fingerprints: np.ndarray) -> bool:
+        """Did result *i* include its original fingerprint?"""
+        if result_fingerprints.shape[0] == 0:
+            return False
+        return bool(
+            np.any(np.all(result_fingerprints == self.originals[i], axis=1))
+        )
+
+
+def model_queries(
+    store: FingerprintStore,
+    num: int,
+    sigma: float,
+    rng: SeedLike = None,
+    clip_to_grid: bool = True,
+) -> ModelQueryWorkload:
+    """Build the §V-A workload: ``Q = S + ΔS`` with i.i.d. ``N(0, σ)``."""
+    if num < 1:
+        raise ConfigurationError(f"num must be >= 1, got {num}")
+    if sigma <= 0:
+        raise ConfigurationError(f"sigma must be > 0, got {sigma}")
+    gen = resolve_rng(rng)
+    rows = gen.integers(0, len(store), size=num)
+    originals = store.fingerprints[rows].copy()
+    queries = originals.astype(np.float64) + gen.normal(
+        0.0, sigma, size=(num, store.ndims)
+    )
+    if clip_to_grid:
+        queries = np.clip(queries, 0.0, 255.0)
+    return ModelQueryWorkload(
+        queries=queries, rows=rows, originals=originals, sigma=float(sigma)
+    )
+
+
+def stream_queries(
+    pool: FingerprintStore,
+    num: int,
+    jitter_sigma: float = 12.0,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Build §V-B-style candidate queries: realistic, no planted answer.
+
+    Pool rows perturbed well beyond the distortion model's severity, so
+    they are distributed like real extracted fingerprints without being
+    exact copies of stored ones.
+    """
+    if num < 1:
+        raise ConfigurationError(f"num must be >= 1, got {num}")
+    gen = resolve_rng(rng)
+    rows = gen.integers(0, len(pool), size=num)
+    queries = pool.fingerprints[rows].astype(np.float64)
+    if jitter_sigma > 0:
+        queries = queries + gen.normal(0.0, jitter_sigma, queries.shape)
+    return np.clip(queries, 0.0, 255.0)

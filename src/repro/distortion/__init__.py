@@ -1,0 +1,51 @@
+"""Distortion-vector models for the statistical query paradigm (paper §II).
+
+A statistical query of expectation α searches the region of feature space
+holding at least α of the probability mass of the *distortion vector*
+``ΔS = S(m) − S(t(m))`` around the candidate fingerprint.  This package
+provides the independent-component models the S³ index integrates over
+(:mod:`~repro.distortion.model`), the radial law of ``‖ΔS‖`` used to match
+ε-range baselines at equal expectation (:mod:`~repro.distortion.radial`),
+and model estimation from matched fingerprint pairs
+(:mod:`~repro.distortion.estimate`).
+"""
+
+from .empirical import EmpiricalDistortionModel
+from .estimate import (
+    DistortionEstimate,
+    distortion_vectors,
+    estimate_distortion,
+    severity_order,
+)
+from .model import (
+    IndependentDistortionModel,
+    NormalDistortionModel,
+    PerComponentNormalModel,
+)
+from .radial import (
+    closed_form_norm_pdf,
+    expectation_for_radius,
+    norm_cdf,
+    norm_pdf,
+    radius_for_expectation,
+    tabulate_cdf,
+    uniform_sphere_pdf,
+)
+
+__all__ = [
+    "DistortionEstimate",
+    "EmpiricalDistortionModel",
+    "IndependentDistortionModel",
+    "NormalDistortionModel",
+    "PerComponentNormalModel",
+    "closed_form_norm_pdf",
+    "distortion_vectors",
+    "estimate_distortion",
+    "expectation_for_radius",
+    "norm_cdf",
+    "norm_pdf",
+    "radius_for_expectation",
+    "severity_order",
+    "tabulate_cdf",
+    "uniform_sphere_pdf",
+]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error deliberately raised by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter value is out of its documented domain."""
+
+
+class GeometryError(ReproError):
+    """A point or box does not fit the grid the Hilbert curve is defined on."""
+
+
+class StoreError(ReproError):
+    """A fingerprint store file is missing, truncated or inconsistent."""
+
+
+class IndexError_(ReproError):
+    """An index structure is used before being built, or built inconsistently.
+
+    The trailing underscore avoids shadowing the ``IndexError`` builtin.
+    """
+
+
+class ExtractionError(ReproError):
+    """Fingerprint extraction failed (e.g. a video too short for key-frames)."""

@@ -1,0 +1,91 @@
+"""Terminal line plots for the experiment figures.
+
+The paper's evaluation is all figures; the benchmark harness prints the
+same series as text tables *and* as compact ASCII charts so the shape —
+crossovers, slopes, plateaus — is visible straight from ``pytest -s``
+output without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+from .common import Series
+
+_MARKERS = "ox+*#@"
+
+
+def render_plot(
+    series: list[Series],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render one or more series as an ASCII scatter/line chart.
+
+    Each series gets its own marker; the legend maps markers to names.
+    Log axes are supported for the paper's log-log scaling figures.
+    """
+    series = [s for s in series if len(s) > 0]
+    if not series:
+        raise ConfigurationError("nothing to plot: all series empty")
+    if width < 16 or height < 4:
+        raise ConfigurationError("plot must be at least 16x4 characters")
+
+    def fx(v: float) -> float:
+        if logx:
+            if v <= 0:
+                raise ConfigurationError("log x-axis requires positive x")
+            return math.log10(v)
+        return v
+
+    def fy(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ConfigurationError("log y-axis requires positive y")
+            return math.log10(v)
+        return v
+
+    xs = [fx(x) for s in series for x in s.x]
+    ys = [fy(y) for s in series for y in s.y]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for x, y in zip(s.x, s.y):
+            col = int((fx(x) - x_lo) / x_span * (width - 1))
+            row = int((fy(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{10**y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    bottom_label = f"{10**y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label.rjust(label_width)
+        elif i == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    left = f"{10**x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    right = f"{10**x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    gap = max(width - len(left) - len(right), 1)
+    lines.append(" " * (label_width + 2) + left + " " * gap + right)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Fig. 7 — mean search time vs. database size: S³ vs. sequential scan.
+
+The paper grows the database exponentially from ~77 k to ~1.5 G
+fingerprints: the sequential scan is linear throughout, while the S³
+search stays sub-linear (constant log-log slope < 1) until the pseudo-disk
+regime adds a linear component; at the largest size the gain exceeds
+×2500.  At our scale the same protocol (exponential ladder, α = 80 %,
+σ = 20, ε matched to the same expectation) reproduces the *shape*: linear
+scan vs. sub-linear S³ with an exponentially growing gain.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..corpus.workload import stream_queries
+from ..distortion.model import NormalDistortionModel
+from ..distortion.radial import radius_for_expectation
+from ..index.s3 import S3Index
+from ..index.seqscan import SequentialScanIndex
+from ..index.vafile import VAFile
+from ..rng import SeedLike, resolve_rng
+from .common import Series, format_table
+from .fig56_alpha_sweep import _synthetic_store
+
+
+@dataclass
+class ScalingRow:
+    """One DB size of Fig. 7: per-method mean search times."""
+
+    db_rows: int
+    s3_seconds: float
+    scan_seconds: float
+    vafile_seconds: float
+    s3_rows_scanned: float
+
+    @property
+    def gain(self) -> float:
+        """Sequential-scan time over S³ time (the paper's "gain")."""
+        if self.s3_seconds <= 0:
+            return float("inf")
+        return self.scan_seconds / self.s3_seconds
+
+
+@dataclass
+class Fig7Result:
+    """The scaling ladder of Fig. 7 with fitted log-log slopes."""
+
+    alpha: float
+    sigma: float
+    epsilon: float
+    rows: list[ScalingRow]
+    s3_series: Series
+    scan_series: Series
+
+    def render(self) -> str:
+        body = [
+            (
+                r.db_rows,
+                r.s3_seconds * 1e3,
+                r.scan_seconds * 1e3,
+                r.vafile_seconds * 1e3,
+                r.gain,
+                r.s3_rows_scanned,
+            )
+            for r in self.rows
+        ]
+        table = format_table(
+            [
+                "DB rows", "S3 (ms)", "seq scan (ms)", "VA-file (ms)",
+                "gain", "S3 rows scanned",
+            ],
+            body,
+            title=(
+                f"Fig. 7 — search time vs DB size (alpha={self.alpha*100:.0f}%, "
+                f"sigma={self.sigma}, eps={self.epsilon:.1f})"
+            ),
+        )
+        from .ascii_plot import render_plot
+
+        figure = render_plot(
+            [self.s3_series, self.scan_series],
+            width=56, height=12, logx=True, logy=True,
+            title="\nFig. 7 — mean search time (s) vs DB size (log-log)",
+        )
+        return table + "\n" + figure + (
+            "\nExpected shape: sequential scan linear in DB size; S3 "
+            "sub-linear with a growing gain (paper reaches x2500)."
+        )
+
+    def loglog_slopes(self) -> tuple[float, float]:
+        """Fitted log-log slopes (S³, scan); scan ≈ 1, S³ < 1."""
+        sizes = np.log([r.db_rows for r in self.rows])
+        s3 = np.log([max(r.s3_seconds, 1e-9) for r in self.rows])
+        scan = np.log([max(r.scan_seconds, 1e-9) for r in self.rows])
+        s3_slope = float(np.polyfit(sizes, s3, 1)[0])
+        scan_slope = float(np.polyfit(sizes, scan, 1)[0])
+        return s3_slope, scan_slope
+
+
+def run_fig7(
+    db_sizes: Sequence[int] = (10_000, 40_000, 160_000, 640_000),
+    num_queries: int = 60,
+    num_scan_queries: int = 8,
+    alpha: float = 0.8,
+    sigma: float = 20.0,
+    seed: SeedLike = 0,
+) -> Fig7Result:
+    """Reproduce Fig. 7 at laptop scale (exponential DB ladder)."""
+    rng = resolve_rng(seed)
+    epsilon = radius_for_expectation(alpha, 20, sigma)
+    model = NormalDistortionModel(20, sigma)
+
+    # One big store; each ladder rung takes a prefix, like the paper's
+    # nested databases of exponentially growing size.
+    full = _synthetic_store(max(db_sizes), rng)
+    queries = stream_queries(full, num_queries, rng=rng)
+
+    rows: list[ScalingRow] = []
+    s3_series = Series("statistical method")
+    scan_series = Series("sequential scan")
+    for size in sorted(db_sizes):
+        store = full.row_slice(0, size)
+        index = S3Index(store, model=model)
+        scan = SequentialScanIndex(store)
+        vafile = VAFile(store, bits=4)
+
+        t0 = time.perf_counter()
+        scanned = 0
+        for q in queries:
+            result = index.statistical_query(q, alpha)
+            scanned += result.stats.rows_scanned
+        s3_seconds = (time.perf_counter() - t0) / num_queries
+
+        t0 = time.perf_counter()
+        for q in queries[:num_scan_queries]:
+            scan.range_query(q, epsilon)
+        scan_seconds = (time.perf_counter() - t0) / num_scan_queries
+
+        # VA-file: the related-work "improved sequential technique"; its
+        # approximation scan is still linear in the DB size.
+        t0 = time.perf_counter()
+        for q in queries[:num_scan_queries]:
+            vafile.range_query(q, epsilon)
+        vafile_seconds = (time.perf_counter() - t0) / num_scan_queries
+
+        row = ScalingRow(
+            db_rows=size,
+            s3_seconds=s3_seconds,
+            scan_seconds=scan_seconds,
+            vafile_seconds=vafile_seconds,
+            s3_rows_scanned=scanned / num_queries,
+        )
+        rows.append(row)
+        s3_series.add(size, s3_seconds)
+        scan_series.add(size, scan_seconds)
+
+    return Fig7Result(
+        alpha=alpha,
+        sigma=sigma,
+        epsilon=epsilon,
+        rows=rows,
+        s3_series=s3_series,
+        scan_series=scan_series,
+    )

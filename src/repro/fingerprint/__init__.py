@@ -1,0 +1,52 @@
+"""Local video fingerprint extraction (paper §III).
+
+Key-frame detection on the intensity of motion
+(:mod:`~repro.fingerprint.motion`), Harris interest points
+(:mod:`~repro.fingerprint.harris`), the 20-byte differential descriptor
+(:mod:`~repro.fingerprint.descriptor`), the end-to-end pipeline
+(:mod:`~repro.fingerprint.extractor`) and distortion-model calibration
+against transformations (:mod:`~repro.fingerprint.calibration`).
+"""
+
+from .calibration import CalibrationPairs, calibrate_severity, collect_pairs
+from .descriptor import (
+    FINGERPRINT_DIM,
+    DescriptorConfig,
+    DescriptorExtractor,
+    dequantize,
+    derivative_stack,
+    quantize,
+)
+from .extractor import ExtractionResult, ExtractorConfig, FingerprintExtractor
+from .harris import HarrisConfig, detect_interest_points, harris_response
+from .motion import detect_keyframes, intensity_of_motion, local_extrema, smooth_signal
+from .repeatability import (
+    RepeatabilityResult,
+    frame_repeatability,
+    measure_repeatability,
+)
+
+__all__ = [
+    "FINGERPRINT_DIM",
+    "CalibrationPairs",
+    "DescriptorConfig",
+    "DescriptorExtractor",
+    "ExtractionResult",
+    "ExtractorConfig",
+    "FingerprintExtractor",
+    "HarrisConfig",
+    "RepeatabilityResult",
+    "calibrate_severity",
+    "collect_pairs",
+    "dequantize",
+    "derivative_stack",
+    "detect_interest_points",
+    "detect_keyframes",
+    "harris_response",
+    "frame_repeatability",
+    "intensity_of_motion",
+    "measure_repeatability",
+    "local_extrema",
+    "quantize",
+    "smooth_signal",
+]

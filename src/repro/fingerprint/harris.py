@@ -1,0 +1,98 @@
+"""Harris interest point detection (paper §III, step 2).
+
+The paper uses "an improved version of the Harris detector" in the spirit
+of Schmid & Mohr: image derivatives are computed with Gaussian derivative
+filters (scale ``sigma_d``), the structure tensor is integrated at scale
+``sigma_i``, and the corner response is
+
+``R = det(M) − k · trace(M)²``.
+
+Detection is non-maximum suppression on ``R`` followed by a relative
+threshold and a top-``N`` selection, with a border margin so descriptors
+always have full support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HarrisConfig:
+    """Parameters of the Harris detector."""
+
+    sigma_d: float = 1.0
+    sigma_i: float = 2.0
+    k: float = 0.06
+    relative_threshold: float = 0.01
+    nms_radius: int = 3
+    border: int = 8
+    max_points: int = 20
+
+    def __post_init__(self) -> None:
+        if self.sigma_d <= 0 or self.sigma_i <= 0:
+            raise ConfigurationError("sigma_d and sigma_i must be > 0")
+        if not 0 <= self.relative_threshold < 1:
+            raise ConfigurationError(
+                f"relative_threshold must be in [0, 1), got {self.relative_threshold}"
+            )
+        if self.nms_radius < 1:
+            raise ConfigurationError(f"nms_radius must be >= 1, got {self.nms_radius}")
+        if self.max_points < 1:
+            raise ConfigurationError(f"max_points must be >= 1, got {self.max_points}")
+
+
+def harris_response(frame: np.ndarray, config: HarrisConfig | None = None) -> np.ndarray:
+    """Return the Harris corner response map of *frame*."""
+    cfg = config or HarrisConfig()
+    img = np.asarray(frame, dtype=np.float64)
+    if img.ndim != 2:
+        raise ConfigurationError(f"frame must be 2-D, got shape {img.shape}")
+    ix = ndimage.gaussian_filter(img, cfg.sigma_d, order=(0, 1))
+    iy = ndimage.gaussian_filter(img, cfg.sigma_d, order=(1, 0))
+    ixx = ndimage.gaussian_filter(ix * ix, cfg.sigma_i)
+    iyy = ndimage.gaussian_filter(iy * iy, cfg.sigma_i)
+    ixy = ndimage.gaussian_filter(ix * iy, cfg.sigma_i)
+    det = ixx * iyy - ixy * ixy
+    trace = ixx + iyy
+    return det - cfg.k * trace * trace
+
+
+def detect_interest_points(
+    frame: np.ndarray, config: HarrisConfig | None = None
+) -> np.ndarray:
+    """Detect up to ``max_points`` interest points in *frame*.
+
+    Returns an ``(N, 2)`` integer array of ``(y, x)`` positions, strongest
+    response first.  Points within ``border`` pixels of the frame edge are
+    excluded.
+    """
+    cfg = config or HarrisConfig()
+    response = harris_response(frame, cfg)
+    h, w = response.shape
+    if h <= 2 * cfg.border or w <= 2 * cfg.border:
+        return np.empty((0, 2), dtype=np.int64)
+
+    size = 2 * cfg.nms_radius + 1
+    local_max = ndimage.maximum_filter(response, size=size, mode="nearest")
+    peak = response >= local_max
+    peak[:cfg.border] = False
+    peak[-cfg.border:] = False
+    peak[:, :cfg.border] = False
+    peak[:, -cfg.border:] = False
+
+    max_response = response[peak].max(initial=0.0)
+    if max_response <= 0:
+        return np.empty((0, 2), dtype=np.int64)
+    peak &= response > cfg.relative_threshold * max_response
+
+    ys, xs = np.nonzero(peak)
+    if ys.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    order = np.argsort(response[ys, xs], kind="stable")[::-1][: cfg.max_points]
+    return np.column_stack([ys[order], xs[order]]).astype(np.int64)

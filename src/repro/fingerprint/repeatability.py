@@ -1,0 +1,109 @@
+"""Interest-point repeatability under transformations (paper §IV-C).
+
+The paper bounds how far the severity trade-off can be pushed: "there is a
+limit for which it becomes useless to increase σ since the interest point
+detector repeatability will be close to zero for transformations that are
+too severe".  This module measures that repeatability directly, in the
+Schmid–Mohr sense: the fraction of interest points detected in the
+original frames whose *mapped* position is re-detected in the transformed
+frames within a small radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..video.synthetic import VideoClip
+from ..video.transforms import Transform
+from .harris import HarrisConfig, detect_interest_points
+
+
+@dataclass(frozen=True)
+class RepeatabilityResult:
+    """Detector repeatability of one transformation."""
+
+    transform_label: str
+    repeatability: float
+    num_reference_points: int
+    num_frames: int
+
+
+def frame_repeatability(
+    original: np.ndarray,
+    transformed: np.ndarray,
+    transform: Transform,
+    radius: float = 2.0,
+    config: HarrisConfig | None = None,
+) -> tuple[int, int]:
+    """Return ``(repeated, detected)`` counts for one frame pair.
+
+    A reference point counts as *repeated* when some point detected in the
+    transformed frame lies within *radius* of its mapped position.
+    Reference points whose mapped position leaves the frame are excluded
+    (they cannot possibly be re-detected).
+    """
+    if radius <= 0:
+        raise ConfigurationError(f"radius must be > 0, got {radius}")
+    cfg = config or HarrisConfig()
+    ref_points = detect_interest_points(original, cfg)
+    if ref_points.shape[0] == 0:
+        return 0, 0
+    mapped = transform.map_points(
+        ref_points.astype(np.float64), original.shape
+    )
+    h, w = transformed.shape
+    margin = cfg.border
+    visible = (
+        (mapped[:, 0] >= margin)
+        & (mapped[:, 0] < h - margin)
+        & (mapped[:, 1] >= margin)
+        & (mapped[:, 1] < w - margin)
+    )
+    mapped = mapped[visible]
+    if mapped.shape[0] == 0:
+        return 0, 0
+
+    new_points = detect_interest_points(transformed, cfg).astype(np.float64)
+    if new_points.shape[0] == 0:
+        return 0, int(mapped.shape[0])
+    dists = np.linalg.norm(
+        mapped[:, None, :] - new_points[None, :, :], axis=2
+    )
+    repeated = int(np.sum(dists.min(axis=1) <= radius))
+    return repeated, int(mapped.shape[0])
+
+
+def measure_repeatability(
+    clip: VideoClip,
+    transform: Transform,
+    radius: float = 2.0,
+    frame_step: int = 10,
+    config: HarrisConfig | None = None,
+) -> RepeatabilityResult:
+    """Average the per-frame repeatability over a clip.
+
+    *frame_step* subsamples the clip (every frame would be redundant —
+    neighbouring frames are nearly identical).
+    """
+    if frame_step < 1:
+        raise ConfigurationError(f"frame_step must be >= 1, got {frame_step}")
+    transformed = transform.apply_clip(clip)
+    repeated = detected = frames = 0
+    for t in range(0, clip.num_frames, frame_step):
+        r, d = frame_repeatability(
+            clip.frames[t], transformed.frames[t], transform,
+            radius=radius, config=config,
+        )
+        repeated += r
+        detected += d
+        frames += 1
+    rate = repeated / detected if detected else 0.0
+    return RepeatabilityResult(
+        transform_label=transform.label(),
+        repeatability=rate,
+        num_reference_points=detected,
+        num_frames=frames,
+    )

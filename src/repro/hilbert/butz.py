@@ -1,0 +1,124 @@
+"""Scalar Hilbert curve mapping for arbitrary dimension and order.
+
+Implements the Butz algorithm (Butz 1971) in Hamilton's state-machine
+formulation: the curve index of a point is assembled level by level, the
+per-level state being the pair ``(entry point, intra direction)`` updated
+with :func:`repro.hilbert.gray.update_state`.
+
+The mapping is the bijection
+
+``encode : [0, 2^K - 1]^D  ->  [0, 2^(K*D) - 1]``
+
+between grid cells and positions on the K-th order approximation of the
+Hilbert curve (the paper's ``H^D_K``).  Plain Python integers are used
+throughout, so the 160-bit indices of the paper's ``D = 20, K = 8``
+fingerprint space are exact.
+
+This module is the *reference* implementation; bulk work uses the numpy
+encoder in :mod:`repro.hilbert.vectorized`, which is cross-checked against
+it in the test-suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import GeometryError
+from .gray import gray, gray_inverse, transform, transform_inverse, update_state
+
+
+class HilbertCurve:
+    """The K-th order Hilbert curve on the ``D``-dimensional ``2^K`` grid.
+
+    Parameters
+    ----------
+    ndims:
+        Dimension ``D`` of the grid (``>= 1``).
+    order:
+        Number of bits per coordinate ``K`` (``>= 1``); coordinates live in
+        ``[0, 2^K - 1]`` and indices in ``[0, 2^(K*D) - 1]``.
+    """
+
+    def __init__(self, ndims: int, order: int):
+        if ndims < 1:
+            raise GeometryError(f"ndims must be >= 1, got {ndims}")
+        if order < 1:
+            raise GeometryError(f"order must be >= 1, got {order}")
+        self.ndims = ndims
+        self.order = order
+        self.side = 1 << order
+        self.total_bits = ndims * order
+
+    # ------------------------------------------------------------------
+    # encode / decode
+    # ------------------------------------------------------------------
+    def encode(self, point: Sequence[int]) -> int:
+        """Return the curve index of grid cell *point*.
+
+        *point* must contain ``ndims`` integers in ``[0, 2^order - 1]``.
+        """
+        n, k = self.ndims, self.order
+        if len(point) != n:
+            raise GeometryError(f"point has {len(point)} coords, expected {n}")
+        # Plain ints: narrow numpy scalars (e.g. uint8) would overflow the
+        # bit-packing shifts below.
+        point = [int(c) for c in point]
+        for c in point:
+            if not 0 <= c < self.side:
+                raise GeometryError(f"coordinate {c} outside [0, {self.side - 1}]")
+        h = 0
+        e, d = 0, 0
+        for i in range(k - 1, -1, -1):
+            # Pack bit i of every coordinate: bit j of l <- bit i of point[j].
+            l = 0
+            for j in range(n):
+                l |= ((point[j] >> i) & 1) << j
+            l = transform(e, d, l, n)
+            w = gray_inverse(l)
+            h = (h << n) | w
+            e, d = update_state(e, d, w, n)
+        return h
+
+    def decode(self, index: int) -> list[int]:
+        """Return the grid cell at curve position *index*."""
+        n, k = self.ndims, self.order
+        if not 0 <= index < (1 << self.total_bits):
+            raise GeometryError(f"index {index} outside [0, 2^{self.total_bits})")
+        point = [0] * n
+        e, d = 0, 0
+        for i in range(k - 1, -1, -1):
+            w = (index >> (i * n)) & ((1 << n) - 1)
+            l = transform_inverse(e, d, gray(w), n)
+            for j in range(n):
+                point[j] |= ((l >> j) & 1) << i
+            e, d = update_state(e, d, w, n)
+        return point
+
+    # ------------------------------------------------------------------
+    # prefix utilities (used by the partition tree)
+    # ------------------------------------------------------------------
+    def prefix_key(self, point: Sequence[int], levels: int) -> int:
+        """Return the first ``levels * ndims`` bits of ``encode(point)``.
+
+        Equivalent to ``encode(point) >> (ndims * (order - levels))`` but
+        stops the walk after *levels* levels, which is what the bulk key
+        builder needs (keys truncated to fit machine words).
+        """
+        n = self.ndims
+        if not 1 <= levels <= self.order:
+            raise GeometryError(f"levels must be in [1, {self.order}], got {levels}")
+        point = [int(c) for c in point]
+        h = 0
+        e, d = 0, 0
+        for i in range(self.order - 1, self.order - 1 - levels, -1):
+            l = 0
+            for j in range(n):
+                l |= ((point[j] >> i) & 1) << j
+            l = transform(e, d, l, n)
+            w = gray_inverse(l)
+            h = (h << n) | w
+            e, d = update_state(e, d, w, n)
+        return h
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HilbertCurve(ndims={self.ndims}, order={self.order})"

@@ -1,0 +1,119 @@
+"""Gray-code primitives for the Butz/Hamilton Hilbert-curve algorithm.
+
+The Butz algorithm (Butz 1971), in the formulation popularised by Hamilton
+("Compact Hilbert Indices", Dalhousie CS-2006-07), walks the curve one
+*level* at a time.  At each level a ``D``-bit byte ``w`` of the curve index
+selects one of the ``2^D`` child sub-cubes; the child's position in the
+parent frame is the Gray code ``gc(w)`` transformed by the parent's *entry
+point* ``e`` and *intra sub-cube direction* ``d``.
+
+This module provides the scalar bit-level helpers:
+
+* :func:`gray` / :func:`gray_inverse` — the reflected binary Gray code;
+* :func:`trailing_set_bits` — ``g(i)``, the subscript of the bit that flips
+  between ``gc(i)`` and ``gc(i+1)``;
+* :func:`entry_point` / :func:`intra_direction` — Hamilton's ``e(w)`` and
+  ``d(w)`` sequences;
+* :func:`rotate_right` / :func:`rotate_left` — cyclic bit rotations on
+  ``D``-bit words, used by the frame transform
+  ``T_{e,d}(b) = ror(b ^ e, d + 1)`` and its inverse.
+
+All functions operate on plain Python integers so they work for any
+dimension (the 160-bit indices of the paper's 20-dimensional byte space
+included).  Vectorised numpy counterparts live in
+:mod:`repro.hilbert.vectorized`.
+"""
+
+from __future__ import annotations
+
+
+def gray(i: int) -> int:
+    """Return the reflected binary Gray code of non-negative integer *i*."""
+    return i ^ (i >> 1)
+
+
+def gray_inverse(g: int) -> int:
+    """Return the integer whose Gray code is *g* (inverse of :func:`gray`)."""
+    i = g
+    shift = 1
+    while (g >> shift) > 0:
+        i ^= g >> shift
+        shift += 1
+    return i
+
+
+def trailing_set_bits(i: int) -> int:
+    """Return the number of trailing one-bits of *i* (Hamilton's ``g(i)``).
+
+    ``gc(i) ^ gc(i + 1) == 1 << trailing_set_bits(i)``, i.e. this is the
+    dimension along which the Gray code steps from ``i`` to ``i + 1``.
+    """
+    count = 0
+    while i & 1:
+        count += 1
+        i >>= 1
+    return count
+
+
+def rotate_right(b: int, shift: int, width: int) -> int:
+    """Cyclically rotate the *width*-bit word *b* right by *shift* bits."""
+    shift %= width
+    if shift == 0:
+        return b
+    mask = (1 << width) - 1
+    return ((b >> shift) | (b << (width - shift))) & mask
+
+
+def rotate_left(b: int, shift: int, width: int) -> int:
+    """Cyclically rotate the *width*-bit word *b* left by *shift* bits."""
+    return rotate_right(b, width - (shift % width), width)
+
+
+def entry_point(w: int) -> int:
+    """Return Hamilton's entry point ``e(w)`` of child sub-cube *w*.
+
+    ``e(0) = 0`` and ``e(w) = gc(2 * floor((w - 1) / 2))`` otherwise: the
+    corner of child *w* at which the curve enters it, expressed in the
+    parent's frame.
+    """
+    if w == 0:
+        return 0
+    return gray(2 * ((w - 1) // 2))
+
+
+def intra_direction(w: int, ndims: int) -> int:
+    """Return Hamilton's intra sub-cube direction ``d(w)`` (mod *ndims*).
+
+    The direction of the curve inside child *w*: ``d(0) = 0``,
+    ``d(w) = g(w - 1) mod n`` for even ``w`` and ``g(w) mod n`` for odd
+    ``w``.
+    """
+    if w == 0:
+        return 0
+    if w % 2 == 0:
+        return trailing_set_bits(w - 1) % ndims
+    return trailing_set_bits(w) % ndims
+
+
+def transform(e: int, d: int, b: int, ndims: int) -> int:
+    """Map *b* from the parent frame into child-canonical frame.
+
+    ``T_{e,d}(b) = ror(b ^ e, d + 1)`` over *ndims*-bit words.
+    """
+    return rotate_right(b ^ e, d + 1, ndims)
+
+
+def transform_inverse(e: int, d: int, b: int, ndims: int) -> int:
+    """Inverse of :func:`transform`: ``T^{-1}_{e,d}(b) = rol(b, d + 1) ^ e``."""
+    return rotate_left(b, d + 1, ndims) ^ e
+
+
+def update_state(e: int, d: int, w: int, ndims: int) -> tuple[int, int]:
+    """Compose the parent state ``(e, d)`` with child byte *w*.
+
+    Returns the ``(entry, direction)`` state to use inside child *w*:
+    ``e' = e ^ rol(e(w), d + 1)`` and ``d' = (d + d(w) + 1) mod n``.
+    """
+    e_next = e ^ rotate_left(entry_point(w), d + 1, ndims)
+    d_next = (d + intra_direction(w, ndims) + 1) % ndims
+    return e_next, d_next

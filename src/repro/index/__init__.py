@@ -1,0 +1,69 @@
+"""The S³ index structure and its baselines (paper §IV).
+
+* :class:`~repro.index.s3.S3Index` — the paper's contribution: a static,
+  Hilbert-curve-ordered fingerprint database answering statistical queries
+  (probabilistic block filtering + sequential refinement) and classical
+  ε-range queries on the same structure;
+* :class:`~repro.index.seqscan.SequentialScanIndex` — the brute-force
+  baseline of §V-B;
+* :class:`~repro.index.pseudodisk.PseudoDiskSearcher` — the batched,
+  section-loading strategy for stores larger than memory (§IV-B);
+* :mod:`~repro.index.tuning` — the start-of-retrieval learning of the
+  optimal partition depth ``p_min`` (§IV-A).
+"""
+
+from .diagnostics import (
+    ClusteringSummary,
+    OccupancySummary,
+    block_occupancy,
+    clustering_summary,
+    occupancy_summary,
+)
+from .filtering import (
+    BlockSelection,
+    best_first_blocks,
+    grid_probability,
+    range_blocks,
+    select_blocks_threshold,
+    statistical_blocks,
+    statistical_blocks_cached,
+    window_blocks,
+)
+from .knn import knn_query
+from .pseudodisk import BatchStats, PseudoDiskSearcher, auto_batch_size
+from .s3 import QueryStats, S3Index, SearchResult
+from .seqscan import SequentialScanIndex
+from .store import FingerprintStore
+from .table import HilbertLayout
+from .tuning import DepthProfile, profile_depths, tune_depth
+from .vafile import VAFile
+
+__all__ = [
+    "BatchStats",
+    "BlockSelection",
+    "ClusteringSummary",
+    "DepthProfile",
+    "FingerprintStore",
+    "HilbertLayout",
+    "OccupancySummary",
+    "PseudoDiskSearcher",
+    "QueryStats",
+    "S3Index",
+    "SearchResult",
+    "SequentialScanIndex",
+    "VAFile",
+    "auto_batch_size",
+    "best_first_blocks",
+    "block_occupancy",
+    "clustering_summary",
+    "grid_probability",
+    "knn_query",
+    "occupancy_summary",
+    "profile_depths",
+    "range_blocks",
+    "select_blocks_threshold",
+    "statistical_blocks",
+    "statistical_blocks_cached",
+    "window_blocks",
+    "tune_depth",
+]

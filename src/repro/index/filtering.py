@@ -1,0 +1,669 @@
+"""Block selection: the filtering step of the S³ index (paper §IV-A).
+
+Given a candidate fingerprint ``Q``, the filtering step selects a set of
+p-blocks of the Hilbert partition.  Three selectors are provided:
+
+* :func:`select_blocks_threshold` — one descent of the partition tree
+  keeping every depth-``p`` block whose probability under the distortion
+  model exceeds a threshold ``t`` (the paper's set ``B(t)``); sub-trees are
+  pruned as soon as their box probability falls to ``t`` or below, which is
+  sound because a box's probability upper-bounds every descendant's.
+* :func:`statistical_blocks` — the statistical query of expectation α:
+  searches the largest ``t_max`` with ``P_sup(t_max) >= α`` (eq. (4)) by a
+  bracketing iteration in the spirit of the paper's "method inspired by
+  Newton-Raphson", then returns ``B(t_max)``.
+* :func:`best_first_blocks` — the *exact* minimal set ``B^min_α``: blocks
+  emitted in non-increasing probability until the cumulative mass reaches
+  α.  Costlier (priority queue, scalar); used as the optimality reference
+  in the ablation benchmarks.
+
+For the ε-range baseline, :func:`range_blocks` runs the same descent with
+the probabilistic rule replaced by the geometric one (keep blocks whose
+minimal distance to ``Q`` is at most ε) — the classical filtering the paper
+compares against.
+
+The descent is level-synchronous and numpy-vectorised: the frontier of
+surviving nodes is held in flat arrays (Hamilton state, box bounds,
+per-dimension CDF values) and both children of every node are produced by
+one batched step.  The geometry matches
+:class:`repro.hilbert.partition.PartitionNode` bit for bit (cross-checked in
+the tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distortion.model import IndependentDistortionModel
+from ..errors import ConfigurationError
+from ..hilbert.butz import HilbertCurve
+from ..hilbert.partition import PartitionNode
+from ..hilbert.vectorized import update_state_batch
+
+_U64 = np.uint64
+
+
+@dataclass
+class BlockSelection:
+    """Outcome of a filtering step.
+
+    Attributes
+    ----------
+    prefixes:
+        ``uint64`` curve prefixes of the selected depth-``p`` blocks, sorted
+        in curve order.
+    probabilities:
+        Probability mass of each selected block under the distortion model
+        (zeros for geometric range filtering).
+    depth:
+        The partition depth ``p`` the selection was computed at.
+    threshold:
+        Final probability threshold ``t`` (``nan`` for geometric filtering).
+    total_probability:
+        ``P_sup(t)`` — the cumulative mass of the selection.
+    nodes_visited:
+        Number of tree nodes expanded across all descents (filtering cost).
+    descents:
+        Number of full tree descents performed (1 unless the threshold had
+        to be searched).
+    """
+
+    prefixes: np.ndarray
+    probabilities: np.ndarray
+    depth: int
+    threshold: float
+    total_probability: float
+    nodes_visited: int
+    descents: int = 1
+
+    def __len__(self) -> int:
+        return int(self.prefixes.size)
+
+
+@dataclass
+class _Frontier:
+    """Mutable node-array state of one vectorised descent."""
+
+    entry: np.ndarray
+    direction: np.ndarray
+    partial_w: np.ndarray
+    prefix: np.ndarray
+    lo: np.ndarray
+    hi: np.ndarray
+    extra: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def _root_frontier(curve: HilbertCurve) -> _Frontier:
+    n = curve.ndims
+    return _Frontier(
+        entry=np.zeros(1, dtype=_U64),
+        direction=np.zeros(1, dtype=_U64),
+        partial_w=np.zeros(1, dtype=_U64),
+        prefix=np.zeros(1, dtype=_U64),
+        lo=np.zeros((1, n), dtype=np.float64),
+        hi=np.full((1, n), float(curve.side), dtype=np.float64),
+    )
+
+
+def _split_geometry(
+    fr: _Frontier, curve: HilbertCurve, depth: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(dims, mid, value_child0, rows)`` for the next split.
+
+    Mirrors :meth:`PartitionNode.split_info` on the whole frontier: *dims*
+    is the dimension each node splits, *mid* the split coordinate and
+    *value_child0* whether curve-child 0 takes the lower (0) or upper (1)
+    half.
+    """
+    n = curve.ndims
+    q = depth % n
+    dims = ((_U64(n - q) + fr.direction) % _U64(n)).astype(np.int64)
+    rows = np.arange(dims.size)
+    mid = 0.5 * (fr.lo[rows, dims] + fr.hi[rows, dims])
+    if q > 0:
+        prev_w_bit = fr.partial_w & _U64(1)
+    else:
+        prev_w_bit = np.zeros(dims.size, dtype=_U64)
+    e_bit = (fr.entry >> dims.astype(_U64)) & _U64(1)
+    value_child0 = (prev_w_bit ^ e_bit).astype(np.int64)
+    return dims, mid, value_child0, rows
+
+
+def _advance(
+    fr: _Frontier,
+    curve: HilbertCurve,
+    depth: int,
+    dims: np.ndarray,
+    mid: np.ndarray,
+    value_child0: np.ndarray,
+    keep0: np.ndarray,
+    keep1: np.ndarray,
+) -> _Frontier:
+    """Materialise the surviving children of the frontier.
+
+    ``keep0`` / ``keep1`` select which lower-half / upper-half children
+    survive pruning.  Returns the next frontier (curve order is *not*
+    preserved here; selections are sorted at the end).
+    """
+    n = curve.ndims
+    q = depth % n
+
+    parts = []
+    for value, keep in ((0, keep0), (1, keep1)):
+        idx = np.nonzero(keep)[0]
+        if idx.size == 0:
+            continue
+        b = (np.int64(value) ^ value_child0[idx]).astype(_U64)
+        lo = fr.lo[idx].copy()
+        hi = fr.hi[idx].copy()
+        if value == 0:
+            hi[np.arange(idx.size), dims[idx]] = mid[idx]
+        else:
+            lo[np.arange(idx.size), dims[idx]] = mid[idx]
+        part = _Frontier(
+            entry=fr.entry[idx],
+            direction=fr.direction[idx],
+            partial_w=(fr.partial_w[idx] << _U64(1)) | b,
+            prefix=(fr.prefix[idx] << _U64(1)) | b,
+            lo=lo,
+            hi=hi,
+            extra={k: v[idx] for k, v in fr.extra.items()},
+        )
+        parts.append((value, idx, part))
+
+    if not parts:
+        out = _Frontier(
+            entry=np.empty(0, dtype=_U64),
+            direction=np.empty(0, dtype=_U64),
+            partial_w=np.empty(0, dtype=_U64),
+            prefix=np.empty(0, dtype=_U64),
+            lo=np.empty((0, n)),
+            hi=np.empty((0, n)),
+            extra={k: v[:0] for k, v in fr.extra.items()},
+        )
+    else:
+        out = _Frontier(
+            entry=np.concatenate([p.entry for _, _, p in parts]),
+            direction=np.concatenate([p.direction for _, _, p in parts]),
+            partial_w=np.concatenate([p.partial_w for _, _, p in parts]),
+            prefix=np.concatenate([p.prefix for _, _, p in parts]),
+            lo=np.concatenate([p.lo for _, _, p in parts]),
+            hi=np.concatenate([p.hi for _, _, p in parts]),
+            extra={
+                k: np.concatenate([p.extra[k] for _, _, p in parts])
+                for k in fr.extra
+            },
+        )
+
+    if q + 1 == n and out.prefix.size:
+        out.entry, out.direction = update_state_batch(
+            out.entry, out.direction, out.partial_w, n
+        )
+        out.partial_w = np.zeros_like(out.partial_w)
+    return out
+
+
+def select_blocks_threshold(
+    query: np.ndarray,
+    model: IndependentDistortionModel,
+    curve: HilbertCurve,
+    depth: int,
+    threshold: float,
+) -> BlockSelection:
+    """Return the paper's ``B(t)``: depth-``p`` blocks with probability > t.
+
+    One vectorised descent; a sub-tree is pruned as soon as its box
+    probability drops to *threshold* or below.
+    """
+    query = _check_query(query, curve)
+    if not 0.0 < threshold < 1.0:
+        raise ConfigurationError(f"threshold must be in (0, 1), got {threshold}")
+    _check_depth(depth, curve)
+
+    n = curve.ndims
+    fr = _root_frontier(curve)
+    dims_all = np.arange(n)
+    philo = model.cdf_multi(
+        np.broadcast_to(dims_all, (1, n)), fr.lo - query[None, :]
+    )
+    phihi = model.cdf_multi(
+        np.broadcast_to(dims_all, (1, n)), fr.hi - query[None, :]
+    )
+    fr.extra["philo"] = philo
+    fr.extra["phihi"] = phihi
+    fr.extra["prob"] = np.prod(phihi - philo, axis=1)
+
+    nodes = 0
+    for d in range(depth):
+        m = fr.prefix.size
+        if m == 0:
+            break
+        nodes += m
+        dims, mid, v0, rows = _split_geometry(fr, curve, d)
+        phimid = model.cdf_multi(dims, mid - query[dims])
+        philo_j = fr.extra["philo"][rows, dims]
+        phihi_j = fr.extra["phihi"][rows, dims]
+        old = phihi_j - philo_j
+        prob = fr.extra["prob"]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            prob_low = np.where(old > 0, prob * (phimid - philo_j) / old, 0.0)
+            prob_high = np.where(old > 0, prob * (phihi_j - phimid) / old, 0.0)
+        keep0 = prob_low > threshold
+        keep1 = prob_high > threshold
+
+        # Stash child CDF values before _advance copies rows around.
+        child_prob = {0: prob_low, 1: prob_high}
+        nxt = _advance(fr, curve, d, dims, mid, v0, keep0, keep1)
+        # Rebuild the per-child extras in the same concatenation order.
+        extras_prob = []
+        extras_philo = []
+        extras_phihi = []
+        for value, keep in ((0, keep0), (1, keep1)):
+            idx = np.nonzero(keep)[0]
+            if idx.size == 0:
+                continue
+            pl = fr.extra["philo"][idx].copy()
+            ph = fr.extra["phihi"][idx].copy()
+            if value == 0:
+                ph[np.arange(idx.size), dims[idx]] = phimid[idx]
+            else:
+                pl[np.arange(idx.size), dims[idx]] = phimid[idx]
+            extras_philo.append(pl)
+            extras_phihi.append(ph)
+            extras_prob.append(child_prob[value][idx])
+        if extras_prob:
+            nxt.extra["philo"] = np.concatenate(extras_philo)
+            nxt.extra["phihi"] = np.concatenate(extras_phihi)
+            nxt.extra["prob"] = np.concatenate(extras_prob)
+        else:
+            nxt.extra["philo"] = np.empty((0, n))
+            nxt.extra["phihi"] = np.empty((0, n))
+            nxt.extra["prob"] = np.empty(0)
+        fr = nxt
+
+    order = np.argsort(fr.prefix, kind="stable")
+    probs = fr.extra.get("prob", np.empty(0))[order]
+    return BlockSelection(
+        prefixes=fr.prefix[order],
+        probabilities=probs,
+        depth=depth,
+        threshold=threshold,
+        total_probability=float(probs.sum()),
+        nodes_visited=nodes,
+    )
+
+
+def statistical_blocks(
+    query: np.ndarray,
+    model: IndependentDistortionModel,
+    curve: HilbertCurve,
+    depth: int,
+    alpha: float,
+    initial_threshold: float | None = None,
+    shrink: float = 0.25,
+    refine_steps: int = 1,
+    grow_steps: int = 2,
+    max_descents: int = 40,
+) -> BlockSelection:
+    """Compute the statistical query block set of expectation *alpha*.
+
+    Searches ``t_max`` of eq. (4): the largest threshold whose block set
+    ``B(t)`` still carries probability mass at least *alpha*.  ``P_sup(t)``
+    is monotone non-increasing in ``t``, so the search first shrinks ``t``
+    geometrically (factor *shrink*) from *initial_threshold* until
+    ``P_sup >= alpha``; if the very first probe succeeds with no failure
+    bracket it instead *grows* ``t`` up to *grow_steps* times (so an
+    over-generous start does not inflate the block set), and finally
+    bisects *refine_steps* times inside whatever bracket exists to push
+    ``t`` back up (fewer, higher-probability blocks).  Every probe is one
+    full descent; probes are counted in ``descents`` / ``nodes_visited``.
+
+    The expectation is conditioned on the referenced fingerprint lying in
+    the byte grid: the distortion model leaks mass outside ``[0, 2^K)^D``
+    where no fingerprint can exist, so the effective target is
+    ``alpha * P(Q + ΔS ∈ grid)``.  Without this conditioning, queries near
+    the grid boundary could make eq. (4) infeasible and degenerate into a
+    full scan.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+    if not 0.0 < shrink < 1.0:
+        raise ConfigurationError(f"shrink must be in (0, 1), got {shrink}")
+    query = _check_query(query, curve)
+    alpha_target = alpha * grid_probability(query, model, curve)
+    t = initial_threshold if initial_threshold is not None else (1.0 - alpha) / 4.0
+    t = min(max(t, 1e-12), 1.0 - 1e-12)
+
+    nodes = 0
+    descents = 0
+    t_fail = None  # smallest t observed with P_sup < alpha_target
+    best: BlockSelection | None = None
+    while descents < max_descents:
+        sel = select_blocks_threshold(query, model, curve, depth, t)
+        descents += 1
+        nodes += sel.nodes_visited
+        if sel.total_probability >= alpha_target:
+            best = sel
+            break
+        t_fail = t
+        t *= shrink
+        if t < 1e-12:
+            best = sel  # cannot go lower; accept the closest achievable set
+            break
+    if best is None:  # pragma: no cover - max_descents is generous
+        best = sel
+
+    # A cold start can succeed immediately, leaving no failure bracket; try
+    # growing t so an over-generous initial threshold does not inflate the
+    # block set (larger t => fewer blocks).  Warm-started callers manage
+    # this drift themselves and pass grow_steps=0.
+    grow = 0
+    while (
+        t_fail is None
+        and best.total_probability >= alpha_target
+        and grow < grow_steps
+        and descents < max_descents
+        and best.threshold * 4.0 < 1.0
+    ):
+        t_up = best.threshold * 4.0
+        sel = select_blocks_threshold(query, model, curve, depth, t_up)
+        descents += 1
+        nodes += sel.nodes_visited
+        grow += 1
+        if sel.total_probability >= alpha_target:
+            best = sel
+        else:
+            t_fail = t_up
+
+    if best.total_probability >= alpha_target and t_fail is not None:
+        t_ok = best.threshold
+        for _ in range(refine_steps):
+            t_mid = 0.5 * (t_ok + t_fail)
+            sel = select_blocks_threshold(query, model, curve, depth, t_mid)
+            descents += 1
+            nodes += sel.nodes_visited
+            if sel.total_probability >= alpha_target:
+                best = sel
+                t_ok = t_mid
+            else:
+                t_fail = t_mid
+
+    return BlockSelection(
+        prefixes=best.prefixes,
+        probabilities=best.probabilities,
+        depth=depth,
+        threshold=best.threshold,
+        total_probability=best.total_probability,
+        nodes_visited=nodes,
+        descents=descents,
+    )
+
+
+def best_first_blocks(
+    query: np.ndarray,
+    model: IndependentDistortionModel,
+    curve: HilbertCurve,
+    depth: int,
+    alpha: float,
+    max_blocks: int = 1_000_000,
+) -> BlockSelection:
+    """Return the exact minimal block set ``B^min_α`` (ablation reference).
+
+    Best-first expansion of the partition tree on box probability: leaves
+    (depth-``p`` blocks) pop off the priority queue in non-increasing
+    probability, so stopping when the cumulative mass reaches *alpha* yields
+    the minimum-cardinality solution of eq. (3).  Like
+    :func:`statistical_blocks`, the expectation is conditioned on the grid.
+    """
+    query = _check_query(query, curve)
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+    _check_depth(depth, curve)
+
+    root = PartitionNode.root(curve)
+    prob_root = model.box_probability(np.array(root.lo), np.array(root.hi), query)
+    alpha_target = alpha * prob_root
+    counter = 0
+    heap = [(-prob_root, counter, root)]
+    selected: list[tuple[int, float]] = []
+    total = 0.0
+    nodes = 0
+    while heap and total < alpha_target and len(selected) < max_blocks:
+        neg_prob, _, node = heapq.heappop(heap)
+        prob = -neg_prob
+        if prob <= 0.0:
+            break
+        if node.depth == depth:
+            selected.append((node.prefix, prob))
+            total += prob
+            continue
+        nodes += 1
+        for child in node.children():
+            child_prob = model.box_probability(
+                np.array(child.lo, dtype=np.float64),
+                np.array(child.hi, dtype=np.float64),
+                query,
+            )
+            if child_prob > 0.0:
+                counter += 1
+                heapq.heappush(heap, (-child_prob, counter, child))
+
+    selected.sort()
+    prefixes = np.array([p for p, _ in selected], dtype=_U64)
+    probs = np.array([pr for _, pr in selected], dtype=np.float64)
+    return BlockSelection(
+        prefixes=prefixes,
+        probabilities=probs,
+        depth=depth,
+        threshold=float(probs.min()) if probs.size else float("nan"),
+        total_probability=float(probs.sum()),
+        nodes_visited=nodes,
+    )
+
+
+def range_blocks(
+    query: np.ndarray,
+    epsilon: float,
+    curve: HilbertCurve,
+    depth: int,
+) -> BlockSelection:
+    """Geometric filtering for an ε-range query (the classical baseline).
+
+    Keeps every depth-``p`` block whose minimal L2 distance to *query* is at
+    most *epsilon* — i.e. every block the query hyper-sphere intersects.
+    """
+    query = _check_query(query, curve)
+    if epsilon < 0:
+        raise ConfigurationError(f"epsilon must be >= 0, got {epsilon}")
+    _check_depth(depth, curve)
+
+    n = curve.ndims
+    fr = _root_frontier(curve)
+    gap = np.maximum(fr.lo - query[None, :], 0.0) ** 2 + np.maximum(
+        query[None, :] - fr.hi, 0.0
+    ) ** 2
+    fr.extra["contrib"] = gap
+    fr.extra["sumsq"] = gap.sum(axis=1)
+    eps_sq = float(epsilon) ** 2
+
+    nodes = 0
+    for d in range(depth):
+        m = fr.prefix.size
+        if m == 0:
+            break
+        nodes += m
+        dims, mid, v0, rows = _split_geometry(fr, curve, d)
+        qj = query[dims]
+        contrib_old = fr.extra["contrib"][rows, dims]
+        sumsq = fr.extra["sumsq"]
+        # Lower child: box [lo, mid); upper child: box [mid, hi).
+        contrib_low = np.maximum(qj - mid, 0.0) ** 2 + np.maximum(
+            fr.lo[rows, dims] - qj, 0.0
+        ) ** 2
+        contrib_high = np.maximum(mid - qj, 0.0) ** 2 + np.maximum(
+            qj - fr.hi[rows, dims], 0.0
+        ) ** 2
+        sumsq_low = sumsq - contrib_old + contrib_low
+        sumsq_high = sumsq - contrib_old + contrib_high
+        keep0 = sumsq_low <= eps_sq
+        keep1 = sumsq_high <= eps_sq
+
+        child_sumsq = {0: sumsq_low, 1: sumsq_high}
+        child_contrib = {0: contrib_low, 1: contrib_high}
+        nxt = _advance(fr, curve, d, dims, mid, v0, keep0, keep1)
+        sq_parts = []
+        contrib_parts = []
+        for value, keep in ((0, keep0), (1, keep1)):
+            idx = np.nonzero(keep)[0]
+            if idx.size == 0:
+                continue
+            c = fr.extra["contrib"][idx].copy()
+            c[np.arange(idx.size), dims[idx]] = child_contrib[value][idx]
+            contrib_parts.append(c)
+            sq_parts.append(child_sumsq[value][idx])
+        if sq_parts:
+            nxt.extra["sumsq"] = np.concatenate(sq_parts)
+            nxt.extra["contrib"] = np.concatenate(contrib_parts)
+        else:
+            nxt.extra["sumsq"] = np.empty(0)
+            nxt.extra["contrib"] = np.empty((0, n))
+        fr = nxt
+
+    order = np.argsort(fr.prefix, kind="stable")
+    return BlockSelection(
+        prefixes=fr.prefix[order],
+        probabilities=np.zeros(fr.prefix.size),
+        depth=depth,
+        threshold=float("nan"),
+        total_probability=float("nan"),
+        nodes_visited=nodes,
+    )
+
+
+def window_blocks(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    curve: HilbertCurve,
+    depth: int,
+) -> BlockSelection:
+    """Geometric filtering for a hyper-rectangular window query.
+
+    The paper contrasts its structure with Lawder's, for which "only
+    hyper-rectangular range queries are computable"; this selector provides
+    that classical window query on our structure too: every depth-``p``
+    block intersecting the half-open box ``[lo, hi)`` is kept.
+    """
+    lo = np.asarray(lo, dtype=np.float64).ravel()
+    hi = np.asarray(hi, dtype=np.float64).ravel()
+    if lo.size != curve.ndims or hi.size != curve.ndims:
+        raise ConfigurationError(
+            f"window bounds must have {curve.ndims} components"
+        )
+    if np.any(lo > hi):
+        raise ConfigurationError("window must satisfy lo <= hi per dimension")
+    _check_depth(depth, curve)
+    if np.any(lo == hi):
+        # Half-open window with an empty side contains nothing.
+        return BlockSelection(
+            prefixes=np.empty(0, dtype=_U64),
+            probabilities=np.empty(0),
+            depth=depth,
+            threshold=float("nan"),
+            total_probability=float("nan"),
+            nodes_visited=0,
+        )
+
+    n = curve.ndims
+    fr = _root_frontier(curve)
+    nodes = 0
+    for d in range(depth):
+        m = fr.prefix.size
+        if m == 0:
+            break
+        nodes += m
+        dims, mid, v0, rows = _split_geometry(fr, curve, d)
+        # Child intersects the window iff its interval on the split
+        # dimension overlaps [lo_j, hi_j); other dimensions are unchanged.
+        keep0 = (fr.lo[rows, dims] < hi[dims]) & (mid > lo[dims])
+        keep1 = (mid < hi[dims]) & (fr.hi[rows, dims] > lo[dims])
+        fr = _advance(fr, curve, d, dims, mid, v0, keep0, keep1)
+
+    order = np.argsort(fr.prefix, kind="stable")
+    return BlockSelection(
+        prefixes=fr.prefix[order],
+        probabilities=np.zeros(fr.prefix.size),
+        depth=depth,
+        threshold=float("nan"),
+        total_probability=float("nan"),
+        nodes_visited=nodes,
+    )
+
+
+def statistical_blocks_cached(
+    query: np.ndarray,
+    model: IndependentDistortionModel,
+    curve: HilbertCurve,
+    depth: int,
+    alpha: float,
+    cache: dict[tuple[float, int], float],
+) -> BlockSelection:
+    """:func:`statistical_blocks` with a self-regulating warm-start cache.
+
+    Queries of one workload share ``(alpha, depth)``, so the previous
+    query's ``t_max`` (ratcheted up by 1.5×) is an excellent first probe:
+    successes push the cached threshold toward minimal block sets while
+    failures fall back through the shrink loop.  Typically saves 2–4
+    descents per query.  Both :class:`~repro.index.s3.S3Index` and the
+    pseudo-disk searcher route through here, so equal cache histories give
+    bit-identical selections.
+    """
+    cache_key = (round(alpha, 6), depth)
+    warm = cache.get(cache_key)
+    selection = statistical_blocks(
+        query,
+        model,
+        curve,
+        depth,
+        alpha,
+        initial_threshold=None if warm is None else warm * 1.5,
+        grow_steps=0 if warm is not None else 2,
+    )
+    if np.isfinite(selection.threshold) and selection.threshold > 0:
+        cache[cache_key] = selection.threshold
+    return selection
+
+
+# ----------------------------------------------------------------------
+def grid_probability(
+    query: np.ndarray,
+    model: IndependentDistortionModel,
+    curve: HilbertCurve,
+) -> float:
+    """Return ``P(Q + ΔS ∈ [0, 2^K)^D)`` — the in-grid distortion mass."""
+    query = _check_query(query, curve)
+    lo = np.zeros(curve.ndims)
+    hi = np.full(curve.ndims, float(curve.side))
+    return model.box_probability(lo, hi, query)
+
+
+def _check_query(query: np.ndarray, curve: HilbertCurve) -> np.ndarray:
+    query = np.asarray(query, dtype=np.float64).ravel()
+    if query.size != curve.ndims:
+        raise ConfigurationError(
+            f"query has {query.size} components, curve expects {curve.ndims}"
+        )
+    return query
+
+
+def _check_depth(depth: int, curve: HilbertCurve) -> None:
+    if not 1 <= depth <= curve.total_bits:
+        raise ConfigurationError(
+            f"depth must be in [1, {curve.total_bits}], got {depth}"
+        )
+    if depth > 64:
+        raise ConfigurationError(
+            f"depth {depth} exceeds 64 bits; block prefixes are uint64"
+        )

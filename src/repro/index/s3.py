@@ -1,0 +1,376 @@
+"""The S³ index: statistical similarity search over local fingerprints.
+
+This is the paper's contribution (§IV) assembled: a static index that
+
+1. physically orders the fingerprint database along a Hilbert curve
+   (:class:`~repro.index.table.HilbertLayout`),
+2. answers **statistical queries** of expectation α — probabilistic
+   filtering of the p-block partition under a distortion model, then a
+   sequential refinement scan of the selected curve sections — and
+3. answers classical **ε-range queries** on the same structure (geometric
+   block filtering + exact distance refinement), the baseline of §V-A.
+
+The index is *static*, like the paper's: build once from a
+:class:`~repro.index.store.FingerprintStore`, no dynamic inserts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..distortion.model import IndependentDistortionModel, NormalDistortionModel
+from ..errors import ConfigurationError, IndexError_
+from .filtering import (
+    BlockSelection,
+    best_first_blocks,
+    range_blocks,
+    statistical_blocks,
+    statistical_blocks_cached,
+    window_blocks,
+)
+from .store import FingerprintStore, PathLike
+from .table import HilbertLayout
+
+
+@dataclass
+class QueryStats:
+    """Cost breakdown of one query (the paper's T = T_f + T_r)."""
+
+    blocks_selected: int = 0
+    sections_scanned: int = 0
+    rows_scanned: int = 0
+    results: int = 0
+    nodes_visited: int = 0
+    descents: int = 0
+    filter_seconds: float = 0.0
+    refine_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total response time ``T(p) = T_f(p) + T_r(p)``."""
+        return self.filter_seconds + self.refine_seconds
+
+
+@dataclass
+class SearchResult:
+    """Result of a similarity query against an :class:`S3Index`.
+
+    ``rows`` indexes into the index's (curve-sorted) store; ``ids`` /
+    ``timecodes`` / ``fingerprints`` are the matching columns, which is all
+    the CBCD voting strategy consumes.
+    """
+
+    rows: np.ndarray
+    ids: np.ndarray
+    timecodes: np.ndarray
+    fingerprints: np.ndarray
+    distances: Optional[np.ndarray] = None
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return int(self.rows.size)
+
+
+class S3Index:
+    """Static Hilbert-curve index with statistical and ε-range queries.
+
+    Parameters
+    ----------
+    store:
+        The fingerprint database.  It is re-ordered along the curve at
+        build time; the index keeps its own sorted copy.
+    order:
+        Bits per fingerprint component (8 for byte fingerprints).
+    key_levels:
+        Curve levels resolved by the sort keys; partition depths up to
+        ``key_levels * D`` are supported (2 levels = 40 bits for D = 20).
+    depth:
+        Default partition depth ``p``.  ``None`` picks the heuristic
+        ``log2(N)`` (about one fingerprint per block), which
+        :func:`repro.index.tuning.tune_depth` can refine — the paper learns
+        ``p_min`` "at the start of the retrieval stage".
+    model:
+        Default distortion model for statistical queries (a
+        :class:`~repro.distortion.model.NormalDistortionModel` with the
+        calibrated severity σ).  Can be overridden per query.
+    """
+
+    def __init__(
+        self,
+        store: FingerprintStore,
+        order: int = 8,
+        key_levels: int = 2,
+        depth: Optional[int] = None,
+        model: Optional[IndependentDistortionModel] = None,
+    ):
+        if len(store) == 0:
+            raise IndexError_("cannot index an empty store")
+        layout = HilbertLayout.build(store.fingerprints, order, key_levels)
+        self.layout = layout
+        self.store = store.take(layout.permutation)
+        self.order = order
+        self.key_levels = key_levels
+        if depth is None:
+            depth = int(np.ceil(np.log2(max(len(store), 2))))
+            depth = min(max(depth, 1), layout.max_depth)
+        self._check_depth(depth)
+        self.depth = depth
+        self.model = model
+        # Warm-start cache for the threshold search of eq. (4): queries of
+        # one workload share (alpha, depth), so the previous query's t_max
+        # is an excellent first probe and typically saves 2-4 descents.
+        self._threshold_cache: dict[tuple[float, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def reset_threshold_cache(self) -> None:
+        """Forget warm-start thresholds (restores run-to-run determinism).
+
+        The cache makes successive statistical queries history-dependent
+        (all selections still honour the expectation α).  Callers that need
+        identical results for identical inputs — e.g. the detector, once
+        per candidate clip — reset it at the start of a run.
+        """
+        self._threshold_cache.clear()
+
+    @property
+    def curve(self):
+        """The underlying :class:`~repro.hilbert.butz.HilbertCurve`."""
+        return self.layout.curve
+
+    @property
+    def ndims(self) -> int:
+        return self.store.ndims
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def _check_depth(self, depth: int) -> None:
+        if not 1 <= depth <= self.layout.max_depth:
+            raise ConfigurationError(
+                f"depth must be in [1, {self.layout.max_depth}], got {depth}"
+            )
+
+    def _resolve_model(
+        self, model: Optional[IndependentDistortionModel]
+    ) -> IndependentDistortionModel:
+        resolved = model if model is not None else self.model
+        if resolved is None:
+            raise ConfigurationError(
+                "no distortion model: pass `model=` or set a default on the index"
+            )
+        if resolved.ndims != self.ndims:
+            raise ConfigurationError(
+                f"model dimension {resolved.ndims} != index dimension {self.ndims}"
+            )
+        return resolved
+
+    # ------------------------------------------------------------------
+    def statistical_query(
+        self,
+        query: np.ndarray,
+        alpha: float,
+        model: Optional[IndependentDistortionModel] = None,
+        depth: Optional[int] = None,
+        exact_blocks: bool = False,
+    ) -> SearchResult:
+        """Answer a statistical query of expectation *alpha* (paper §II).
+
+        Returns **every fingerprint stored in the selected blocks**: the
+        region ``V_α`` is exactly the union of the chosen p-blocks, so the
+        refinement step is a pure scan with no distance test — that is the
+        point of the paradigm (no intrinsic shape constraint).
+
+        With ``exact_blocks=True`` the minimal set ``B^min_α`` is computed
+        by best-first search instead of the threshold iteration (slower
+        filtering, minimal refinement — the ablation of §IV-A).
+        """
+        resolved = self._resolve_model(model)
+        depth = self.depth if depth is None else depth
+        self._check_depth(depth)
+
+        t0 = time.perf_counter()
+        if exact_blocks:
+            selection = best_first_blocks(query, resolved, self.curve, depth, alpha)
+        else:
+            selection = statistical_blocks_cached(
+                query, resolved, self.curve, depth, alpha,
+                cache=self._threshold_cache,
+            )
+        t1 = time.perf_counter()
+        result = self._scan_blocks(selection)
+        result.stats.filter_seconds = t1 - t0
+        result.stats.nodes_visited = selection.nodes_visited
+        result.stats.descents = selection.descents
+        return result
+
+    def range_query(
+        self,
+        query: np.ndarray,
+        epsilon: float,
+        depth: Optional[int] = None,
+    ) -> SearchResult:
+        """Answer a classical spherical ε-range query (baseline of §V-A).
+
+        Geometric filtering (blocks the sphere intersects) followed by an
+        exact distance test during refinement.
+        """
+        depth = self.depth if depth is None else depth
+        self._check_depth(depth)
+
+        t0 = time.perf_counter()
+        selection = range_blocks(query, epsilon, self.curve, depth)
+        t1 = time.perf_counter()
+        result = self._scan_blocks(selection)
+        # Exact refinement: keep rows within epsilon.
+        t2 = time.perf_counter()
+        if len(result):
+            q = np.asarray(query, dtype=np.float64)
+            diffs = result.fingerprints.astype(np.float64) - q
+            dist_sq = np.einsum("ij,ij->i", diffs, diffs)
+            keep = dist_sq <= float(epsilon) ** 2
+            result = SearchResult(
+                rows=result.rows[keep],
+                ids=result.ids[keep],
+                timecodes=result.timecodes[keep],
+                fingerprints=result.fingerprints[keep],
+                distances=np.sqrt(dist_sq[keep]),
+                stats=result.stats,
+            )
+        t3 = time.perf_counter()
+        result.stats.filter_seconds = t1 - t0
+        result.stats.refine_seconds += t3 - t2
+        result.stats.results = len(result)
+        result.stats.nodes_visited = selection.nodes_visited
+        result.stats.descents = selection.descents
+        return result
+
+    def window_query(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        depth: Optional[int] = None,
+    ) -> SearchResult:
+        """Answer a hyper-rectangular window query ``[lo, hi)``.
+
+        The classical query type of Lawder's Hilbert indexing (paper §IV):
+        geometric block filtering followed by exact membership refinement.
+        """
+        depth = self.depth if depth is None else depth
+        self._check_depth(depth)
+
+        t0 = time.perf_counter()
+        selection = window_blocks(lo, hi, self.curve, depth)
+        t1 = time.perf_counter()
+        result = self._scan_blocks(selection)
+        t2 = time.perf_counter()
+        if len(result):
+            lo_arr = np.asarray(lo, dtype=np.float64)
+            hi_arr = np.asarray(hi, dtype=np.float64)
+            fp = result.fingerprints.astype(np.float64)
+            keep = np.all((fp >= lo_arr) & (fp < hi_arr), axis=1)
+            result = SearchResult(
+                rows=result.rows[keep],
+                ids=result.ids[keep],
+                timecodes=result.timecodes[keep],
+                fingerprints=result.fingerprints[keep],
+                stats=result.stats,
+            )
+        t3 = time.perf_counter()
+        result.stats.filter_seconds = t1 - t0
+        result.stats.refine_seconds += t3 - t2
+        result.stats.results = len(result)
+        result.stats.nodes_visited = selection.nodes_visited
+        result.stats.descents = selection.descents
+        return result
+
+    # ------------------------------------------------------------------
+    def block_selection(
+        self,
+        query: np.ndarray,
+        alpha: float,
+        model: Optional[IndependentDistortionModel] = None,
+        depth: Optional[int] = None,
+    ) -> BlockSelection:
+        """Run only the statistical filtering step (used by pseudo-disk)."""
+        resolved = self._resolve_model(model)
+        depth = self.depth if depth is None else depth
+        self._check_depth(depth)
+        return statistical_blocks(query, resolved, self.curve, depth, alpha)
+
+    def row_ranges(self, selection: BlockSelection) -> list[tuple[int, int]]:
+        """Merged row ranges ("curve sections") covering *selection*."""
+        return self.layout.block_row_ranges(selection.prefixes, selection.depth)
+
+    def _scan_blocks(self, selection: BlockSelection) -> SearchResult:
+        t0 = time.perf_counter()
+        ranges = self.row_ranges(selection)
+        rows = self.layout.gather_rows(ranges)
+        result = SearchResult(
+            rows=rows,
+            ids=self.store.ids[rows],
+            timecodes=self.store.timecodes[rows],
+            fingerprints=self.store.fingerprints[rows],
+        )
+        t1 = time.perf_counter()
+        result.stats.blocks_selected = len(selection)
+        result.stats.sections_scanned = len(ranges)
+        result.stats.rows_scanned = int(rows.size)
+        result.stats.results = len(result)
+        result.stats.refine_seconds = t1 - t0
+        return result
+
+    def extended(self, additions: FingerprintStore) -> "S3Index":
+        """Return a new index over this store plus *additions*.
+
+        The S³ structure is static (paper §IV) — "no dynamic insertion or
+        deletion are possible" — so growth happens by rebuild: concatenate
+        and re-sort.  Geometry, depth and model carry over.
+        """
+        merged = FingerprintStore.concatenate([self.store, additions])
+        return S3Index(
+            merged,
+            order=self.order,
+            key_levels=self.key_levels,
+            depth=self.depth,
+            model=self.model,
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, prefix: PathLike) -> None:
+        """Persist the index: ``<prefix>.store`` + ``<prefix>.meta.json``.
+
+        The store is saved in curve order; keys are recomputed on load
+        (deterministic), so no key file is needed.
+        """
+        prefix = Path(prefix)
+        self.store.save(prefix.with_suffix(".store"))
+        meta = {
+            "order": self.order,
+            "key_levels": self.key_levels,
+            "depth": self.depth,
+            "sigma": getattr(self.model, "sigma", None),
+        }
+        prefix.with_suffix(".meta.json").write_text(json.dumps(meta))
+
+    @classmethod
+    def load(cls, prefix: PathLike) -> "S3Index":
+        """Load an index saved by :meth:`save`."""
+        prefix = Path(prefix)
+        meta = json.loads(prefix.with_suffix(".meta.json").read_text())
+        store = FingerprintStore.load(prefix.with_suffix(".store"))
+        model = None
+        if meta.get("sigma") is not None:
+            model = NormalDistortionModel(store.ndims, meta["sigma"])
+        return cls(
+            store,
+            order=meta["order"],
+            key_levels=meta["key_levels"],
+            depth=meta["depth"],
+            model=model,
+        )

@@ -1,0 +1,173 @@
+"""Physical layout of the fingerprint database along the Hilbert curve.
+
+The S³ index stores the database *physically ordered by curve position*
+(paper §IV): once the filtering step has selected a set of p-blocks, each
+block is a contiguous row range, located with two binary searches in the
+sorted key column — the paper's "simple index table".  The Hilbert curve's
+clustering property keeps the number of distinct ranges ("curve sections")
+small, which is what bounds the memory-access dispersion of the refinement
+step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hilbert.butz import HilbertCurve
+from ..hilbert.vectorized import encode_batch
+
+
+@dataclass
+class HilbertLayout:
+    """Sorted-key layout of a fingerprint column along the Hilbert curve.
+
+    Attributes
+    ----------
+    curve:
+        The Hilbert curve the keys belong to.
+    key_levels:
+        Number of curve levels resolved by the keys; keys hold the top
+        ``key_levels * D`` bits of the curve position.
+    keys:
+        ``(N,)`` ``uint64`` sorted truncated curve keys.
+    permutation:
+        ``(N,)`` row permutation that sorted the original store
+        (``sorted_column = original_column[permutation]``).
+    """
+
+    curve: HilbertCurve
+    key_levels: int
+    keys: np.ndarray
+    permutation: np.ndarray
+
+    @property
+    def key_bits(self) -> int:
+        """Number of significant bits in each key."""
+        return self.key_levels * self.curve.ndims
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest partition the keys can resolve block ranges for."""
+        return self.key_bits
+
+    @classmethod
+    def build(
+        cls,
+        fingerprints: np.ndarray,
+        order: int = 8,
+        key_levels: int = 2,
+    ) -> "HilbertLayout":
+        """Compute keys for *fingerprints* and the sorting permutation.
+
+        *fingerprints* is the ``(N, D)`` byte array of an (unsorted) store;
+        the caller reorders its columns with :attr:`permutation`.
+        """
+        fingerprints = np.asarray(fingerprints)
+        if fingerprints.ndim != 2:
+            raise ConfigurationError(
+                f"fingerprints must be 2-D, got shape {fingerprints.shape}"
+            )
+        curve = HilbertCurve(fingerprints.shape[1], order)
+        keys = encode_batch(fingerprints, order, key_levels)
+        permutation = np.argsort(keys, kind="stable")
+        return cls(
+            curve=curve,
+            key_levels=key_levels,
+            keys=keys[permutation],
+            permutation=permutation,
+        )
+
+    # ------------------------------------------------------------------
+    def block_key_interval(self, prefix: int, depth: int) -> tuple[int, int]:
+        """Return the half-open key interval of block *prefix* at *depth*."""
+        if depth > self.key_bits:
+            raise ConfigurationError(
+                f"depth {depth} exceeds key resolution {self.key_bits}"
+            )
+        shift = self.key_bits - depth
+        return int(prefix) << shift, (int(prefix) + 1) << shift
+
+    def block_row_ranges(
+        self, prefixes: np.ndarray, depth: int
+    ) -> list[tuple[int, int]]:
+        """Return merged contiguous row ranges covering the given blocks.
+
+        *prefixes* must be sorted in curve order (as produced by the
+        filtering step).  Blocks adjacent on the curve merge into a single
+        section — the Hilbert clustering property at work.
+        """
+        if depth > self.key_bits:
+            raise ConfigurationError(
+                f"depth {depth} exceeds key resolution {self.key_bits}"
+            )
+        if len(prefixes) == 0:
+            return []
+        prefixes = np.asarray(prefixes, dtype=np.uint64)
+        shift = np.uint64(self.key_bits - depth)
+        lo_keys = prefixes << shift
+        hi_keys = (prefixes + np.uint64(1)) << shift
+        # (prefix + 1) << shift overflows to 0 only for the very last block
+        # of the partition when key_bits == 64; keys never reach 2^64 - 1
+        # in that configuration because depth <= 64 is enforced upstream,
+        # so map the wrapped 0 to the maximum sentinel.
+        starts = np.searchsorted(self.keys, lo_keys, side="left")
+        ends = np.empty_like(starts)
+        wrapped = hi_keys == 0
+        ends[~wrapped] = np.searchsorted(self.keys, hi_keys[~wrapped], side="left")
+        ends[wrapped] = self.keys.size
+
+        ranges: list[tuple[int, int]] = []
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            if s >= e:
+                continue
+            if ranges and s <= ranges[-1][1]:
+                ranges[-1] = (ranges[-1][0], max(e, ranges[-1][1]))
+            else:
+                ranges.append((s, e))
+        return ranges
+
+    def gather_rows(self, ranges: list[tuple[int, int]]) -> np.ndarray:
+        """Return the row indices covered by *ranges*, in curve order."""
+        if not ranges:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            [np.arange(s, e, dtype=np.int64) for s, e in ranges]
+        )
+
+    # ------------------------------------------------------------------
+    def curve_sections(self, r: int) -> list[tuple[int, int]]:
+        """Split the curve into ``2^r`` regular sections (pseudo-disk, §IV-B).
+
+        Returns the row range of each section; sections can be empty.
+        """
+        if not 0 <= r <= self.key_bits:
+            raise ConfigurationError(
+                f"r must be in [0, {self.key_bits}], got {r}"
+            )
+        num = 1 << r
+        shift = self.key_bits - r
+        bounds = [np.uint64(i) << np.uint64(shift) for i in range(num)]
+        starts = np.searchsorted(self.keys, np.array(bounds, dtype=np.uint64))
+        starts = np.append(starts, self.keys.size)
+        return [(int(starts[i]), int(starts[i + 1])) for i in range(num)]
+
+    def section_split_for_memory(self, max_rows: int) -> int:
+        """Return the smallest ``r`` whose fullest section fits *max_rows*.
+
+        Paper §IV-B: "the Hilbert's curve is split in 2^r regular sections,
+        such that the most filled section fits in memory".
+        """
+        if max_rows < 1:
+            raise ConfigurationError(f"max_rows must be >= 1, got {max_rows}")
+        for r in range(0, self.key_bits + 1):
+            sections = self.curve_sections(r)
+            fullest = max(e - s for s, e in sections)
+            if fullest <= max_rows:
+                return r
+        raise ConfigurationError(
+            f"even single-key sections exceed max_rows={max_rows}; "
+            "duplicate keys outnumber the memory budget"
+        )

@@ -1,0 +1,97 @@
+"""Partition-depth tuning (paper §IV-A).
+
+The response time of a query decomposes as ``T(p) = T_f(p) + T_r(p)``: the
+filtering time grows with the partition depth ``p`` (more tree nodes, more
+block/row lookups) while the refinement time shrinks (smaller blocks, fewer
+irrelevant rows scanned).  ``T(p)`` generally has a single minimum
+``p_min``, which the paper learns "at the start of the retrieval stage" on
+sample queries.  :func:`tune_depth` does exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..distortion.model import IndependentDistortionModel
+from ..errors import ConfigurationError
+from .s3 import S3Index
+
+
+@dataclass(frozen=True)
+class DepthProfile:
+    """Measured cost profile of one candidate depth."""
+
+    depth: int
+    filter_seconds: float
+    refine_seconds: float
+    rows_scanned: float
+    blocks_selected: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Mean response time T(p) at this depth."""
+        return self.filter_seconds + self.refine_seconds
+
+
+def profile_depths(
+    index: S3Index,
+    queries: np.ndarray,
+    alpha: float,
+    depths: Sequence[int],
+    model: Optional[IndependentDistortionModel] = None,
+) -> list[DepthProfile]:
+    """Measure mean ``T_f`` / ``T_r`` per query for each candidate depth."""
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2:
+        raise ConfigurationError("queries must be a 2-D array (N, D)")
+    if queries.shape[0] == 0:
+        raise ConfigurationError("need at least one sample query")
+    profiles = []
+    for depth in depths:
+        filter_s = refine_s = rows = blocks = 0.0
+        for q in queries:
+            result = index.statistical_query(q, alpha, model=model, depth=depth)
+            filter_s += result.stats.filter_seconds
+            refine_s += result.stats.refine_seconds
+            rows += result.stats.rows_scanned
+            blocks += result.stats.blocks_selected
+        num = queries.shape[0]
+        profiles.append(
+            DepthProfile(
+                depth=depth,
+                filter_seconds=filter_s / num,
+                refine_seconds=refine_s / num,
+                rows_scanned=rows / num,
+                blocks_selected=blocks / num,
+            )
+        )
+    return profiles
+
+
+def tune_depth(
+    index: S3Index,
+    queries: np.ndarray,
+    alpha: float,
+    depths: Optional[Sequence[int]] = None,
+    model: Optional[IndependentDistortionModel] = None,
+    apply: bool = True,
+) -> tuple[int, list[DepthProfile]]:
+    """Learn ``p_min`` on sample queries and (optionally) apply it.
+
+    Returns the depth with the smallest measured mean response time and the
+    full profile list.  With ``apply=True`` (default) the index's default
+    depth is updated, mirroring the paper's start-of-retrieval learning
+    step.
+    """
+    if depths is None:
+        hi = index.layout.max_depth
+        lo = max(1, min(4, hi))
+        depths = sorted(set(range(lo, hi + 1, max(1, (hi - lo) // 8 or 1))))
+    profiles = profile_depths(index, queries, alpha, depths, model=model)
+    best = min(profiles, key=lambda prof: prof.total_seconds)
+    if apply:
+        index.depth = best.depth
+    return best.depth, profiles

@@ -1,0 +1,37 @@
+"""Deterministic random-number helpers.
+
+All stochastic code in the library accepts either an integer seed or a
+ready-made :class:`numpy.random.Generator`.  Funnelling the conversion
+through :func:`resolve_rng` keeps experiments reproducible and makes the
+"seed or generator" convention uniform across the package.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``None`` yields a fresh non-deterministic generator, an ``int`` a
+    seeded one, and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split *rng* into *n* independent child generators.
+
+    Children are derived through :class:`numpy.random.SeedSequence` spawning,
+    so consuming randomness from one never perturbs the others.  Useful when
+    an experiment wants per-trial determinism regardless of trial order.
+    """
+    seeds = rng.bit_generator.seed_seq.spawn(n)  # type: ignore[attr-defined]
+    return [np.random.default_rng(s) for s in seeds]

@@ -1,0 +1,39 @@
+"""Video substrate: procedural clips and the paper's five transformations.
+
+The procedural generator (:mod:`~repro.video.synthetic`) replaces the INA
+television archive of the paper (see DESIGN.md §2); the transformations
+(:mod:`~repro.video.transforms`) are the exact five of Fig. 4 — resize,
+vertical shift, gamma, contrast and Gaussian noise — each able to map
+interest-point positions for distortion-model calibration.
+"""
+
+from .synthetic import SceneConfig, VideoClip, generate_clip, generate_corpus
+from .transforms import (
+    Compose,
+    Contrast,
+    Gamma,
+    GaussianNoise,
+    Identity,
+    LogoInsertion,
+    Resize,
+    Transform,
+    VerticalShift,
+    jitter_points,
+)
+
+__all__ = [
+    "Compose",
+    "Contrast",
+    "Gamma",
+    "GaussianNoise",
+    "Identity",
+    "LogoInsertion",
+    "Resize",
+    "SceneConfig",
+    "Transform",
+    "VerticalShift",
+    "VideoClip",
+    "generate_clip",
+    "generate_corpus",
+    "jitter_points",
+]

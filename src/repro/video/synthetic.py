@@ -1,0 +1,209 @@
+"""Procedural grey-level video generation (substitute for the INA archive).
+
+The paper's reference material is 75,000 hours of MPEG-1 TV recordings.
+The search and voting layers never see pixels — only 20-byte fingerprints
+with identifiers and time-codes — so a procedural source that exercises the
+*same extraction path* (motion signal, Harris corners, differential
+descriptors) is a faithful substitute; see DESIGN.md §2.
+
+A clip is a sequence of *shots*.  Each shot has a static textured
+background (band-passed noise, which is rich in Harris corners), a slow
+global pan, and a few moving textured objects; shot boundaries produce the
+motion-intensity extrema the key-frame detector keys on, while the moving
+objects reproduce the paper's remark that background points recur across
+key-frames whereas moving-object points are unique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import ndimage
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, resolve_rng
+
+
+@dataclass
+class VideoClip:
+    """A grey-level video: ``frames`` is ``(T, H, W) uint8``."""
+
+    frames: np.ndarray
+    frame_rate: float = 25.0
+
+    def __post_init__(self) -> None:
+        frames = np.asarray(self.frames)
+        if frames.ndim != 3:
+            raise ConfigurationError(
+                f"frames must be (T, H, W), got shape {frames.shape}"
+            )
+        self.frames = np.ascontiguousarray(frames, dtype=np.uint8)
+
+    @property
+    def num_frames(self) -> int:
+        return int(self.frames.shape[0])
+
+    @property
+    def height(self) -> int:
+        return int(self.frames.shape[1])
+
+    @property
+    def width(self) -> int:
+        return int(self.frames.shape[2])
+
+    @property
+    def duration(self) -> float:
+        """Clip duration in seconds."""
+        return self.num_frames / self.frame_rate
+
+    def subclip(self, start: int, stop: int) -> "VideoClip":
+        """Return frames ``[start, stop)`` as a new clip."""
+        if not 0 <= start < stop <= self.num_frames:
+            raise ConfigurationError(
+                f"invalid subclip [{start}, {stop}) of {self.num_frames} frames"
+            )
+        return VideoClip(self.frames[start:stop].copy(), self.frame_rate)
+
+    def save(self, path) -> None:
+        """Write the frames as an ``.npy`` array (the CLI's exchange format)."""
+        np.save(path, self.frames)
+
+    @classmethod
+    def load(cls, path, frame_rate: float = 25.0) -> "VideoClip":
+        """Read a clip saved by :meth:`save` (or any ``(T, H, W)`` array)."""
+        return cls(np.load(path), frame_rate)
+
+
+@dataclass
+class SceneConfig:
+    """Knobs of the procedural generator."""
+
+    height: int = 72
+    width: int = 88
+    frames_per_shot_min: int = 20
+    frames_per_shot_max: int = 40
+    texture_smoothness: float = 3.0
+    texture_contrast: float = 70.0
+    num_objects_min: int = 1
+    num_objects_max: int = 3
+    object_size_min: int = 8
+    object_size_max: int = 18
+    max_object_speed: float = 2.0
+    max_pan_speed: float = 0.4
+    sensor_noise: float = 1.5
+    mean_level: float = 120.0
+
+
+@dataclass
+class _Shot:
+    background: np.ndarray
+    pan: tuple[float, float]
+    objects: list[dict] = field(default_factory=list)
+
+
+def _texture(shape: tuple[int, int], cfg: SceneConfig, rng: np.random.Generator) -> np.ndarray:
+    """Band-passed noise texture, rich in corners, centred on mean_level."""
+    raw = rng.normal(0.0, 1.0, shape)
+    smooth = ndimage.gaussian_filter(raw, cfg.texture_smoothness)
+    smooth -= smooth.mean()
+    std = smooth.std()
+    if std > 0:
+        smooth *= cfg.texture_contrast / (3.0 * std)
+    return cfg.mean_level + smooth
+
+
+def _make_shot(cfg: SceneConfig, rng: np.random.Generator) -> _Shot:
+    # Background larger than the frame so the pan never runs out of pixels.
+    margin = int(np.ceil(cfg.max_pan_speed * cfg.frames_per_shot_max)) + 2
+    bg = _texture((cfg.height + 2 * margin, cfg.width + 2 * margin), cfg, rng)
+    pan = (
+        rng.uniform(-cfg.max_pan_speed, cfg.max_pan_speed),
+        rng.uniform(-cfg.max_pan_speed, cfg.max_pan_speed),
+    )
+    objects = []
+    for _ in range(rng.integers(cfg.num_objects_min, cfg.num_objects_max + 1)):
+        size = int(rng.integers(cfg.object_size_min, cfg.object_size_max + 1))
+        objects.append(
+            {
+                "patch": _texture((size, size), cfg, rng),
+                "pos": np.array(
+                    [
+                        rng.uniform(0, cfg.height - size),
+                        rng.uniform(0, cfg.width - size),
+                    ]
+                ),
+                "vel": rng.uniform(-cfg.max_object_speed, cfg.max_object_speed, 2),
+            }
+        )
+    return _Shot(background=bg, pan=pan, objects=objects)
+
+
+def _render_frame(
+    shot: _Shot, t: int, cfg: SceneConfig, rng: np.random.Generator
+) -> np.ndarray:
+    margin_y = (shot.background.shape[0] - cfg.height) // 2
+    margin_x = (shot.background.shape[1] - cfg.width) // 2
+    dy = int(round(margin_y + shot.pan[0] * t))
+    dx = int(round(margin_x + shot.pan[1] * t))
+    dy = int(np.clip(dy, 0, shot.background.shape[0] - cfg.height))
+    dx = int(np.clip(dx, 0, shot.background.shape[1] - cfg.width))
+    frame = shot.background[dy:dy + cfg.height, dx:dx + cfg.width].copy()
+
+    for obj in shot.objects:
+        size = obj["patch"].shape[0]
+        y = int(round(obj["pos"][0] + obj["vel"][0] * t)) % max(cfg.height - size, 1)
+        x = int(round(obj["pos"][1] + obj["vel"][1] * t)) % max(cfg.width - size, 1)
+        frame[y:y + size, x:x + size] = obj["patch"]
+
+    if cfg.sensor_noise > 0:
+        frame = frame + rng.normal(0.0, cfg.sensor_noise, frame.shape)
+    return frame
+
+
+def generate_clip(
+    num_frames: int,
+    config: SceneConfig | None = None,
+    seed: SeedLike = None,
+    frame_rate: float = 25.0,
+) -> VideoClip:
+    """Generate a procedural clip of *num_frames* frames.
+
+    Deterministic for a given *seed*; different seeds give visually
+    unrelated material (distinct referenced "programmes").
+    """
+    if num_frames < 1:
+        raise ConfigurationError(f"num_frames must be >= 1, got {num_frames}")
+    cfg = config or SceneConfig()
+    rng = resolve_rng(seed)
+
+    frames = np.empty((num_frames, cfg.height, cfg.width), dtype=np.uint8)
+    produced = 0
+    while produced < num_frames:
+        shot_len = int(
+            rng.integers(cfg.frames_per_shot_min, cfg.frames_per_shot_max + 1)
+        )
+        shot = _make_shot(cfg, rng)
+        for t in range(min(shot_len, num_frames - produced)):
+            frame = _render_frame(shot, t, cfg, rng)
+            frames[produced] = np.clip(frame, 0, 255).astype(np.uint8)
+            produced += 1
+    return VideoClip(frames, frame_rate)
+
+
+def generate_corpus(
+    num_clips: int,
+    frames_per_clip: int,
+    config: SceneConfig | None = None,
+    seed: SeedLike = None,
+    frame_rate: float = 25.0,
+) -> list[VideoClip]:
+    """Generate a corpus of independent clips (the reference "archive")."""
+    if num_clips < 1:
+        raise ConfigurationError(f"num_clips must be >= 1, got {num_clips}")
+    rng = resolve_rng(seed)
+    seeds = rng.integers(0, 2**63 - 1, size=num_clips)
+    return [
+        generate_clip(frames_per_clip, config=config, seed=int(s), frame_rate=frame_rate)
+        for s in seeds
+    ]

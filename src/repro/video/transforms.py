@@ -1,0 +1,352 @@
+"""The five video transformations of the paper's evaluation (Fig. 4).
+
+* resize of factor ``w_scale`` (about the frame centre, refilled to the
+  original frame size);
+* vertical shift of ``w_shift`` (fraction of the image height);
+* gamma modification ``I' = 255 (I/255)^w_gamma`` (the paper writes
+  ``I' = I^w_gamma``; the normalised form keeps bytes in range, which is
+  what any real pipeline does);
+* contrast modification ``I' = w_contrast · I`` (clipped);
+* Gaussian noise addition of standard deviation ``w_noise``.
+
+Each transformation knows how to
+
+* apply itself to a frame or a whole :class:`~repro.video.synthetic.VideoClip`;
+* **map interest-point positions** from the original frame to the
+  transformed one (identity for the photometric transforms) — the paper's
+  "perfect interest point detector" used to calibrate the distortion model
+  (§IV-C), optionally with a ``δ_pix`` position jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, resolve_rng
+from .synthetic import VideoClip
+
+
+class Transform:
+    """Base class: a deterministic frame-level video transformation."""
+
+    #: short machine name, e.g. ``"scale"``; set by sub-classes.
+    name: str = "identity"
+
+    def apply_frame(self, frame: np.ndarray) -> np.ndarray:
+        """Return the transformed frame (same shape, uint8)."""
+        raise NotImplementedError
+
+    def apply_clip(self, clip: VideoClip) -> VideoClip:
+        """Transform every frame of *clip*."""
+        frames = np.stack([self.apply_frame(f) for f in clip.frames])
+        return VideoClip(frames, clip.frame_rate)
+
+    def map_points(
+        self, points: np.ndarray, frame_shape: tuple[int, int]
+    ) -> np.ndarray:
+        """Map ``(N, 2)`` ``(y, x)`` positions into the transformed frame.
+
+        Photometric transforms leave positions unchanged; geometric ones
+        move them.  Positions may land outside the frame — callers filter.
+        """
+        return np.asarray(points, dtype=np.float64).copy()
+
+    def params(self) -> dict[str, float]:
+        """The transformation's parameters, for reporting."""
+        return {}
+
+    def label(self) -> str:
+        """Human-readable label, e.g. ``"scale(w=0.80)"``."""
+        inner = ", ".join(f"{k}={v:g}" for k, v in self.params().items())
+        return f"{self.name}({inner})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label()
+
+
+class Identity(Transform):
+    """No-op transformation (severity floor)."""
+
+    name = "identity"
+
+    def apply_frame(self, frame: np.ndarray) -> np.ndarray:
+        return np.asarray(frame, dtype=np.uint8).copy()
+
+
+@dataclass
+class Resize(Transform):
+    """Resize of factor ``w_scale`` about the frame centre.
+
+    The frame is zoomed by ``w_scale``; the result is centre-cropped
+    (``w_scale > 1``) or centre-padded with edge replication
+    (``w_scale < 1``) back to the original size — the behaviour of a TV
+    rescale followed by recapture at the original resolution.
+    """
+
+    w_scale: float
+
+    def __post_init__(self) -> None:
+        if self.w_scale <= 0:
+            raise ConfigurationError(f"w_scale must be > 0, got {self.w_scale}")
+        self.name = "scale"
+
+    def apply_frame(self, frame: np.ndarray) -> np.ndarray:
+        frame = np.asarray(frame, dtype=np.float64)
+        h, w = frame.shape
+        zoomed = ndimage.zoom(frame, self.w_scale, order=1, mode="nearest")
+        zh, zw = zoomed.shape
+        out = np.empty_like(frame)
+        if zh >= h:
+            top = (zh - h) // 2
+            left = (zw - w) // 2
+            out = zoomed[top:top + h, left:left + w]
+        else:
+            top = (h - zh) // 2
+            left = (w - zw) // 2
+            out = np.pad(
+                zoomed,
+                ((top, h - zh - top), (left, w - zw - left)),
+                mode="edge",
+            )
+        return np.clip(out, 0, 255).astype(np.uint8)
+
+    def map_points(self, points, frame_shape):
+        points = np.asarray(points, dtype=np.float64)
+        h, w = frame_shape
+        zh = int(round(h * self.w_scale))
+        zw = int(round(w * self.w_scale))
+        scaled = points * self.w_scale
+        if zh >= h:
+            offset = np.array([(zh - h) // 2, (zw - w) // 2], dtype=np.float64)
+            return scaled - offset
+        offset = np.array([(h - zh) // 2, (w - zw) // 2], dtype=np.float64)
+        return scaled + offset
+
+    def params(self):
+        return {"w_scale": self.w_scale}
+
+
+@dataclass
+class VerticalShift(Transform):
+    """Vertical shift of ``w_shift`` (fraction of the height), black fill."""
+
+    w_shift: float
+
+    def __post_init__(self) -> None:
+        if not -1.0 < self.w_shift < 1.0:
+            raise ConfigurationError(
+                f"w_shift must be in (-1, 1), got {self.w_shift}"
+            )
+        self.name = "shift"
+
+    def _pixels(self, height: int) -> int:
+        return int(round(self.w_shift * height))
+
+    def apply_frame(self, frame: np.ndarray) -> np.ndarray:
+        frame = np.asarray(frame, dtype=np.uint8)
+        shift = self._pixels(frame.shape[0])
+        out = np.zeros_like(frame)
+        if shift >= 0:
+            if shift < frame.shape[0]:
+                out[shift:] = frame[: frame.shape[0] - shift]
+        else:
+            out[:shift] = frame[-shift:]
+        return out
+
+    def map_points(self, points, frame_shape):
+        points = np.asarray(points, dtype=np.float64).copy()
+        points[:, 0] += self._pixels(frame_shape[0])
+        return points
+
+    def params(self):
+        return {"w_shift": self.w_shift}
+
+
+@dataclass
+class Gamma(Transform):
+    """Gamma modification ``I' = 255 (I/255)^w_gamma``."""
+
+    w_gamma: float
+
+    def __post_init__(self) -> None:
+        if self.w_gamma <= 0:
+            raise ConfigurationError(f"w_gamma must be > 0, got {self.w_gamma}")
+        self.name = "gamma"
+
+    def apply_frame(self, frame: np.ndarray) -> np.ndarray:
+        frame = np.asarray(frame, dtype=np.float64) / 255.0
+        out = 255.0 * np.power(frame, self.w_gamma)
+        return np.clip(out, 0, 255).astype(np.uint8)
+
+    def params(self):
+        return {"w_gamma": self.w_gamma}
+
+
+@dataclass
+class Contrast(Transform):
+    """Contrast modification ``I' = w_contrast · I`` (clipped to bytes)."""
+
+    w_contrast: float
+
+    def __post_init__(self) -> None:
+        if self.w_contrast <= 0:
+            raise ConfigurationError(
+                f"w_contrast must be > 0, got {self.w_contrast}"
+            )
+        self.name = "contrast"
+
+    def apply_frame(self, frame: np.ndarray) -> np.ndarray:
+        out = np.asarray(frame, dtype=np.float64) * self.w_contrast
+        return np.clip(out, 0, 255).astype(np.uint8)
+
+    def params(self):
+        return {"w_contrast": self.w_contrast}
+
+
+class GaussianNoise(Transform):
+    """Additive Gaussian noise of standard deviation ``w_noise``.
+
+    Stochastic but reproducible: the noise stream is seeded at
+    construction, so applying the same transform object twice gives
+    different noise (as in a real capture chain) while two objects built
+    with the same seed behave identically.
+    """
+
+    name = "noise"
+
+    def __init__(self, w_noise: float, seed: SeedLike = None):
+        if w_noise < 0:
+            raise ConfigurationError(f"w_noise must be >= 0, got {w_noise}")
+        self.w_noise = float(w_noise)
+        self._rng = resolve_rng(seed)
+
+    def apply_frame(self, frame: np.ndarray) -> np.ndarray:
+        frame = np.asarray(frame, dtype=np.float64)
+        if self.w_noise > 0:
+            frame = frame + self._rng.normal(0.0, self.w_noise, frame.shape)
+        return np.clip(frame, 0, 255).astype(np.uint8)
+
+    def params(self):
+        return {"w_noise": self.w_noise}
+
+
+@dataclass
+class LogoInsertion(Transform):
+    """Opaque logo/banner insertion — the paper's "inserting" operation.
+
+    §I motivates local fingerprints precisely because TV copies routinely
+    carry inserted overlays (channel logos, banners); points outside the
+    overlay survive.  The logo is a deterministic bright rectangle with a
+    dark border, anchored by fractional position and size.
+
+    ``y_frac``/``x_frac`` place the logo's top-left corner; ``h_frac``/
+    ``w_frac`` size it — all as fractions of the frame.
+    """
+
+    y_frac: float = 0.05
+    x_frac: float = 0.70
+    h_frac: float = 0.18
+    w_frac: float = 0.25
+    level: int = 230
+
+    def __post_init__(self) -> None:
+        for name in ("y_frac", "x_frac", "h_frac", "w_frac"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1), got {value}"
+                )
+        if not 0 <= self.level <= 255:
+            raise ConfigurationError(f"level must be a byte, got {self.level}")
+        self.name = "logo"
+
+    def _box(self, shape: tuple[int, int]) -> tuple[int, int, int, int]:
+        h, w = shape
+        y0 = int(self.y_frac * h)
+        x0 = int(self.x_frac * w)
+        y1 = min(h, y0 + max(int(self.h_frac * h), 1))
+        x1 = min(w, x0 + max(int(self.w_frac * w), 1))
+        return y0, x0, y1, x1
+
+    def apply_frame(self, frame: np.ndarray) -> np.ndarray:
+        frame = np.asarray(frame, dtype=np.uint8).copy()
+        y0, x0, y1, x1 = self._box(frame.shape)
+        frame[y0:y1, x0:x1] = self.level
+        # A one-pixel dark border makes the overlay a hard edge, like a
+        # real broadcast logo.
+        frame[y0:y1, x0] = 20
+        frame[y0:y1, x1 - 1] = 20
+        frame[y0, x0:x1] = 20
+        frame[y1 - 1, x0:x1] = 20
+        return frame
+
+    def covers(self, points: np.ndarray, frame_shape: tuple[int, int]) -> np.ndarray:
+        """Boolean mask of the ``(y, x)`` *points* hidden by the logo."""
+        points = np.asarray(points, dtype=np.float64)
+        y0, x0, y1, x1 = self._box(frame_shape)
+        return (
+            (points[:, 0] >= y0) & (points[:, 0] < y1)
+            & (points[:, 1] >= x0) & (points[:, 1] < x1)
+        )
+
+    def params(self):
+        return {
+            "y_frac": self.y_frac, "x_frac": self.x_frac,
+            "h_frac": self.h_frac, "w_frac": self.w_frac,
+        }
+
+
+class Compose(Transform):
+    """Apply several transformations in sequence (left to right)."""
+
+    name = "compose"
+
+    def __init__(self, transforms: list[Transform]):
+        if not transforms:
+            raise ConfigurationError("Compose needs at least one transform")
+        self.transforms = list(transforms)
+
+    def apply_frame(self, frame: np.ndarray) -> np.ndarray:
+        for t in self.transforms:
+            frame = t.apply_frame(frame)
+        return frame
+
+    def map_points(self, points, frame_shape):
+        points = np.asarray(points, dtype=np.float64)
+        for t in self.transforms:
+            points = t.map_points(points, frame_shape)
+        return points
+
+    def params(self):
+        merged: dict[str, float] = {}
+        for t in self.transforms:
+            for key, value in t.params().items():
+                merged[f"{t.name}.{key}"] = value
+        return merged
+
+    def label(self) -> str:
+        return " + ".join(t.label() for t in self.transforms)
+
+
+def jitter_points(
+    points: np.ndarray, delta_pix: float, rng: SeedLike = None
+) -> np.ndarray:
+    """Shift each position by *delta_pix* in a uniformly random direction.
+
+    The paper calibrates under "a simulated imprecision in the position of
+    the interest points by shifting the theoretical position by 1 pixel"
+    (``δ_pix = 1``).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if delta_pix < 0:
+        raise ConfigurationError(f"delta_pix must be >= 0, got {delta_pix}")
+    if delta_pix == 0 or points.size == 0:
+        return points.copy()
+    gen = resolve_rng(rng)
+    angles = gen.uniform(0.0, 2.0 * np.pi, size=points.shape[0])
+    offsets = delta_pix * np.column_stack([np.sin(angles), np.cos(angles)])
+    return points + np.round(offsets)

@@ -1,0 +1,1 @@
+"""Test-suite package for the S3 reproduction."""

@@ -1,0 +1,129 @@
+"""Tests for the Tukey-biweight robust offset estimation (eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cbcd.mestimator import (
+    estimate_offset,
+    tukey_rho,
+    tukey_weight,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTukeyRho:
+    def test_zero_at_zero(self):
+        assert tukey_rho(np.array(0.0), 3.0) == 0.0
+
+    def test_saturates_beyond_c(self):
+        c = 4.0
+        cap = c * c / 6.0
+        assert tukey_rho(np.array(c), c) == pytest.approx(cap)
+        assert tukey_rho(np.array(100.0), c) == pytest.approx(cap)
+
+    def test_monotone_inside(self):
+        u = np.linspace(0, 4.0, 50)
+        rho = tukey_rho(u, 4.0)
+        assert np.all(np.diff(rho) >= 0)
+
+    def test_symmetric(self):
+        u = np.linspace(-5, 5, 21)
+        assert np.allclose(tukey_rho(u, 3.0), tukey_rho(-u, 3.0))
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            tukey_rho(np.array(1.0), 0.0)
+
+
+class TestTukeyWeight:
+    def test_weight_one_at_zero(self):
+        assert tukey_weight(np.array(0.0), 3.0) == pytest.approx(1.0)
+
+    def test_zero_beyond_c(self):
+        assert tukey_weight(np.array(3.1), 3.0) == 0.0
+
+    def test_decreasing(self):
+        u = np.linspace(0, 3.0, 30)
+        w = tukey_weight(u, 3.0)
+        assert np.all(np.diff(w) <= 1e-12)
+
+
+class TestEstimateOffset:
+    def test_exact_offset_no_outliers(self):
+        true_b = -42.0
+        ref_tcs = np.array([10.0, 20.0, 30.0, 40.0])
+        candidate_tcs = list(ref_tcs + true_b)
+        matched = [np.array([t]) for t in ref_tcs]
+        est = estimate_offset(candidate_tcs, matched, c=3.0)
+        assert est.offset == pytest.approx(true_b, abs=1e-6)
+        assert est.cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_robust_to_outlier_matches(self):
+        """Matches far from the temporal model must not bias b."""
+        rng = np.random.default_rng(0)
+        true_b = 13.0
+        candidate_tcs = []
+        matched = []
+        for tc in np.arange(0, 40, 2.0):
+            candidate_tcs.append(tc + true_b)
+            outliers = rng.uniform(0, 500, size=5)
+            matched.append(np.concatenate(([tc], outliers)))
+        est = estimate_offset(candidate_tcs, matched, c=3.0)
+        assert est.offset == pytest.approx(true_b, abs=0.5)
+
+    def test_robust_to_outlier_candidates(self):
+        """Candidates with only wrong matches contribute a bounded cost."""
+        true_b = 5.0
+        candidate_tcs = [10.0, 12.0, 14.0, 16.0, 999.0]
+        matched = [
+            np.array([5.0]), np.array([7.0]), np.array([9.0]),
+            np.array([11.0]), np.array([42.0]),
+        ]
+        est = estimate_offset(candidate_tcs, matched, c=3.0)
+        assert est.offset == pytest.approx(true_b, abs=0.5)
+
+    def test_noisy_inliers_averaged(self):
+        rng = np.random.default_rng(1)
+        true_b = -7.0
+        tcs = np.arange(0, 60, 3.0)
+        candidate_tcs = list(tcs + true_b + rng.normal(0, 0.5, tcs.size))
+        matched = [np.array([t]) for t in tcs]
+        est = estimate_offset(candidate_tcs, matched, c=4.0)
+        assert est.offset == pytest.approx(true_b, abs=0.5)
+
+    def test_single_pair(self):
+        est = estimate_offset([10.0], [np.array([4.0])], c=3.0)
+        assert est.offset == pytest.approx(6.0)
+        assert est.num_candidates == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            estimate_offset([], [], c=3.0)
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            estimate_offset([1.0], [np.array([1.0]), np.array([2.0])])
+
+    @given(st.floats(min_value=-200, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_translation_equivariance(self, true_b):
+        tcs = np.arange(0, 30, 2.0)
+        candidate_tcs = list(tcs + true_b)
+        matched = [np.array([t]) for t in tcs]
+        est = estimate_offset(candidate_tcs, matched, c=3.0)
+        assert est.offset == pytest.approx(true_b, abs=0.1)
+
+    def test_two_competing_modes_picks_stronger(self):
+        b_strong, b_weak = 10.0, 80.0
+        candidate_tcs = []
+        matched = []
+        for tc in np.arange(0, 40, 2.0):  # 20 strong votes
+            candidate_tcs.append(tc + b_strong)
+            matched.append(np.array([tc]))
+        for tc in np.arange(0, 12, 2.0):  # 6 weak votes
+            candidate_tcs.append(tc + b_weak)
+            matched.append(np.array([tc]))
+        est = estimate_offset(candidate_tcs, matched, c=3.0)
+        assert est.offset == pytest.approx(b_strong, abs=0.5)

@@ -1,0 +1,135 @@
+"""Tests for the stateful stream monitor."""
+
+import numpy as np
+import pytest
+
+from repro.cbcd.monitor import MonitorConfig, StreamMonitor
+from repro.corpus.builder import build_reference_corpus
+from repro.corpus.filler import scale_store
+from repro.distortion.model import NormalDistortionModel
+from repro.errors import ConfigurationError
+from repro.index.s3 import S3Index
+from repro.video.synthetic import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = build_reference_corpus(num_videos=5, frames_per_video=140, seed=5)
+    store = scale_store(corpus.store, 12_000, rng=5)
+    index = S3Index(store, model=NormalDistortionModel(20, 20.0), depth=20)
+    return corpus, index
+
+
+def make_monitor(index, **overrides):
+    defaults = dict(
+        alpha=0.8, window_frames=60, hop_frames=30,
+        buffer_keyframes=64, decision_threshold=12,
+    )
+    defaults.update(overrides)
+    return StreamMonitor(index, MonitorConfig(**defaults))
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            MonitorConfig(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            MonitorConfig(window_frames=4)
+        with pytest.raises(ConfigurationError):
+            MonitorConfig(hop_frames=0)
+        with pytest.raises(ConfigurationError):
+            MonitorConfig(hop_frames=100, window_frames=80)
+        with pytest.raises(ConfigurationError):
+            MonitorConfig(buffer_keyframes=1)
+
+
+class TestFeeding:
+    def test_rejects_bad_shapes(self, setup):
+        _, index = setup
+        monitor = make_monitor(index)
+        with pytest.raises(ConfigurationError):
+            monitor.feed(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_rejects_geometry_change(self, setup):
+        corpus, index = setup
+        monitor = make_monitor(index)
+        monitor.feed(corpus.clips[0].frames[:10])
+        with pytest.raises(ConfigurationError):
+            monitor.feed(np.zeros((5, 10, 10), dtype=np.uint8))
+
+    def test_frames_seen_accumulates(self, setup):
+        corpus, index = setup
+        monitor = make_monitor(index)
+        monitor.feed(corpus.clips[0].frames[:25])
+        monitor.feed(corpus.clips[0].frames[25:40])
+        assert monitor.frames_seen == 40
+
+    def test_no_analysis_before_first_window(self, setup):
+        corpus, index = setup
+        monitor = make_monitor(index, window_frames=60)
+        out = monitor.feed(corpus.clips[0].frames[:59])
+        assert out == []
+
+    def test_internal_buffer_is_trimmed(self, setup):
+        corpus, index = setup
+        monitor = make_monitor(index)
+        stream = np.concatenate([c.frames for c in corpus.clips[:3]])
+        monitor.feed(stream)
+        # The retained frame buffer stays bounded by ~window+hop frames.
+        assert monitor._frames.shape[0] <= 2 * monitor.config.window_frames
+
+
+class TestDetection:
+    def test_detects_copy_in_stream(self, setup):
+        corpus, index = setup
+        foreign = generate_corpus(2, 70, seed=909)
+        copy_clip, truth = corpus.candidate(2, 30, 90)
+        stream = np.concatenate(
+            [foreign[0].frames, copy_clip.frames, foreign[1].frames]
+        )
+        monitor = make_monitor(index)
+        detections = monitor.feed(stream)
+        ids = {d.video_id for d in detections}
+        assert truth.video_id in ids
+        hit = next(d for d in detections if d.video_id == truth.video_id)
+        # Stream-time alignment: the copy starts at frame 70 of the stream
+        # and at frame 30 of programme 2, so tc' = tc - 30 + 70.
+        assert hit.stream_offset == pytest.approx(40.0, abs=3.0)
+
+    def test_detection_reported_once(self, setup):
+        corpus, index = setup
+        copy_clip, truth = corpus.candidate(1, 20, 120)
+        monitor = make_monitor(index)
+        all_detections = []
+        # Feed in dribbles of 16 frames; the copy spans many windows.
+        frames = copy_clip.frames
+        for start in range(0, frames.shape[0], 16):
+            all_detections.extend(monitor.feed(frames[start:start + 16]))
+        mine = [d for d in all_detections if d.video_id == truth.video_id]
+        assert len(mine) == 1  # de-duplicated across windows
+
+    def test_chunking_invariance(self, setup):
+        """Feeding one big chunk or many small ones yields the same
+        detections (same ids and offsets)."""
+        corpus, index = setup
+        foreign = generate_corpus(1, 50, seed=31)
+        copy_clip, _ = corpus.candidate(4, 10, 80)
+        stream = np.concatenate([foreign[0].frames, copy_clip.frames])
+
+        big = make_monitor(index)
+        got_big = big.feed(stream)
+
+        small = make_monitor(index)
+        got_small = []
+        for start in range(0, stream.shape[0], 7):
+            got_small.extend(small.feed(stream[start:start + 7]))
+
+        key = lambda d: (d.video_id, round(d.stream_offset, 1))
+        assert sorted(map(key, got_big)) == sorted(map(key, got_small))
+
+    def test_clean_stream_stays_quiet(self, setup):
+        _, index = setup
+        foreign = generate_corpus(2, 80, seed=555)
+        stream = np.concatenate([c.frames for c in foreign])
+        monitor = make_monitor(index, decision_threshold=25)
+        assert monitor.feed(stream) == []

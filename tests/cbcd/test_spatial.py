@@ -1,0 +1,153 @@
+"""Tests for the spatio-temporal voting extension (paper §VI)."""
+
+import numpy as np
+import pytest
+
+from repro.cbcd.spatial import (
+    PositionedStore,
+    SpatialSearchIndex,
+    SpatioTemporalMatch,
+    spatio_temporal_vote,
+)
+from repro.distortion.model import NormalDistortionModel
+from repro.errors import ConfigurationError
+from repro.index.store import FingerprintStore
+
+
+def planted_matches(true_id, b, dy, dx, num=12, noise=0.0, rng=None):
+    rng = rng or np.random.default_rng(0)
+    matches = []
+    for tc in np.arange(0, num * 2.0, 2.0):
+        cand_pos = rng.uniform(10, 60, 2)
+        matches.append(
+            SpatioTemporalMatch(
+                timecode=float(tc + b),
+                position=cand_pos + rng.normal(0, noise, 2),
+                ids=np.array([true_id], dtype=np.uint32),
+                timecodes=np.array([tc]),
+                positions=(cand_pos - np.array([dy, dx]))[None, :],
+            )
+        )
+    return matches
+
+
+class TestPositionedStore:
+    def test_alignment_checked(self):
+        store = FingerprintStore(
+            np.zeros((4, 20), dtype=np.uint8),
+            np.zeros(4, dtype=np.uint32),
+            np.zeros(4),
+        )
+        with pytest.raises(ConfigurationError):
+            PositionedStore(store=store, positions=np.zeros((3, 2)))
+
+    def test_take_keeps_rows_aligned(self):
+        rng = np.random.default_rng(0)
+        store = FingerprintStore(
+            rng.integers(0, 256, (10, 20), dtype=np.uint8),
+            np.arange(10, dtype=np.uint32),
+            np.arange(10, dtype=np.float64),
+        )
+        ps = PositionedStore(store=store, positions=rng.uniform(0, 50, (10, 2)))
+        sub = ps.take(np.array([7, 2]))
+        assert np.array_equal(sub.store.ids, [7, 2])
+        assert np.array_equal(sub.positions, ps.positions[[7, 2]])
+
+
+class TestSpatioTemporalVote:
+    def test_recovers_planted_transform(self):
+        matches = planted_matches(5, b=-30.0, dy=8.0, dx=-3.0)
+        votes = spatio_temporal_vote(matches)
+        assert votes[0].video_id == 5
+        assert votes[0].offset == pytest.approx(-30.0, abs=0.5)
+        assert votes[0].translation[0] == pytest.approx(8.0, abs=1.0)
+        assert votes[0].translation[1] == pytest.approx(-3.0, abs=1.0)
+        assert votes[0].nsim == 12
+
+    def test_spatially_incoherent_matches_score_low(self):
+        """Temporally aligned but spatially random matches lose votes —
+        the added discriminance of the extension."""
+        rng = np.random.default_rng(1)
+        matches = []
+        for tc in np.arange(0, 24.0, 2.0):
+            matches.append(
+                SpatioTemporalMatch(
+                    timecode=float(tc),
+                    position=rng.uniform(10, 60, 2),
+                    ids=np.array([9], dtype=np.uint32),
+                    timecodes=np.array([tc]),  # perfect temporal coherence
+                    positions=rng.uniform(10, 60, (1, 2)),  # random space
+                )
+            )
+        votes = spatio_temporal_vote(matches, spatial_tolerance=3.0)
+        assert votes[0].nsim < 6  # far below the 12 temporal votes
+
+    def test_min_matches(self):
+        matches = planted_matches(5, b=0.0, dy=0.0, dx=0.0, num=1)
+        assert spatio_temporal_vote(matches, min_matches=2) == []
+
+    def test_empty(self):
+        assert spatio_temporal_vote([]) == []
+
+
+class TestSpatialSearchIndex:
+    @pytest.fixture(scope="class")
+    def spatial_index(self):
+        rng = np.random.default_rng(0)
+        n = 5000
+        fps = rng.integers(0, 256, (n, 20), dtype=np.uint8)
+        store = FingerprintStore(
+            fingerprints=fps,
+            ids=(np.arange(n, dtype=np.uint32) // 250),
+            timecodes=rng.uniform(0, 200, n),
+        )
+        positioned = PositionedStore(
+            store=store, positions=rng.uniform(0, 70, (n, 2))
+        )
+        return (
+            SpatialSearchIndex(
+                positioned, NormalDistortionModel(20, 12.0), depth=18
+            ),
+            positioned,
+        )
+
+    def test_positions_follow_rows(self, spatial_index):
+        index, positioned = spatial_index
+        match = index.query(
+            positioned.store.fingerprints[3].astype(float),
+            timecode=0.0,
+            position=np.zeros(2),
+            alpha=0.8,
+        )
+        # Every returned position must be the one stored for its row.
+        for row, pos in zip(
+            index.index.statistical_query(
+                positioned.store.fingerprints[3].astype(float), 0.8
+            ).rows,
+            match.positions,
+        ):
+            assert np.array_equal(index.positions[row], pos)
+
+    def test_detect_planted_copy(self, spatial_index):
+        index, positioned = spatial_index
+        rng = np.random.default_rng(7)
+        # Candidate = 15 rows of video id 4 with consistent offsets.
+        rows = np.nonzero(index.index.store.ids == 4)[0][:15]
+        fps = np.clip(
+            index.index.store.fingerprints[rows].astype(float)
+            + rng.normal(0, 10, (15, 20)),
+            0,
+            255,
+        )
+        tcs = index.index.store.timecodes[rows] - 55.0  # b = -55
+        pos = index.positions[rows] + np.array([5.0, -2.0])
+        votes = index.detect(fps, tcs, pos, alpha=0.85)
+        assert votes[0].video_id == 4
+        assert votes[0].offset == pytest.approx(-55.0, abs=1.0)
+        assert votes[0].translation[0] == pytest.approx(5.0, abs=1.5)
+        assert votes[0].translation[1] == pytest.approx(-2.0, abs=1.5)
+
+    def test_detect_validates_shapes(self, spatial_index):
+        index, _ = spatial_index
+        with pytest.raises(ConfigurationError):
+            index.detect(np.zeros((3, 20)), np.zeros(3), np.zeros((2, 2)))

@@ -1,0 +1,126 @@
+"""Tests for corpus building, filler scaling and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.builder import build_reference_corpus
+from repro.corpus.filler import (
+    FILLER_ID_BASE,
+    resample_fingerprints,
+    scale_store,
+)
+from repro.corpus.workload import model_queries, stream_queries
+from repro.errors import ConfigurationError
+from repro.index.store import FingerprintStore
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_reference_corpus(num_videos=4, frames_per_video=80, seed=0)
+
+
+class TestReferenceCorpus:
+    def test_one_id_per_clip(self, corpus):
+        assert set(np.unique(corpus.store.ids)) == {0, 1, 2, 3}
+
+    def test_fingerprints_per_clip_positive(self, corpus):
+        counts = corpus.fingerprints_per_clip()
+        assert counts.shape == (4,)
+        assert np.all(counts > 0)
+        assert counts.sum() == len(corpus.store)
+
+    def test_candidate_ground_truth(self, corpus):
+        clip, truth = corpus.candidate(2, 10, 40)
+        assert clip.num_frames == 40
+        assert truth.video_id == 2
+        assert truth.true_offset == -10.0
+
+    def test_candidate_bounds_checked(self, corpus):
+        with pytest.raises(ConfigurationError):
+            corpus.candidate(9, 0, 40)
+        with pytest.raises(ConfigurationError):
+            corpus.candidate(0, 70, 40)
+
+    def test_random_candidates(self, corpus):
+        candidates = corpus.random_candidates(5, 40, rng=1)
+        assert len(candidates) == 5
+        for clip, truth in candidates:
+            assert clip.num_frames == 40
+            assert 0 <= truth.video_id < 4
+
+    def test_deterministic_given_seed(self):
+        a = build_reference_corpus(2, 60, seed=3)
+        b = build_reference_corpus(2, 60, seed=3)
+        assert np.array_equal(a.store.fingerprints, b.store.fingerprints)
+
+
+class TestFiller:
+    def test_count_and_id_range(self, corpus):
+        filler = resample_fingerprints(corpus.store, 2000, rng=0)
+        assert len(filler) == 2000
+        assert np.all(filler.ids >= FILLER_ID_BASE)
+
+    def test_ids_blocked_by_rows_per_id(self, corpus):
+        filler = resample_fingerprints(
+            corpus.store, 1200, rows_per_id=500, rng=0
+        )
+        assert len(np.unique(filler.ids)) == 3  # ceil(1200/500)
+
+    def test_zero_count(self, corpus):
+        filler = resample_fingerprints(corpus.store, 0, rng=0)
+        assert len(filler) == 0
+
+    def test_distribution_preserved(self, corpus):
+        """Filler marginals stay close to the pool's marginals."""
+        filler = resample_fingerprints(corpus.store, 5000, rng=0)
+        pool_mean = corpus.store.fingerprints.astype(float).mean(axis=0)
+        filler_mean = filler.fingerprints.astype(float).mean(axis=0)
+        assert np.max(np.abs(pool_mean - filler_mean)) < 8.0
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ConfigurationError):
+            resample_fingerprints(FingerprintStore.empty(20), 10)
+
+    def test_scale_store_keeps_base_rows_first(self, corpus):
+        scaled = scale_store(corpus.store, len(corpus.store) + 500, rng=0)
+        assert len(scaled) == len(corpus.store) + 500
+        assert np.array_equal(
+            scaled.fingerprints[: len(corpus.store)], corpus.store.fingerprints
+        )
+        assert np.array_equal(scaled.ids[: len(corpus.store)], corpus.store.ids)
+
+    def test_scale_store_noop_when_target_small(self, corpus):
+        assert scale_store(corpus.store, 10) is corpus.store
+
+
+class TestWorkloads:
+    def test_model_queries_plant_originals(self, corpus):
+        workload = model_queries(corpus.store, 50, sigma=10.0, rng=0)
+        assert len(workload) == 50
+        assert workload.queries.shape == (50, 20)
+        for i in range(50):
+            original = corpus.store.fingerprints[workload.rows[i]]
+            assert np.array_equal(workload.originals[i], original)
+
+    def test_retrieved_helper(self, corpus):
+        workload = model_queries(corpus.store, 5, sigma=10.0, rng=0)
+        assert workload.retrieved(0, workload.originals[0:1])
+        assert not workload.retrieved(0, np.empty((0, 20), dtype=np.uint8))
+
+    def test_queries_clipped_to_grid(self, corpus):
+        workload = model_queries(corpus.store, 200, sigma=60.0, rng=0)
+        assert workload.queries.min() >= 0.0
+        assert workload.queries.max() <= 255.0
+
+    def test_stream_queries_shape(self, corpus):
+        queries = stream_queries(corpus.store, 30, rng=0)
+        assert queries.shape == (30, 20)
+        assert queries.min() >= 0.0 and queries.max() <= 255.0
+
+    def test_rejects_bad_parameters(self, corpus):
+        with pytest.raises(ConfigurationError):
+            model_queries(corpus.store, 0, 10.0)
+        with pytest.raises(ConfigurationError):
+            model_queries(corpus.store, 5, 0.0)
+        with pytest.raises(ConfigurationError):
+            stream_queries(corpus.store, 0)

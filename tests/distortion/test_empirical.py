@@ -1,0 +1,100 @@
+"""Tests for the empirical distortion model (§VI extension)."""
+
+import numpy as np
+import pytest
+
+from repro.distortion.empirical import EmpiricalDistortionModel
+from repro.distortion.model import NormalDistortionModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def gaussian_sample():
+    rng = np.random.default_rng(0)
+    return rng.normal(0.0, np.array([5.0, 12.0, 25.0]), size=(20_000, 3))
+
+
+class TestConstruction:
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalDistortionModel(np.zeros((4, 3)))
+        with pytest.raises(ConfigurationError):
+            EmpiricalDistortionModel(np.zeros(10))
+
+    def test_rejects_bad_parameters(self, gaussian_sample):
+        with pytest.raises(ConfigurationError):
+            EmpiricalDistortionModel(gaussian_sample, grid_points=4)
+        with pytest.raises(ConfigurationError):
+            EmpiricalDistortionModel(gaussian_sample, smoothing=-1.0)
+
+
+class TestCdf:
+    def test_recovers_gaussian_marginals(self, gaussian_sample):
+        model = EmpiricalDistortionModel(gaussian_sample)
+        reference = NormalDistortionModel(1, 12.0)
+        xs = np.linspace(-40, 40, 41)
+        emp = model.component_cdf(1, xs)
+        exact = reference.component_cdf(0, xs)
+        assert np.max(np.abs(emp - exact)) < 0.02
+
+    def test_monotone_and_bounded(self, gaussian_sample):
+        model = EmpiricalDistortionModel(gaussian_sample)
+        xs = np.linspace(-200, 200, 401)
+        for dim in range(3):
+            cdf = model.component_cdf(dim, xs)
+            assert np.all(np.diff(cdf) >= -1e-12)
+            assert cdf[0] < 0.01 and cdf[-1] > 0.99
+
+    def test_extreme_tails(self, gaussian_sample):
+        model = EmpiricalDistortionModel(gaussian_sample)
+        assert float(model.component_cdf(0, np.array(-1e6))) == pytest.approx(0.0, abs=1e-6)
+        assert float(model.component_cdf(0, np.array(1e6))) == pytest.approx(1.0, abs=1e-6)
+
+    def test_captures_heavy_tails(self):
+        """A two-component mixture (the real distortion shape): the
+        empirical model matches the mixture CDF where a single normal with
+        the pooled sigma misses it."""
+        rng = np.random.default_rng(1)
+        narrow = rng.normal(0, 3.0, (8000, 1))
+        wide = rng.normal(0, 30.0, (2000, 1))
+        sample = np.concatenate([narrow, wide])
+        model = EmpiricalDistortionModel(sample)
+        pooled_sigma = sample.std()
+        normal = NormalDistortionModel(1, float(pooled_sigma))
+        x = np.array(45.0)  # deep in the mixture's wide tail
+        true_tail = np.mean(sample[:, 0] <= 45.0)
+        assert abs(float(model.component_cdf(0, x)) - true_tail) < 0.01
+        assert abs(float(normal.component_cdf(0, x)) - true_tail) > 0.01
+
+    def test_cdf_multi_matches_component(self, gaussian_sample):
+        model = EmpiricalDistortionModel(gaussian_sample)
+        dims = np.array([0, 2, 1, 0])
+        xs = np.array([-3.0, 10.0, 0.0, 7.0])
+        multi = model.cdf_multi(dims, xs)
+        for i in range(4):
+            single = model.component_cdf(int(dims[i]), xs[i : i + 1]).item()
+            assert multi[i] == pytest.approx(single)
+
+
+class TestSampling:
+    def test_inverse_cdf_sampling_statistics(self, gaussian_sample):
+        model = EmpiricalDistortionModel(gaussian_sample)
+        draws = model.sample(20_000, rng=3)
+        assert draws.shape == (20_000, 3)
+        assert np.allclose(draws.std(axis=0), [5.0, 12.0, 25.0], rtol=0.1)
+        assert np.allclose(draws.mean(axis=0), 0.0, atol=1.0)
+
+
+class TestIndexIntegration:
+    def test_usable_in_statistical_query(self):
+        from repro.hilbert import HilbertCurve
+        from repro.index.filtering import grid_probability, statistical_blocks
+
+        rng = np.random.default_rng(2)
+        sample = rng.normal(0, 2.0, (5000, 3))
+        model = EmpiricalDistortionModel(sample)
+        curve = HilbertCurve(3, 4)
+        query = np.array([8.0, 4.0, 11.0])
+        sel = statistical_blocks(query, model, curve, 8, 0.8)
+        target = 0.8 * grid_probability(query, model, curve)
+        assert sel.total_probability >= target - 1e-9

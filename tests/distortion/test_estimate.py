@@ -1,0 +1,78 @@
+"""Tests for distortion estimation from fingerprint pairs (paper §IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.distortion.estimate import (
+    distortion_vectors,
+    estimate_distortion,
+    severity_order,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDistortionVectors:
+    def test_signed_difference(self):
+        ref = np.array([[10, 200]], dtype=np.uint8)
+        dist = np.array([[20, 150]], dtype=np.uint8)
+        delta = distortion_vectors(ref, dist)
+        assert delta.tolist() == [[-10.0, 50.0]]
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            distortion_vectors(np.zeros((3, 2)), np.zeros((4, 2)))
+        with pytest.raises(ConfigurationError):
+            distortion_vectors(np.zeros(5), np.zeros(5))
+
+
+class TestEstimate:
+    def test_recovers_known_sigma(self):
+        rng = np.random.default_rng(0)
+        ref = rng.integers(50, 200, size=(5000, 4)).astype(np.float64)
+        sigmas = np.array([2.0, 5.0, 10.0, 20.0])
+        dist = ref - rng.normal(0, 1.0, ref.shape) * sigmas
+        est = estimate_distortion(ref, dist)
+        assert np.allclose(est.sigma_per_component, sigmas, rtol=0.1)
+        assert est.sigma == pytest.approx(sigmas.mean(), rel=0.1)
+
+    def test_rms_not_centered(self):
+        """σ̂ is the RMS about zero: a systematic bias inflates it."""
+        ref = np.full((100, 2), 100.0)
+        dist = ref - 5.0  # constant distortion of +5
+        est = estimate_distortion(ref, dist)
+        assert est.sigma == pytest.approx(5.0)
+        assert np.allclose(est.mean_per_component, 5.0)
+
+    def test_models_constructible(self):
+        rng = np.random.default_rng(1)
+        ref = rng.integers(0, 255, size=(100, 3)).astype(float)
+        dist = ref + rng.normal(0, 4.0, ref.shape)
+        est = estimate_distortion(ref, dist)
+        normal = est.normal_model()
+        per_comp = est.per_component_model()
+        assert normal.ndims == 3
+        assert per_comp.ndims == 3
+        assert per_comp.mean_sigma() == pytest.approx(est.sigma)
+
+    def test_degenerate_component_stays_positive(self):
+        ref = np.zeros((10, 2))
+        dist = np.zeros((10, 2))
+        dist[:, 1] = np.arange(10)
+        est = estimate_distortion(ref, dist)
+        assert est.sigma_per_component[0] > 0  # floored, usable in a model
+        est.normal_model()  # must not raise
+
+    def test_needs_two_pairs(self):
+        with pytest.raises(ConfigurationError):
+            estimate_distortion(np.zeros((1, 2)), np.zeros((1, 2)))
+
+
+class TestSeverityOrder:
+    def test_orders_by_decreasing_sigma(self):
+        rng = np.random.default_rng(2)
+        estimates = {}
+        for name, sigma in [("mild", 2.0), ("severe", 30.0), ("medium", 9.0)]:
+            ref = rng.integers(0, 255, size=(500, 3)).astype(float)
+            dist = ref + rng.normal(0, sigma, ref.shape)
+            estimates[name] = estimate_distortion(ref, dist)
+        assert severity_order(estimates) == ["severe", "medium", "mild"]

@@ -1,0 +1,122 @@
+"""Tests for the radial law of the distortion norm (paper §V-A)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.distortion.radial import (
+    closed_form_norm_pdf,
+    expectation_for_radius,
+    norm_cdf,
+    norm_pdf,
+    radius_for_expectation,
+    tabulate_cdf,
+    uniform_sphere_pdf,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNormLaw:
+    @pytest.mark.parametrize("ndims,sigma", [(1, 2.0), (5, 10.0), (20, 18.0)])
+    def test_pdf_integrates_to_one(self, ndims, sigma):
+        r = np.linspace(0, sigma * (np.sqrt(ndims) + 8), 20_000)
+        pdf = norm_pdf(r, ndims, sigma)
+        assert np.trapezoid(pdf, r) == pytest.approx(1.0, abs=1e-4)
+
+    @pytest.mark.parametrize("ndims,sigma", [(2, 1.0), (20, 18.0)])
+    def test_closed_form_matches_chi(self, ndims, sigma):
+        """The paper's explicit formula equals the scipy chi law."""
+        r = np.linspace(0.01, sigma * 8, 500)
+        assert np.allclose(
+            closed_form_norm_pdf(r, ndims, sigma),
+            norm_pdf(r, ndims, sigma),
+            rtol=1e-10,
+        )
+
+    def test_pdf_zero_for_negative_radius(self):
+        assert norm_pdf(np.array([-1.0]), 5, 2.0)[0] == 0.0
+        assert closed_form_norm_pdf(np.array([-1.0]), 5, 2.0)[0] == 0.0
+
+    def test_cdf_monotone(self):
+        r = np.linspace(0, 300, 100)
+        cdf = norm_cdf(r, 20, 18.0)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[0] == 0.0
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        sample = np.linalg.norm(rng.normal(0, 18.0, (50_000, 20)), axis=1)
+        for r in (80.0, 93.6, 110.0):
+            assert float(norm_cdf(np.array(r), 20, 18.0)) == pytest.approx(
+                np.mean(sample <= r), abs=0.01
+            )
+
+
+class TestRadiusForExpectation:
+    def test_paper_operating_point(self):
+        """§V-B pairs alpha = 80% (sigma = 20, D = 20) with eps = 93.6.
+
+        Under the exact chi(20) law, eps(0.80) = 100.07 and eps = 93.6
+        corresponds to alpha = 0.654 — the paper's tabulated integration was
+        evidently a little coarse.  We pin both numbers of the exact law.
+        """
+        assert radius_for_expectation(0.8, 20, 20.0) == pytest.approx(
+            100.07, abs=0.05
+        )
+        assert expectation_for_radius(93.6, 20, 20.0) == pytest.approx(
+            0.654, abs=0.005
+        )
+
+    def test_inverse_consistency(self):
+        for alpha in (0.3, 0.5, 0.8, 0.95):
+            eps = radius_for_expectation(alpha, 20, 18.0)
+            assert expectation_for_radius(eps, 20, 18.0) == pytest.approx(alpha)
+
+    def test_monotone_in_alpha(self):
+        radii = [radius_for_expectation(a, 20, 18.0) for a in (0.3, 0.6, 0.9)]
+        assert radii == sorted(radii)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            radius_for_expectation(0.0, 20, 18.0)
+        with pytest.raises(ConfigurationError):
+            radius_for_expectation(1.0, 20, 18.0)
+
+
+class TestUniformSphere:
+    def test_pdf_integrates_to_one(self):
+        r = np.linspace(0, 50.0, 10_000)
+        pdf = uniform_sphere_pdf(r, 20, 50.0)
+        assert np.trapezoid(pdf, r) == pytest.approx(1.0, abs=1e-3)
+
+    def test_mass_concentrates_at_surface(self):
+        """The paper's point: in high D the uniform ball law piles up at
+        the boundary, unlike the real distortion."""
+        radius = 100.0
+        inner = float(
+            np.trapezoid(
+                uniform_sphere_pdf(np.linspace(0, 80, 2000), 20, radius),
+                np.linspace(0, 80, 2000),
+            )
+        )
+        assert inner < 0.02  # (80/100)^20 ~ 0.012
+
+    def test_zero_outside_ball(self):
+        pdf = uniform_sphere_pdf(np.array([120.0]), 20, 100.0)
+        assert pdf[0] == 0.0
+
+
+class TestTabulation:
+    def test_tabulated_cdf_matches_chi(self):
+        radii, cdf = tabulate_cdf(20, 18.0, r_max=250.0, num=4096)
+        exact = norm_cdf(radii, 20, 18.0)
+        assert np.allclose(cdf, exact, atol=2e-3)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            tabulate_cdf(20, 18.0, r_max=0.0)
+        with pytest.raises(ConfigurationError):
+            tabulate_cdf(20, 18.0, r_max=10.0, num=1)
+        with pytest.raises(ConfigurationError):
+            tabulate_cdf(0, 18.0, r_max=10.0)

@@ -1,0 +1,86 @@
+"""Unit tests for the abacus result containers (Figs. 8 & 9)."""
+
+import pytest
+
+from repro.experiments.abacus import AbacusCell, AbacusResult, severity_of
+from repro.experiments.fig8_dbsize_abacus import Fig8Result
+from repro.experiments.fig9_alpha_abacus import Fig9Result
+from repro.video.transforms import Gamma, Identity, Resize
+
+
+def cell(family, severity, label, rate):
+    return AbacusCell(
+        family=family,
+        severity=severity,
+        config_label=label,
+        detection_rate=rate,
+        mean_search_seconds=0.001,
+        num_trials=10,
+    )
+
+
+class TestSeverityOf:
+    def test_reads_single_knob(self):
+        assert severity_of(Resize(0.8)) == 0.8
+        assert severity_of(Gamma(2.5)) == 2.5
+
+    def test_identity_has_zero(self):
+        assert severity_of(Identity()) == 0.0
+
+
+class TestAbacusResult:
+    def test_render_groups_by_family(self):
+        result = AbacusResult(
+            title="T",
+            cells=[
+                cell("gamma", 1.2, "A", 0.9),
+                cell("gamma", 1.8, "A", 0.8),
+                cell("scale", 0.9, "A", 0.7),
+            ],
+            search_times={"A": 0.002},
+        )
+        text = result.render()
+        assert "transform family: gamma" in text
+        assert "transform family: scale" in text
+        assert "search time" in text
+
+
+class TestFig8Result:
+    def test_max_rate_spread(self):
+        abacus = AbacusResult(
+            title="t",
+            cells=[
+                cell("gamma", 1.2, "small", 0.9),
+                cell("gamma", 1.2, "large", 0.7),
+                cell("gamma", 1.8, "small", 0.5),
+                cell("gamma", 1.8, "large", 0.5),
+            ],
+        )
+        result = Fig8Result(alpha=0.8, db_sizes=[10, 20], abacus=abacus)
+        assert result.max_rate_spread() == pytest.approx(0.2)
+
+    def test_spread_zero_for_single_config(self):
+        abacus = AbacusResult(title="t", cells=[cell("gamma", 1.2, "only", 0.9)])
+        result = Fig8Result(alpha=0.8, db_sizes=[10], abacus=abacus)
+        assert result.max_rate_spread() == 0.0
+
+
+class TestFig9Result:
+    def test_rate_at_averages_config_cells(self):
+        abacus = AbacusResult(
+            title="t",
+            cells=[
+                cell("gamma", 1.2, "alpha=80%", 1.0),
+                cell("scale", 0.9, "alpha=80%", 0.5),
+                cell("gamma", 1.2, "alpha=50%", 0.2),
+            ],
+        )
+        result = Fig9Result(db_rows=100, alphas=[0.8, 0.5], abacus=abacus)
+        assert result.rate_at(0.8) == 0.75
+        assert result.rate_at(0.5) == 0.2
+
+    def test_rate_at_unknown_alpha_is_zero(self):
+        result = Fig9Result(
+            db_rows=100, alphas=[0.8], abacus=AbacusResult(title="t")
+        )
+        assert result.rate_at(0.9) == 0.0

@@ -1,0 +1,62 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.ascii_plot import render_plot
+from repro.experiments.common import Series
+
+
+def series(name, pts):
+    s = Series(name)
+    for x, y in pts:
+        s.add(x, y)
+    return s
+
+
+class TestRenderPlot:
+    def test_basic_render_contains_markers_and_legend(self):
+        a = series("up", [(0, 0), (1, 1), (2, 2)])
+        b = series("down", [(0, 2), (1, 1), (2, 0)])
+        text = render_plot([a, b], width=20, height=6, title="T")
+        assert text.splitlines()[0] == "T"
+        assert "o up" in text and "x down" in text
+        assert "o" in text and "x" in text
+
+    def test_extremes_land_on_borders(self):
+        s = series("s", [(0, 0), (10, 100)])
+        text = render_plot([s], width=20, height=6)
+        lines = text.splitlines()
+        assert "o" in lines[0]       # max y on the top row
+        assert "o" in lines[5]       # min y on the bottom row
+        assert "100" in text and "0" in text
+
+    def test_log_axes(self):
+        s = series("scaling", [(10, 1), (100, 10), (1000, 100)])
+        text = render_plot([s], width=24, height=8, logx=True, logy=True)
+        # On log-log axes a power law is a straight line: marker column
+        # spacing must be uniform.
+        cols = []
+        for line in text.splitlines():
+            if "|" in line and "o" in line:
+                cols.append(line.index("o"))
+        assert len(cols) == 3
+
+    def test_log_rejects_nonpositive(self):
+        s = series("bad", [(0, 1), (1, 2)])
+        with pytest.raises(ConfigurationError):
+            render_plot([s], logx=True)
+        s2 = series("bad2", [(1, 0), (2, 1)])
+        with pytest.raises(ConfigurationError):
+            render_plot([s2], logy=True)
+
+    def test_rejects_empty_and_tiny(self):
+        with pytest.raises(ConfigurationError):
+            render_plot([Series("empty")])
+        with pytest.raises(ConfigurationError):
+            render_plot([series("s", [(0, 0)])], width=4)
+
+    def test_flat_series_do_not_crash(self):
+        s = series("flat", [(0, 5), (1, 5), (2, 5)])
+        text = render_plot([s], width=20, height=5)
+        assert "o" in text

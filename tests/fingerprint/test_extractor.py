@@ -1,0 +1,109 @@
+"""Tests for the end-to-end extraction pipeline and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExtractionError
+from repro.fingerprint.calibration import calibrate_severity, collect_pairs
+from repro.fingerprint.descriptor import FINGERPRINT_DIM
+from repro.fingerprint.extractor import ExtractorConfig, FingerprintExtractor
+from repro.video.synthetic import VideoClip, generate_clip, generate_corpus
+from repro.video.transforms import Gamma, GaussianNoise, Identity, Resize
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return generate_clip(100, seed=0)
+
+
+@pytest.fixture(scope="module")
+def extraction(clip):
+    return FingerprintExtractor().extract(clip, video_id=9, timecode_offset=50.0)
+
+
+class TestExtraction:
+    def test_store_columns_consistent(self, extraction):
+        store = extraction.store
+        assert store.ndims == FINGERPRINT_DIM
+        assert len(store) == extraction.positions.shape[0]
+        assert np.all(store.ids == 9)
+
+    def test_timecodes_are_offset_keyframe_indices(self, extraction):
+        assert np.array_equal(
+            extraction.store.timecodes,
+            extraction.positions[:, 0].astype(float) + 50.0,
+        )
+
+    def test_positions_within_frame(self, extraction, clip):
+        t = extraction.positions[:, 0]
+        y = extraction.positions[:, 1]
+        x = extraction.positions[:, 2]
+        assert np.all((t >= 0) & (t < clip.num_frames))
+        assert np.all((y >= 0) & (y < clip.height))
+        assert np.all((x >= 0) & (x < clip.width))
+
+    def test_multiple_points_per_keyframe(self, extraction):
+        assert len(extraction.store) > extraction.keyframes.size
+
+    def test_deterministic(self, clip):
+        a = FingerprintExtractor().extract(clip, video_id=1)
+        b = FingerprintExtractor().extract(clip, video_id=1)
+        assert np.array_equal(a.store.fingerprints, b.store.fingerprints)
+
+    def test_featureless_clip_raises(self):
+        clip = VideoClip(np.full((40, 64, 64), 128, dtype=np.uint8))
+        with pytest.raises(ExtractionError):
+            FingerprintExtractor().extract(clip, video_id=0)
+
+    def test_max_keyframes_limits_output(self, clip):
+        limited = FingerprintExtractor(
+            ExtractorConfig(max_keyframes=3)
+        ).extract(clip, video_id=0)
+        assert limited.keyframes.size <= 3
+
+
+class TestExtractAt:
+    def test_extract_at_matches_pipeline(self, clip, extraction):
+        """Describing the detected positions reproduces the stored bytes."""
+        ex = FingerprintExtractor()
+        fps, kept = ex.extract_at(clip, extraction.positions)
+        assert np.all(kept)
+        assert np.array_equal(fps, extraction.store.fingerprints)
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def clips(self):
+        return generate_corpus(2, 80, seed=1)
+
+    def test_identity_with_no_jitter_gives_zero_distortion(self, clips):
+        est = calibrate_severity(clips, Identity(), delta_pix=0.0, rng=0)
+        assert est.sigma < 0.01
+
+    def test_jitter_alone_raises_severity(self, clips):
+        no_jitter = calibrate_severity(clips, Identity(), delta_pix=0.0, rng=0)
+        jitter = calibrate_severity(clips, Identity(), delta_pix=1.0, rng=0)
+        assert jitter.sigma > no_jitter.sigma + 1.0
+
+    def test_severity_grows_with_noise(self, clips):
+        mild = calibrate_severity(
+            clips, GaussianNoise(3.0, seed=0), delta_pix=0.0, rng=0
+        )
+        strong = calibrate_severity(
+            clips, GaussianNoise(25.0, seed=0), delta_pix=0.0, rng=0
+        )
+        assert strong.sigma > mild.sigma
+
+    def test_resize_is_most_severe_of_ladder(self, clips):
+        """The paper's ordering: strong resize > gamma > light noise."""
+        resize = calibrate_severity(clips, Resize(0.8), delta_pix=1.0, rng=0)
+        gamma = calibrate_severity(clips, Gamma(2.0), delta_pix=1.0, rng=0)
+        noise = calibrate_severity(
+            clips, GaussianNoise(10.0, seed=0), delta_pix=0.0, rng=0
+        )
+        assert resize.sigma > gamma.sigma > noise.sigma
+
+    def test_collect_pairs_aligns_rows(self, clips):
+        pairs = collect_pairs(clips, Gamma(1.5), delta_pix=0.0, rng=0)
+        assert pairs.reference.shape == pairs.distorted.shape
+        assert len(pairs) > 50

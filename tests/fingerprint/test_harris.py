@@ -1,0 +1,113 @@
+"""Tests for the Harris interest point detector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fingerprint.harris import (
+    HarrisConfig,
+    detect_interest_points,
+    harris_response,
+)
+
+
+def checkerboard(size=64, square=8):
+    tile = np.kron(
+        [[1, 0] * 4, [0, 1] * 4] * 4, np.ones((square, square))
+    )[:size, :size]
+    return (tile * 200).astype(np.uint8)
+
+
+class TestResponse:
+    def test_flat_image_has_no_response(self):
+        frame = np.full((32, 32), 90, dtype=np.uint8)
+        response = harris_response(frame)
+        assert np.allclose(response, 0.0, atol=1e-6)
+
+    def test_corner_scores_higher_than_edge(self):
+        frame = np.zeros((48, 48), dtype=np.uint8)
+        frame[:24, :24] = 200  # one corner at (24, 24), edges along rows/cols
+        cfg = HarrisConfig(sigma_d=1.0, sigma_i=2.0)
+        response = harris_response(frame, cfg)
+        corner = response[24, 24]
+        edge = response[24, 40]
+        assert corner > edge
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            harris_response(np.zeros((3, 4, 5)))
+
+
+class TestDetection:
+    def test_finds_checkerboard_corners(self):
+        frame = checkerboard()
+        points = detect_interest_points(
+            frame, HarrisConfig(border=6, max_points=30)
+        )
+        assert points.shape[0] > 4
+        # Checkerboard corners lie on the 8-pixel lattice.
+        on_lattice = sum(
+            1 for y, x in points if (y % 8 <= 1 or y % 8 >= 7) and (x % 8 <= 1 or x % 8 >= 7)
+        )
+        assert on_lattice >= points.shape[0] // 2
+
+    def test_respects_border(self):
+        frame = checkerboard()
+        cfg = HarrisConfig(border=12, max_points=50)
+        points = detect_interest_points(frame, cfg)
+        assert np.all(points >= 12)
+        assert np.all(points < 64 - 12)
+
+    def test_respects_max_points(self):
+        frame = checkerboard()
+        cfg = HarrisConfig(border=6, max_points=5)
+        assert detect_interest_points(frame, cfg).shape[0] <= 5
+
+    def test_strongest_first(self):
+        frame = checkerboard()
+        cfg = HarrisConfig(border=6, max_points=10)
+        points = detect_interest_points(frame, cfg)
+        response = harris_response(frame, cfg)
+        scores = [response[y, x] for y, x in points]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_flat_image_yields_nothing(self):
+        frame = np.full((40, 40), 123, dtype=np.uint8)
+        assert detect_interest_points(frame).shape == (0, 2)
+
+    def test_tiny_frame_yields_nothing(self):
+        frame = checkerboard()[:12, :12]
+        assert detect_interest_points(frame, HarrisConfig(border=8)).shape == (0, 2)
+
+    def test_repeatable_under_contrast_change(self):
+        """Detected positions survive a moderate contrast scaling.
+
+        ``max_points`` is kept above the corner count: on a symmetric
+        checkerboard many corners tie in response, so a rank truncation
+        would pick an arbitrary subset and mask genuine repeatability.
+        """
+        frame = checkerboard()
+        dimmed = (frame.astype(float) * 0.6).astype(np.uint8)
+        cfg = HarrisConfig(border=6, max_points=100)
+        a = {tuple(p) for p in detect_interest_points(frame, cfg)}
+        b = {tuple(p) for p in detect_interest_points(dimmed, cfg)}
+        overlap = len(a & b)
+        assert overlap >= len(a) // 2
+
+
+class TestConfigValidation:
+    def test_rejects_bad_sigmas(self):
+        with pytest.raises(ConfigurationError):
+            HarrisConfig(sigma_d=0.0)
+        with pytest.raises(ConfigurationError):
+            HarrisConfig(sigma_i=-1.0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            HarrisConfig(relative_threshold=1.0)
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ConfigurationError):
+            HarrisConfig(nms_radius=0)
+        with pytest.raises(ConfigurationError):
+            HarrisConfig(max_points=0)

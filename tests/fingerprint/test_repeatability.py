@@ -1,0 +1,63 @@
+"""Tests for interest-point repeatability measurement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fingerprint.repeatability import (
+    frame_repeatability,
+    measure_repeatability,
+)
+from repro.video.synthetic import generate_clip
+from repro.video.transforms import GaussianNoise, Identity, Resize, VerticalShift
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return generate_clip(60, seed=0)
+
+
+class TestFrameRepeatability:
+    def test_identity_is_perfect(self, clip):
+        frame = clip.frames[10]
+        repeated, detected = frame_repeatability(frame, frame, Identity())
+        assert detected > 0
+        assert repeated == detected
+
+    def test_rejects_bad_radius(self, clip):
+        frame = clip.frames[0]
+        with pytest.raises(ConfigurationError):
+            frame_repeatability(frame, frame, Identity(), radius=0.0)
+
+    def test_shift_keeps_visible_points(self, clip):
+        """Shifted content: mapped points that stay in frame must be
+        re-detected (the detector sees the same pixels)."""
+        transform = VerticalShift(0.2)
+        frame = clip.frames[10]
+        repeated, detected = frame_repeatability(
+            frame, transform.apply_frame(frame), transform
+        )
+        assert detected > 0
+        assert repeated / detected >= 0.6
+
+
+class TestMeasureRepeatability:
+    def test_mild_beats_severe_noise(self, clip):
+        mild = measure_repeatability(clip, GaussianNoise(3.0, seed=1))
+        severe = measure_repeatability(clip, GaussianNoise(60.0, seed=2))
+        assert mild.repeatability > severe.repeatability
+
+    def test_mild_resize_beats_strong_resize(self, clip):
+        near = measure_repeatability(clip, Resize(0.95))
+        strong = measure_repeatability(clip, Resize(0.5))
+        assert near.repeatability >= strong.repeatability
+
+    def test_counts_reported(self, clip):
+        result = measure_repeatability(clip, Identity(), frame_step=20)
+        assert result.num_frames == 3
+        assert result.num_reference_points > 0
+        assert result.repeatability == pytest.approx(1.0)
+
+    def test_rejects_bad_step(self, clip):
+        with pytest.raises(ConfigurationError):
+            measure_repeatability(clip, Identity(), frame_step=0)

@@ -1,0 +1,128 @@
+"""Unit/property tests for the scalar Hilbert curve (Butz algorithm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.hilbert.butz import HilbertCurve
+
+
+class TestConstruction:
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(GeometryError):
+            HilbertCurve(0, 4)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(GeometryError):
+            HilbertCurve(2, 0)
+
+    def test_geometry_attributes(self):
+        hc = HilbertCurve(3, 4)
+        assert hc.side == 16
+        assert hc.total_bits == 12
+
+
+class TestBijectivity:
+    @pytest.mark.parametrize("ndims,order", [(1, 4), (2, 3), (3, 2), (4, 2), (5, 1)])
+    def test_decode_enumerates_all_cells(self, ndims, order):
+        hc = HilbertCurve(ndims, order)
+        total = 1 << hc.total_bits
+        cells = {tuple(hc.decode(i)) for i in range(total)}
+        assert len(cells) == total
+
+    @pytest.mark.parametrize("ndims,order", [(2, 4), (3, 3)])
+    def test_encode_inverts_decode(self, ndims, order):
+        hc = HilbertCurve(ndims, order)
+        for i in range(1 << hc.total_bits):
+            assert hc.encode(hc.decode(i)) == i
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50)
+    def test_roundtrip_high_dimension(self, seed):
+        hc = HilbertCurve(20, 8)
+        rng = np.random.default_rng(seed)
+        point = rng.integers(0, 256, size=20).tolist()
+        assert hc.decode(hc.encode(point)) == point
+
+
+class TestAdjacency:
+    @pytest.mark.parametrize("ndims,order", [(2, 4), (3, 3), (4, 2), (5, 2)])
+    def test_consecutive_indices_are_neighbouring_cells(self, ndims, order):
+        hc = HilbertCurve(ndims, order)
+        prev = hc.decode(0)
+        for i in range(1, 1 << hc.total_bits):
+            cur = hc.decode(i)
+            diffs = [abs(a - b) for a, b in zip(prev, cur)]
+            assert sum(diffs) == 1 and max(diffs) == 1, f"break at index {i}"
+            prev = cur
+
+    def test_curve_starts_at_origin(self):
+        for ndims in (2, 3, 5):
+            hc = HilbertCurve(ndims, 3)
+            assert hc.decode(0) == [0] * ndims
+
+
+class TestValidation:
+    def test_encode_rejects_wrong_arity(self):
+        hc = HilbertCurve(3, 3)
+        with pytest.raises(GeometryError):
+            hc.encode([1, 2])
+
+    def test_encode_rejects_out_of_grid(self):
+        hc = HilbertCurve(2, 3)
+        with pytest.raises(GeometryError):
+            hc.encode([8, 0])
+        with pytest.raises(GeometryError):
+            hc.encode([-1, 0])
+
+    def test_decode_rejects_out_of_range_index(self):
+        hc = HilbertCurve(2, 3)
+        with pytest.raises(GeometryError):
+            hc.decode(1 << 6)
+        with pytest.raises(GeometryError):
+            hc.decode(-1)
+
+
+class TestPrefixKey:
+    @pytest.mark.parametrize("ndims,order,levels", [(2, 4, 2), (3, 3, 1), (5, 4, 3)])
+    def test_prefix_matches_full_encode(self, ndims, order, levels):
+        hc = HilbertCurve(ndims, order)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            point = rng.integers(0, hc.side, size=ndims).tolist()
+            full = hc.encode(point)
+            expected = full >> (ndims * (order - levels))
+            assert hc.prefix_key(point, levels) == expected
+
+    def test_prefix_rejects_bad_levels(self):
+        hc = HilbertCurve(2, 4)
+        with pytest.raises(GeometryError):
+            hc.prefix_key([0, 0], 0)
+        with pytest.raises(GeometryError):
+            hc.prefix_key([0, 0], 5)
+
+
+class TestLocality:
+    def test_nearby_indices_are_nearby_cells(self):
+        """The clustering property the index relies on, quantified."""
+        hc = HilbertCurve(2, 5)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            i = int(rng.integers(0, (1 << hc.total_bits) - 8))
+            a = np.array(hc.decode(i))
+            b = np.array(hc.decode(i + 7))
+            # Within 8 curve steps, cells stay within L1 distance 8.
+            assert np.abs(a - b).sum() <= 8
+
+
+class TestNumpyScalarInputs:
+    def test_uint8_coordinates_do_not_overflow(self):
+        """Regression: uint8 coords once wrapped in the bit-packing shifts."""
+        hc = HilbertCurve(20, 8)
+        rng = np.random.default_rng(0)
+        as_uint8 = rng.integers(0, 256, size=20, dtype=np.uint8)
+        as_int = [int(c) for c in as_uint8]
+        assert hc.encode(as_uint8) == hc.encode(as_int)
+        assert hc.prefix_key(as_uint8, 2) == hc.prefix_key(as_int, 2)

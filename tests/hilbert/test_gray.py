@@ -1,0 +1,105 @@
+"""Unit tests for the Gray-code primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hilbert.gray import (
+    entry_point,
+    gray,
+    gray_inverse,
+    intra_direction,
+    rotate_left,
+    rotate_right,
+    trailing_set_bits,
+    transform,
+    transform_inverse,
+    update_state,
+)
+
+
+class TestGrayCode:
+    def test_first_values(self):
+        assert [gray(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_consecutive_codes_differ_in_one_bit(self):
+        for i in range(1024):
+            diff = gray(i) ^ gray(i + 1)
+            assert diff != 0 and diff & (diff - 1) == 0
+
+    def test_flip_position_matches_trailing_set_bits(self):
+        for i in range(1024):
+            assert gray(i) ^ gray(i + 1) == 1 << trailing_set_bits(i)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_inverse_roundtrip(self, i):
+        assert gray_inverse(gray(i)) == i
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_gray_is_injective_locally(self, i):
+        assert gray(i) != gray(i + 1)
+
+
+class TestTrailingSetBits:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 0), (1, 1), (2, 0), (3, 2), (7, 3), (8, 0), (0b1011, 2)],
+    )
+    def test_known_values(self, value, expected):
+        assert trailing_set_bits(value) == expected
+
+
+class TestRotations:
+    @given(
+        st.integers(min_value=0, max_value=2**20 - 1),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_left_right_inverse(self, b, shift):
+        width = 20
+        assert rotate_left(rotate_right(b, shift, width), shift, width) == b
+
+    def test_rotate_right_known(self):
+        assert rotate_right(0b0011, 1, 4) == 0b1001
+        assert rotate_right(0b0011, 4, 4) == 0b0011
+
+    @given(
+        st.integers(min_value=0, max_value=2**12 - 1),
+        st.integers(min_value=0, max_value=24),
+    )
+    def test_rotation_preserves_popcount(self, b, shift):
+        assert bin(rotate_right(b, shift, 12)).count("1") == bin(b).count("1")
+
+
+class TestEntryDirection:
+    def test_entry_point_base_case(self):
+        assert entry_point(0) == 0
+
+    def test_entry_points_are_gray_codes_of_even_numbers(self):
+        for w in range(1, 64):
+            e = entry_point(w)
+            assert gray_inverse(e) % 2 == 0
+
+    def test_intra_direction_in_range(self):
+        for n in (2, 3, 5, 20):
+            for w in range(1 << min(n, 6)):
+                assert 0 <= intra_direction(w, n) < n
+
+
+class TestTransform:
+    @given(
+        st.integers(min_value=0, max_value=2**10 - 1),
+        st.integers(min_value=0, max_value=2**10 - 1),
+        st.integers(min_value=0, max_value=9),
+    )
+    def test_transform_roundtrip(self, e, b, d):
+        n = 10
+        assert transform(e, d, transform_inverse(e, d, b, n), n) == b
+        assert transform_inverse(e, d, transform(e, d, b, n), n) == b
+
+    def test_update_state_stays_in_domain(self):
+        n = 5
+        e, d = 0, 0
+        for w in range(1 << n):
+            e, d = update_state(e, d, w, n)
+            assert 0 <= e < (1 << n)
+            assert 0 <= d < n

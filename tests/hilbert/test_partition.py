@@ -1,0 +1,135 @@
+"""Exhaustive verification of the p-block partition geometry."""
+
+import itertools
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.hilbert.butz import HilbertCurve
+from repro.hilbert.partition import (
+    PartitionNode,
+    blocks_at_depth,
+    partition_grid_2d,
+)
+
+
+@pytest.mark.parametrize("ndims,order,max_depth", [(2, 4, 8), (3, 3, 9), (4, 2, 8)])
+def test_blocks_match_bruteforce_prefix_grouping(ndims, order, max_depth):
+    """Every block's box equals the bounding box of its curve interval,
+    and the interval fills the box exactly."""
+    hc = HilbertCurve(ndims, order)
+    cells_by_prefix: dict[int, list] = defaultdict(list)
+    for depth in range(max_depth + 1):
+        cells_by_prefix.clear()
+        shift = hc.total_bits - depth
+        for pt in itertools.product(range(hc.side), repeat=ndims):
+            cells_by_prefix[hc.encode(pt) >> shift].append(pt)
+        for node in blocks_at_depth(hc, depth):
+            cells = cells_by_prefix[node.prefix]
+            assert len(cells) == node.volume()
+            for dim in range(ndims):
+                values = [c[dim] for c in cells]
+                assert min(values) == node.lo[dim]
+                assert max(values) == node.hi[dim] - 1
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("depth", [1, 3, 5, 7])
+    def test_blocks_tile_the_grid(self, depth):
+        hc = HilbertCurve(2, 4)
+        blocks = blocks_at_depth(hc, depth)
+        assert len(blocks) == 1 << depth
+        total = sum(node.volume() for node in blocks)
+        assert total == hc.side ** 2
+
+    @pytest.mark.parametrize("depth", [2, 4, 6])
+    def test_equal_volume_blocks(self, depth):
+        """Paper: p-blocks have the same volume and shape."""
+        hc = HilbertCurve(3, 3)
+        volumes = {n.volume() for n in blocks_at_depth(hc, depth)}
+        assert len(volumes) == 1
+
+    @pytest.mark.parametrize("depth", [2, 4, 6])
+    def test_equal_shape_up_to_orientation(self, depth):
+        hc = HilbertCurve(3, 3)
+        shapes = {
+            tuple(sorted(h - l for l, h in zip(n.lo, n.hi)))
+            for n in blocks_at_depth(hc, depth)
+        }
+        assert len(shapes) == 1
+
+    def test_prefixes_enumerate_curve_order(self):
+        hc = HilbertCurve(2, 4)
+        blocks = blocks_at_depth(hc, 5)
+        assert [n.prefix for n in blocks] == list(range(32))
+
+    def test_curve_interval_bounds(self):
+        hc = HilbertCurve(2, 4)
+        node = blocks_at_depth(hc, 3)[5]
+        start, stop = node.curve_interval()
+        assert stop - start == 1 << (hc.total_bits - 3)
+        # All cells of the interval decode inside the box.
+        for idx in range(start, stop):
+            assert node.contains(hc.decode(idx))
+
+
+class TestNodeApi:
+    def test_root_covers_grid(self):
+        hc = HilbertCurve(4, 3)
+        root = PartitionNode.root(hc)
+        assert root.volume() == hc.side ** 4
+        assert root.depth == 0
+
+    def test_cannot_split_single_cell(self):
+        hc = HilbertCurve(2, 1)
+        node = PartitionNode.root(hc)
+        for _ in range(hc.total_bits):
+            node = node.children()[0]
+        with pytest.raises(GeometryError):
+            node.children()
+
+    def test_min_sq_distance(self):
+        hc = HilbertCurve(2, 3)
+        root = PartitionNode.root(hc)
+        child0, child1 = root.children()
+        inside = np.array(child0.lo, dtype=float) + 0.5
+        assert child0.min_sq_distance(inside) == 0.0
+        # A point inside child0 has positive distance to child1 unless on
+        # the shared face.
+        far = np.array(child1.hi, dtype=float) + 3.0
+        assert child0.min_sq_distance(far) > 0
+
+    def test_split_dim_alternates_through_all_dims_each_level(self):
+        """One level (D splits) halves every dimension exactly once."""
+        hc = HilbertCurve(5, 2)
+        node = PartitionNode.root(hc)
+        dims = []
+        for _ in range(5):
+            dim, _ = node.split_info()
+            dims.append(dim)
+            node = node.children()[0]
+        assert sorted(dims) == list(range(5))
+
+
+class TestGrid2D:
+    def test_partition_grid_labels(self):
+        hc = HilbertCurve(2, 4)
+        grid = partition_grid_2d(hc, 4)
+        assert grid.shape == (16, 16)
+        assert len(np.unique(grid)) == 16
+        counts = np.bincount(grid.ravel())
+        assert np.all(counts == 16)
+
+    def test_rejects_non_2d(self):
+        hc = HilbertCurve(3, 3)
+        with pytest.raises(GeometryError):
+            partition_grid_2d(hc, 3)
+
+    def test_rejects_bad_depth(self):
+        hc = HilbertCurve(2, 3)
+        with pytest.raises(GeometryError):
+            blocks_at_depth(hc, -1)
+        with pytest.raises(GeometryError):
+            blocks_at_depth(hc, 7)

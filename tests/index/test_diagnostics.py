@@ -1,0 +1,93 @@
+"""Tests for the index diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.distortion.model import NormalDistortionModel
+from repro.errors import ConfigurationError
+from repro.index.diagnostics import (
+    block_occupancy,
+    clustering_summary,
+    occupancy_summary,
+)
+from repro.index.s3 import S3Index
+from repro.index.store import FingerprintStore
+
+
+@pytest.fixture(scope="module")
+def clustered_index():
+    rng = np.random.default_rng(0)
+    centers = rng.integers(40, 216, size=(10, 6))
+    assign = rng.integers(0, 10, size=6000)
+    pts = np.clip(centers[assign] + rng.normal(0, 8, (6000, 6)), 0, 255)
+    store = FingerprintStore(
+        fingerprints=pts.astype(np.uint8),
+        ids=np.zeros(6000, dtype=np.uint32),
+        timecodes=np.arange(6000, dtype=np.float64),
+    )
+    return S3Index(store, model=NormalDistortionModel(6, 8.0))
+
+
+@pytest.fixture(scope="module")
+def uniform_index():
+    rng = np.random.default_rng(1)
+    pts = rng.integers(0, 256, size=(6000, 6), dtype=np.uint8)
+    store = FingerprintStore(
+        fingerprints=pts,
+        ids=np.zeros(6000, dtype=np.uint32),
+        timecodes=np.arange(6000, dtype=np.float64),
+    )
+    return S3Index(store, model=NormalDistortionModel(6, 8.0))
+
+
+class TestOccupancy:
+    def test_counts_cover_all_rows(self, clustered_index):
+        counts = block_occupancy(clustered_index, depth=10)
+        assert counts.sum() == len(clustered_index)
+        assert np.all(counts >= 1)
+
+    def test_summary_fields(self, clustered_index):
+        summary = occupancy_summary(clustered_index, depth=10)
+        assert summary.total_blocks == 1024
+        assert 0 < summary.populated_blocks <= 1024
+        assert summary.max_rows >= summary.mean_rows
+        assert 0.0 <= summary.gini <= 1.0
+        assert 0.0 < summary.occupancy_rate <= 1.0
+
+    def test_clustered_data_is_more_skewed_than_uniform(
+        self, clustered_index, uniform_index
+    ):
+        """Real (clustered) fingerprints concentrate in few blocks."""
+        clustered = occupancy_summary(clustered_index, depth=12)
+        uniform = occupancy_summary(uniform_index, depth=12)
+        assert clustered.gini > uniform.gini
+        assert clustered.populated_blocks < uniform.populated_blocks
+
+    def test_deeper_partitions_have_fewer_rows_per_block(self, clustered_index):
+        shallow = occupancy_summary(clustered_index, depth=6)
+        deep = occupancy_summary(clustered_index, depth=12)
+        assert deep.mean_rows < shallow.mean_rows
+
+    def test_rejects_bad_depth(self, clustered_index):
+        with pytest.raises(ConfigurationError):
+            block_occupancy(clustered_index, depth=0)
+
+
+class TestClustering:
+    def test_blocks_merge_into_fewer_sections(self, clustered_index):
+        rng = np.random.default_rng(2)
+        rows = rng.integers(0, len(clustered_index), 10)
+        queries = np.clip(
+            clustered_index.store.fingerprints[rows].astype(float)
+            + rng.normal(0, 8.0, (10, 6)),
+            0,
+            255,
+        )
+        summary = clustering_summary(clustered_index, queries, 0.8, depth=12)
+        assert summary.queries == 10
+        assert summary.mean_sections <= summary.mean_blocks
+        assert summary.merge_factor >= 1.0
+
+    def test_rejects_empty_queries(self, clustered_index):
+        with pytest.raises(ConfigurationError):
+            clustering_summary(clustered_index, np.empty((0, 6)), 0.8)

@@ -1,0 +1,81 @@
+"""Tests for the exact incremental k-NN search on the S³ structure."""
+
+import numpy as np
+import pytest
+
+from repro.distortion.model import NormalDistortionModel
+from repro.errors import ConfigurationError
+from repro.index.knn import knn_query
+from repro.index.s3 import S3Index
+from repro.index.seqscan import SequentialScanIndex
+from repro.index.store import FingerprintStore
+
+
+@pytest.fixture(scope="module")
+def index():
+    rng = np.random.default_rng(0)
+    centers = rng.integers(40, 216, size=(25, 8))
+    assign = rng.integers(0, 25, size=10_000)
+    pts = np.clip(centers[assign] + rng.normal(0, 10, (10_000, 8)), 0, 255)
+    store = FingerprintStore(
+        fingerprints=pts.astype(np.uint8),
+        ids=rng.integers(0, 50, 10_000).astype(np.uint32),
+        timecodes=rng.uniform(0, 200, 10_000),
+    )
+    return S3Index(store, model=NormalDistortionModel(8, 10.0), depth=14)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_bruteforce_distances(self, index, k):
+        scan = SequentialScanIndex(index.store)
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            query = rng.uniform(0, 255, 8)
+            fast = knn_query(index, query, k)
+            brute = scan.knn_query(query, k)
+            # Distances must agree exactly (rows may differ only on ties).
+            assert np.allclose(fast.distances, brute.distances)
+
+    def test_distances_sorted(self, index):
+        result = knn_query(index, np.full(8, 128.0), 10)
+        assert np.all(np.diff(result.distances) >= 0)
+
+    def test_self_query_returns_zero_distance(self, index):
+        query = index.store.fingerprints[42].astype(float)
+        result = knn_query(index, query, 1)
+        assert result.distances[0] == 0.0
+
+
+class TestPruning:
+    def test_scans_fraction_of_database(self, index):
+        """The point of the structure: exact k-NN without a full scan."""
+        rng = np.random.default_rng(2)
+        query = np.clip(
+            index.store.fingerprints[17].astype(float) + rng.normal(0, 5, 8),
+            0, 255,
+        )
+        result = knn_query(index, query, 5)
+        assert result.stats.rows_scanned < len(index) / 2
+
+    def test_deeper_bound_scans_fewer_rows(self, index):
+        query = index.store.fingerprints[99].astype(float)
+        shallow = knn_query(index, query, 5, depth=8)
+        deep = knn_query(index, query, 5, depth=16)
+        assert deep.stats.rows_scanned <= shallow.stats.rows_scanned
+
+
+class TestValidation:
+    def test_rejects_bad_k(self, index):
+        with pytest.raises(ConfigurationError):
+            knn_query(index, np.zeros(8), 0)
+        with pytest.raises(ConfigurationError):
+            knn_query(index, np.zeros(8), len(index) + 1)
+
+    def test_rejects_bad_query(self, index):
+        with pytest.raises(ConfigurationError):
+            knn_query(index, np.zeros(5), 3)
+
+    def test_rejects_bad_depth(self, index):
+        with pytest.raises(ConfigurationError):
+            knn_query(index, np.zeros(8), 3, depth=0)

@@ -1,0 +1,128 @@
+"""Tests for the pseudo-disk batched search strategy (paper §IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.distortion.model import NormalDistortionModel
+from repro.errors import ConfigurationError
+from repro.index.pseudodisk import PseudoDiskSearcher, auto_batch_size
+from repro.index.s3 import S3Index
+from repro.index.store import FingerprintStore
+
+
+def clustered_store(n, ndims=8, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.integers(40, 216, size=(max(n // 200, 4), ndims))
+    assign = rng.integers(0, centers.shape[0], size=n)
+    pts = np.clip(centers[assign] + rng.normal(0, 10, (n, ndims)), 0, 255)
+    return FingerprintStore(
+        fingerprints=pts.astype(np.uint8),
+        ids=rng.integers(0, 100, n).astype(np.uint32),
+        timecodes=rng.uniform(0, 500, n),
+    )
+
+
+@pytest.fixture(scope="module")
+def saved_index(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("pd")
+    store = clustered_store(20_000)
+    model = NormalDistortionModel(8, 10.0)
+    index = S3Index(store, model=model)
+    index.save(tmp / "db")
+    return index, tmp / "db.store", model
+
+
+class TestSetup:
+    def test_rejects_unsorted_store(self, tmp_path):
+        store = clustered_store(2000, seed=5)
+        store.save(tmp_path / "raw.store")  # not curve-sorted
+        with pytest.raises(ConfigurationError):
+            PseudoDiskSearcher(
+                tmp_path / "raw.store",
+                NormalDistortionModel(8, 10.0),
+                memory_rows=500,
+            )
+
+    def test_section_split_fits_budget(self, saved_index):
+        index, path, model = saved_index
+        budget = len(index) // 8
+        searcher = PseudoDiskSearcher(path, model, memory_rows=budget)
+        fullest = max(e - s for s, e in searcher.sections)
+        assert fullest <= budget
+
+
+class TestBatchedSearch:
+    def test_matches_in_memory_index(self, saved_index):
+        index, path, model = saved_index
+        searcher = PseudoDiskSearcher(
+            path, model, memory_rows=len(index) // 8, depth=index.depth
+        )
+        rng = np.random.default_rng(1)
+        rows = rng.integers(0, len(index), size=6)
+        queries = np.clip(
+            index.store.fingerprints[rows].astype(float)
+            + rng.normal(0, 10.0, (6, 8)),
+            0,
+            255,
+        )
+        results, stats = searcher.search_batch(queries, 0.8)
+        assert stats.num_queries == 6
+        for q, result in zip(queries, results):
+            reference = index.statistical_query(q, 0.8)
+            assert sorted(result.rows.tolist()) == sorted(
+                reference.rows.tolist()
+            )
+            assert np.array_equal(
+                np.sort(result.ids), np.sort(reference.ids)
+            )
+
+    def test_loads_only_needed_sections(self, saved_index):
+        index, path, model = saved_index
+        searcher = PseudoDiskSearcher(
+            path, model, memory_rows=len(index) // 16
+        )
+        query = index.store.fingerprints[0].astype(float)[None, :]
+        _, stats = searcher.search_batch(query, 0.8)
+        assert stats.sections_loaded < stats.num_sections
+        assert stats.bytes_loaded > 0
+
+    def test_amortisation(self, saved_index):
+        """Eq. (5): per-query cost shrinks as the batch grows."""
+        index, path, model = saved_index
+        searcher = PseudoDiskSearcher(path, model, memory_rows=len(index) // 8)
+        rng = np.random.default_rng(2)
+        queries = np.clip(
+            index.store.fingerprints[
+                rng.integers(0, len(index), size=24)
+            ].astype(float)
+            + rng.normal(0, 10.0, (24, 8)),
+            0,
+            255,
+        )
+        _, small = searcher.search_batch(queries[:2], 0.8)
+        _, large = searcher.search_batch(queries, 0.8)
+        # Load volume per query strictly smaller for the large batch.
+        assert (
+            large.bytes_loaded / large.num_queries
+            <= small.bytes_loaded / small.num_queries + 1
+        )
+
+    def test_rejects_bad_query_shape(self, saved_index):
+        _, path, model = saved_index
+        searcher = PseudoDiskSearcher(path, model, memory_rows=10_000)
+        with pytest.raises(ConfigurationError):
+            searcher.search_batch(np.zeros((3, 5)), 0.8)
+
+
+class TestAutoBatchSize:
+    def test_grows_sublinearly(self):
+        small = auto_batch_size(10_000)
+        large = auto_batch_size(1_000_000)
+        assert large > small
+        assert large / small < 100  # sqrt scaling: x10 for x100 rows
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            auto_batch_size(0)
+        with pytest.raises(ConfigurationError):
+            auto_batch_size(100, target_load_fraction=0.0)

@@ -1,0 +1,73 @@
+"""Tests for the partition-depth tuning (paper §IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.distortion.model import NormalDistortionModel
+from repro.errors import ConfigurationError
+from repro.index.s3 import S3Index
+from repro.index.store import FingerprintStore
+from repro.index.tuning import profile_depths, tune_depth
+
+
+@pytest.fixture(scope="module")
+def index_and_queries():
+    rng = np.random.default_rng(0)
+    centers = rng.integers(40, 216, size=(40, 6))
+    assign = rng.integers(0, 40, size=8000)
+    pts = np.clip(centers[assign] + rng.normal(0, 9, (8000, 6)), 0, 255)
+    store = FingerprintStore(
+        fingerprints=pts.astype(np.uint8),
+        ids=np.zeros(8000, dtype=np.uint32),
+        timecodes=np.arange(8000, dtype=np.float64),
+    )
+    index = S3Index(store, model=NormalDistortionModel(6, 9.0))
+    queries = np.clip(
+        pts[rng.integers(0, 8000, 12)] + rng.normal(0, 9.0, (12, 6)), 0, 255
+    )
+    return index, queries
+
+
+class TestProfileDepths:
+    def test_profiles_every_requested_depth(self, index_and_queries):
+        index, queries = index_and_queries
+        profiles = profile_depths(index, queries, 0.8, depths=[4, 8, 12])
+        assert [p.depth for p in profiles] == [4, 8, 12]
+        for p in profiles:
+            assert p.total_seconds > 0
+            assert p.rows_scanned > 0
+
+    def test_refinement_shrinks_with_depth(self, index_and_queries):
+        """T_r(p) decreases: deeper partitions scan fewer rows."""
+        index, queries = index_and_queries
+        profiles = profile_depths(index, queries, 0.8, depths=[2, 12])
+        assert profiles[1].rows_scanned < profiles[0].rows_scanned
+
+    def test_filtering_grows_with_depth(self, index_and_queries):
+        """T_f(p) increases: deeper partitions expand more tree nodes."""
+        index, queries = index_and_queries
+        profiles = profile_depths(index, queries, 0.8, depths=[2, 12])
+        assert profiles[1].blocks_selected >= profiles[0].blocks_selected
+
+    def test_rejects_empty_queries(self, index_and_queries):
+        index, _ = index_and_queries
+        with pytest.raises(ConfigurationError):
+            profile_depths(index, np.empty((0, 6)), 0.8, depths=[4])
+        with pytest.raises(ConfigurationError):
+            profile_depths(index, np.zeros(6), 0.8, depths=[4])
+
+
+class TestTuneDepth:
+    def test_applies_best_depth(self, index_and_queries):
+        index, queries = index_and_queries
+        best, profiles = tune_depth(index, queries, 0.8, depths=[4, 8, 12])
+        assert best in (4, 8, 12)
+        assert index.depth == best
+        measured = {p.depth: p.total_seconds for p in profiles}
+        assert measured[best] == min(measured.values())
+
+    def test_apply_false_leaves_index_unchanged(self, index_and_queries):
+        index, queries = index_and_queries
+        before = index.depth
+        tune_depth(index, queries, 0.8, depths=[4], apply=False)
+        assert index.depth == before

@@ -1,0 +1,92 @@
+"""Tests for the VA-file baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, IndexError_
+from repro.index.seqscan import SequentialScanIndex
+from repro.index.store import FingerprintStore
+from repro.index.vafile import VAFile
+
+
+@pytest.fixture(scope="module")
+def store():
+    rng = np.random.default_rng(0)
+    centers = rng.integers(40, 216, size=(20, 8))
+    assign = rng.integers(0, 20, size=5000)
+    pts = np.clip(centers[assign] + rng.normal(0, 10, (5000, 8)), 0, 255)
+    return FingerprintStore(
+        fingerprints=pts.astype(np.uint8),
+        ids=rng.integers(0, 50, 5000).astype(np.uint32),
+        timecodes=rng.uniform(0, 100, 5000),
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_store(self):
+        with pytest.raises(IndexError_):
+            VAFile(FingerprintStore.empty(8))
+
+    def test_rejects_bad_bits(self, store):
+        with pytest.raises(ConfigurationError):
+            VAFile(store, bits=0)
+        with pytest.raises(ConfigurationError):
+            VAFile(store, bits=9)
+
+    def test_approximation_compression(self, store):
+        va = VAFile(store, bits=4)
+        # Approximations stored as one byte per dim here, but conceptually
+        # 4 bits; the table never exceeds the raw fingerprints.
+        assert va.approximation_bytes() <= store.fingerprints.nbytes
+        assert va.approximations.max() < 16
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    @pytest.mark.parametrize("epsilon", [0.0, 15.0, 60.0])
+    def test_matches_sequential_scan(self, store, bits, epsilon):
+        va = VAFile(store, bits=bits)
+        scan = SequentialScanIndex(store)
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            query = rng.uniform(0, 255, size=8)
+            a = va.range_query(query, epsilon)
+            b = scan.range_query(query, epsilon)
+            assert sorted(a.rows.tolist()) == sorted(b.rows.tolist())
+
+    def test_lower_bound_is_a_lower_bound(self, store):
+        va = VAFile(store, bits=3)
+        rng = np.random.default_rng(2)
+        query = rng.uniform(0, 255, size=8)
+        bounds = va._lower_bound_sq(query)
+        diffs = store.fingerprints.astype(np.float64) - query
+        true_sq = np.einsum("ij,ij->i", diffs, diffs)
+        assert np.all(bounds <= true_sq + 1e-9)
+
+    def test_validates_inputs(self, store):
+        va = VAFile(store)
+        with pytest.raises(ConfigurationError):
+            va.range_query(np.zeros(3), 10.0)
+        with pytest.raises(ConfigurationError):
+            va.range_query(np.zeros(8), -1.0)
+
+
+class TestSelectivity:
+    def test_more_bits_filter_better(self, store):
+        rng = np.random.default_rng(3)
+        query = rng.uniform(50, 200, size=8)
+        coarse = VAFile(store, bits=2).selectivity(query, 30.0)
+        fine = VAFile(store, bits=6).selectivity(query, 30.0)
+        assert fine <= coarse
+
+    def test_large_radius_defeats_the_filter(self, store):
+        """The dimensionality-curse effect: a big sphere keeps everything."""
+        va = VAFile(store, bits=4)
+        query = np.full(8, 128.0)
+        assert va.selectivity(query, 500.0) == pytest.approx(1.0)
+
+    def test_stats_account_candidates(self, store):
+        va = VAFile(store, bits=4)
+        result = va.range_query(np.full(8, 128.0), 40.0)
+        assert result.stats.rows_scanned >= len(result)
+        assert result.stats.blocks_selected == result.stats.rows_scanned

@@ -1,0 +1,87 @@
+"""Tests for the hyper-rectangular window query (Lawder comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hilbert import HilbertCurve, blocks_at_depth
+from repro.index.filtering import window_blocks
+from repro.index.s3 import S3Index
+from repro.index.store import FingerprintStore
+
+
+def box_overlaps(node, lo, hi):
+    return all(
+        node.lo[j] < hi[j] and node.hi[j] > lo[j]
+        for j in range(len(lo))
+    )
+
+
+class TestWindowBlocks:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_bruteforce(self, seed):
+        curve = HilbertCurve(3, 4)
+        rng = np.random.default_rng(seed)
+        lo = rng.uniform(0, 10, 3)
+        hi = lo + rng.uniform(1, 6, 3)
+        sel = window_blocks(lo, hi, curve, 7)
+        expected = sorted(
+            n.prefix for n in blocks_at_depth(curve, 7) if box_overlaps(n, lo, hi)
+        )
+        assert list(sel.prefixes) == expected
+
+    def test_full_window_selects_everything(self):
+        curve = HilbertCurve(2, 4)
+        sel = window_blocks([0, 0], [16, 16], curve, 5)
+        assert len(sel) == 32
+
+    def test_empty_window(self):
+        curve = HilbertCurve(2, 4)
+        sel = window_blocks([3, 3], [3, 8], curve, 4)
+        assert len(sel) == 0
+
+    def test_rejects_inverted_bounds(self):
+        curve = HilbertCurve(2, 4)
+        with pytest.raises(ConfigurationError):
+            window_blocks([5, 5], [4, 8], curve, 4)
+
+    def test_rejects_wrong_arity(self):
+        curve = HilbertCurve(3, 4)
+        with pytest.raises(ConfigurationError):
+            window_blocks([0, 0], [4, 4], curve, 4)
+
+
+class TestWindowQuery:
+    @pytest.fixture(scope="class")
+    def index(self):
+        rng = np.random.default_rng(0)
+        pts = rng.integers(0, 256, size=(4000, 6), dtype=np.uint8)
+        store = FingerprintStore(
+            fingerprints=pts,
+            ids=np.zeros(4000, dtype=np.uint32),
+            timecodes=np.arange(4000, dtype=np.float64),
+        )
+        return S3Index(store, depth=10)
+
+    def test_matches_bruteforce_membership(self, index):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            lo = rng.uniform(0, 150, 6)
+            hi = lo + rng.uniform(20, 100, 6)
+            result = index.window_query(lo, hi)
+            fp = index.store.fingerprints.astype(np.float64)
+            expected = np.nonzero(np.all((fp >= lo) & (fp < hi), axis=1))[0]
+            assert sorted(result.rows.tolist()) == sorted(expected.tolist())
+
+    def test_half_open_semantics(self, index):
+        row = 17
+        point = index.store.fingerprints[row].astype(np.float64)
+        inside = index.window_query(point, point + 1)
+        assert row in inside.rows.tolist()
+        excluded = index.window_query(point - 1, point)
+        assert row not in excluded.rows.tolist()
+
+    def test_stats_populated(self, index):
+        result = index.window_query(np.zeros(6), np.full(6, 256.0))
+        assert result.stats.blocks_selected > 0
+        assert len(result) == len(index)

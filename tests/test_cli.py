@@ -1,0 +1,115 @@
+"""End-to-end tests of the ``repro-s3`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.video.synthetic import generate_clip
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A full CLI pipeline: synth -> extract -> build."""
+    tmp = tmp_path_factory.mktemp("cli")
+    video = tmp / "clip.npy"
+    store = tmp / "db.fp"
+    index = tmp / "archive"
+    assert main(["synth", "--frames", "150", "--seed", "1",
+                 "--out", str(video)]) == 0
+    assert main(["extract", str(video), "--video-id", "0",
+                 "--out", str(store)]) == 0
+    # Depth 20: tight blocks keep coincidental matches (and hence the
+    # foreign clip's n_sim) low even on this tiny single-video archive.
+    assert main(["build", str(store), "--sigma", "20", "--depth", "20",
+                 "--out", str(index)]) == 0
+    return {"tmp": tmp, "video": video, "store": store, "index": index}
+
+
+class TestPipeline:
+    def test_info(self, workspace, capsys):
+        assert main(["info", str(workspace["store"])]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprints, dimension 20" in out
+
+    def test_query_from_row(self, workspace, capsys):
+        assert main(["query", str(workspace["index"]),
+                     "--from-row", "3", "--alpha", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "results" in out
+        assert "id=0" in out  # the stored fingerprint itself matches
+
+    def test_query_from_file(self, workspace, capsys):
+        queries = np.random.default_rng(0).uniform(0, 255, (2, 20))
+        qfile = workspace["tmp"] / "q.npy"
+        np.save(qfile, queries)
+        assert main(["query", str(workspace["index"]),
+                     "--queries", str(qfile)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("query") == 2
+
+    def test_query_requires_source(self, workspace, capsys):
+        assert main(["query", str(workspace["index"])]) == 2
+
+    def test_detect_finds_copy(self, workspace, capsys):
+        clip = generate_clip(150, seed=1)  # same seed as the indexed video
+        candidate = workspace["tmp"] / "cand.npy"
+        np.save(candidate, clip.frames[30:110])
+        code = main(["detect", str(workspace["index"]), str(candidate),
+                     "--threshold", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "copy of video 0" in out
+        assert "b=-30" in out  # candidate starts at frame 30
+
+    def test_detect_rejects_foreign_clip(self, workspace, capsys):
+        foreign = generate_clip(80, seed=98765)
+        candidate = workspace["tmp"] / "foreign.npy"
+        np.save(candidate, foreign.frames)
+        code = main(["detect", str(workspace["index"]), str(candidate),
+                     "--threshold", "30"])
+        assert code == 1
+        assert "no copy detected" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_store_reports_error(self, tmp_path, capsys):
+        code = main(["info", str(tmp_path / "nope.fp")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMerge:
+    def test_merge_concatenates(self, workspace, tmp_path, capsys):
+        merged = tmp_path / "merged.fp"
+        code = main([
+            "merge", str(workspace["store"]), str(workspace["store"]),
+            "--out", str(merged),
+        ])
+        assert code == 0
+        from repro.index.store import read_header
+
+        count, ndims = read_header(merged)
+        single, _ = read_header(workspace["store"])
+        assert count == 2 * single
+        assert ndims == 20
+
+
+class TestBuildOptions:
+    def test_build_rejects_bad_depth(self, workspace, tmp_path, capsys):
+        code = main([
+            "build", str(workspace["store"]), "--depth", "99",
+            "--out", str(tmp_path / "bad"),
+        ])
+        assert code == 2
+        assert "depth" in capsys.readouterr().err
+
+    def test_extract_featureless_video_reports_error(self, tmp_path, capsys):
+        flat = np.full((30, 64, 64), 128, dtype=np.uint8)
+        video = tmp_path / "flat.npy"
+        np.save(video, flat)
+        code = main([
+            "extract", str(video), "--video-id", "0",
+            "--out", str(tmp_path / "flat.fp"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,160 @@
+"""Cross-module property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cbcd.mestimator import estimate_offset, tukey_rho
+from repro.distortion.model import NormalDistortionModel
+from repro.distortion.radial import (
+    expectation_for_radius,
+    radius_for_expectation,
+)
+from repro.fingerprint.descriptor import dequantize, quantize
+from repro.hilbert.butz import HilbertCurve
+from repro.index.filtering import select_blocks_threshold
+from repro.index.store import FingerprintStore
+
+
+class TestHilbertProperties:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_any_geometry(self, ndims, order, seed):
+        hc = HilbertCurve(ndims, order)
+        rng = np.random.default_rng(seed)
+        point = rng.integers(0, hc.side, size=ndims).tolist()
+        assert hc.decode(hc.encode(point)) == point
+
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_adjacent_indices_adjacent_cells(self, ndims, order, seed):
+        hc = HilbertCurve(ndims, order)
+        rng = np.random.default_rng(seed)
+        i = int(rng.integers(0, (1 << hc.total_bits) - 1))
+        a = hc.decode(i)
+        b = hc.decode(i + 1)
+        diffs = [abs(x - y) for x, y in zip(a, b)]
+        assert sum(diffs) == 1 and max(diffs) == 1
+
+
+class TestQuantizationProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=40),
+            elements=st.floats(min_value=-1.0, max_value=1.0),
+        )
+    )
+    def test_roundtrip_bounded_error(self, values):
+        recovered = dequantize(quantize(values))
+        assert np.max(np.abs(recovered - values)) <= 1.0 / 255.0 + 1e-12
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            10,
+            elements=st.floats(min_value=-1.0, max_value=1.0),
+        )
+    )
+    def test_quantize_monotone(self, values):
+        order = np.argsort(values, kind="stable")
+        q = quantize(values)
+        assert np.all(np.diff(q[order].astype(np.int64)) >= 0)
+
+
+class TestDistortionProperties:
+    @given(
+        st.floats(min_value=0.02, max_value=0.98),
+        st.integers(min_value=1, max_value=30),
+        st.floats(min_value=0.5, max_value=50.0),
+    )
+    @settings(max_examples=60)
+    def test_radius_expectation_inverse(self, alpha, ndims, sigma):
+        eps = radius_for_expectation(alpha, ndims, sigma)
+        assert expectation_for_radius(eps, ndims, sigma) == pytest.approx(
+            alpha, abs=1e-9
+        )
+
+    @given(
+        st.floats(min_value=-200, max_value=200),
+        st.floats(min_value=1.0, max_value=40.0),
+    )
+    @settings(max_examples=40)
+    def test_box_probability_bounds(self, centre, sigma):
+        model = NormalDistortionModel(3, sigma)
+        lo = np.full(3, centre - 10.0)
+        hi = np.full(3, centre + 10.0)
+        prob = model.box_probability(lo, hi, np.zeros(3))
+        assert 0.0 <= prob <= 1.0
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=15, deadline=None)
+    def test_threshold_selection_subset_of_space(self, seed):
+        """Selected block probabilities always exceed t and sum <= 1."""
+        curve = HilbertCurve(3, 3)
+        model = NormalDistortionModel(3, 2.0)
+        rng = np.random.default_rng(seed)
+        query = rng.uniform(0, curve.side - 1, size=3)
+        sel = select_blocks_threshold(query, model, curve, 6, 0.01)
+        assert np.all(sel.probabilities > 0.01)
+        assert sel.total_probability <= 1.0 + 1e-9
+        assert len(np.unique(sel.prefixes)) == len(sel)
+
+
+class TestTukeyProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=30),
+            elements=st.floats(min_value=-1e3, max_value=1e3),
+        ),
+        st.floats(min_value=0.5, max_value=50.0),
+    )
+    def test_rho_bounded(self, u, c):
+        rho = tukey_rho(u, c)
+        assert np.all(rho >= 0.0)
+        assert np.all(rho <= c * c / 6.0 + 1e-12)
+
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.integers(min_value=3, max_value=12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_offset_estimation_equivariance(self, true_b, num):
+        tcs = np.arange(num, dtype=np.float64) * 3.0
+        est = estimate_offset(
+            list(tcs + true_b), [np.array([t]) for t in tcs], c=2.0
+        )
+        assert est.offset == pytest.approx(true_b, abs=0.2)
+
+
+class TestStoreProperties:
+    @given(
+        count=st.integers(min_value=1, max_value=100),
+        ndims=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_save_load_roundtrip(self, count, ndims, seed, tmp_path_factory):
+        rng = np.random.default_rng(seed)
+        store = FingerprintStore(
+            fingerprints=rng.integers(0, 256, (count, ndims), dtype=np.uint8),
+            ids=rng.integers(0, 2**32, count, dtype=np.uint32),
+            timecodes=rng.uniform(-1e6, 1e6, count),
+        )
+        path = tmp_path_factory.mktemp("prop") / "db.store"
+        store.save(path)
+        loaded = FingerprintStore.load(path)
+        assert np.array_equal(loaded.fingerprints, store.fingerprints)
+        assert np.array_equal(loaded.ids, store.ids)
+        assert np.array_equal(loaded.timecodes, store.timecodes)

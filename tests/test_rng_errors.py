@@ -1,0 +1,74 @@
+"""Tests for the RNG helpers and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.rng import resolve_rng, spawn
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = resolve_rng(42).integers(0, 1000, 10)
+        b = resolve_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert resolve_rng(gen) is gen
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        parent = np.random.default_rng(0)
+        kids = spawn(parent, 3)
+        assert len(kids) == 3
+        draws = [k.integers(0, 10**9) for k in kids]
+        assert len(set(draws)) == 3
+
+    def test_spawn_deterministic(self):
+        a = spawn(np.random.default_rng(7), 2)
+        b = spawn(np.random.default_rng(7), 2)
+        for x, y in zip(a, b):
+            assert x.integers(0, 10**9) == y.integers(0, 10**9)
+
+    def test_consuming_one_child_leaves_others(self):
+        parent = np.random.default_rng(1)
+        kids = spawn(parent, 2)
+        before = kids[1].bit_generator.state["state"]["state"]
+        kids[0].integers(0, 100, 1000)
+        after = kids[1].bit_generator.state["state"]["state"]
+        assert before == after
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            errors.ConfigurationError,
+            errors.GeometryError,
+            errors.StoreError,
+            errors.IndexError_,
+            errors.ExtractionError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, errors.ReproError)
+
+    def test_single_catch_covers_library_failures(self):
+        """The documented pattern: one except clause for the library."""
+        from repro.distortion import NormalDistortionModel
+
+        with pytest.raises(errors.ReproError):
+            NormalDistortionModel(0, 1.0)
+        from repro.hilbert import HilbertCurve
+
+        with pytest.raises(errors.ReproError):
+            HilbertCurve(0, 1)
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert errors.IndexError_ is not IndexError
+        assert not issubclass(errors.IndexError_, IndexError)

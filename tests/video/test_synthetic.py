@@ -1,0 +1,100 @@
+"""Tests for the procedural video generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.synthetic import (
+    SceneConfig,
+    VideoClip,
+    generate_clip,
+    generate_corpus,
+)
+
+
+class TestVideoClip:
+    def test_coerces_frames(self):
+        clip = VideoClip(np.zeros((4, 8, 8), dtype=np.float64))
+        assert clip.frames.dtype == np.uint8
+        assert clip.num_frames == 4
+        assert clip.height == 8
+        assert clip.width == 8
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            VideoClip(np.zeros((8, 8)))
+
+    def test_duration(self):
+        clip = VideoClip(np.zeros((50, 4, 4), dtype=np.uint8), frame_rate=25.0)
+        assert clip.duration == pytest.approx(2.0)
+
+    def test_subclip(self):
+        clip = generate_clip(30, seed=0)
+        sub = clip.subclip(5, 15)
+        assert sub.num_frames == 10
+        assert np.array_equal(sub.frames, clip.frames[5:15])
+
+    def test_subclip_bounds_checked(self):
+        clip = generate_clip(10, seed=0)
+        with pytest.raises(ConfigurationError):
+            clip.subclip(5, 12)
+        with pytest.raises(ConfigurationError):
+            clip.subclip(7, 7)
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        a = generate_clip(40, seed=7)
+        b = generate_clip(40, seed=7)
+        assert np.array_equal(a.frames, b.frames)
+
+    def test_different_seeds_differ(self):
+        a = generate_clip(40, seed=1)
+        b = generate_clip(40, seed=2)
+        assert not np.array_equal(a.frames, b.frames)
+
+    def test_respects_config_dimensions(self):
+        cfg = SceneConfig(height=48, width=64)
+        clip = generate_clip(20, config=cfg, seed=0)
+        assert (clip.height, clip.width) == (48, 64)
+
+    def test_has_motion(self):
+        """Shot cuts and moving objects must produce frame differences."""
+        clip = generate_clip(60, seed=3)
+        diffs = np.abs(np.diff(clip.frames.astype(float), axis=0)).mean(axis=(1, 2))
+        assert diffs.max() > 1.0
+
+    def test_texture_not_flat(self):
+        clip = generate_clip(10, seed=4)
+        assert clip.frames[0].std() > 5.0
+
+    def test_rejects_zero_frames(self):
+        with pytest.raises(ConfigurationError):
+            generate_clip(0)
+
+
+class TestCorpus:
+    def test_corpus_clips_are_independent(self):
+        clips = generate_corpus(3, 20, seed=0)
+        assert len(clips) == 3
+        assert not np.array_equal(clips[0].frames, clips[1].frames)
+
+    def test_corpus_deterministic(self):
+        a = generate_corpus(2, 15, seed=5)
+        b = generate_corpus(2, 15, seed=5)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.frames, y.frames)
+
+    def test_rejects_zero_clips(self):
+        with pytest.raises(ConfigurationError):
+            generate_corpus(0, 10)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        clip = generate_clip(12, seed=6)
+        path = tmp_path / "clip.npy"
+        clip.save(path)
+        loaded = VideoClip.load(path, frame_rate=clip.frame_rate)
+        assert np.array_equal(loaded.frames, clip.frames)
+        assert loaded.frame_rate == clip.frame_rate

@@ -1,0 +1,242 @@
+"""Tests for the five paper transformations and point mapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.synthetic import generate_clip
+from repro.video.transforms import (
+    Compose,
+    Contrast,
+    Gamma,
+    GaussianNoise,
+    Identity,
+    Resize,
+    VerticalShift,
+    jitter_points,
+)
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return generate_clip(20, seed=0)
+
+
+class TestIdentity:
+    def test_noop(self, clip):
+        out = Identity().apply_clip(clip)
+        assert np.array_equal(out.frames, clip.frames)
+
+    def test_points_unchanged(self):
+        pts = np.array([[3.0, 4.0], [10.0, 2.0]])
+        assert np.array_equal(Identity().map_points(pts, (20, 20)), pts)
+
+
+class TestResize:
+    def test_preserves_frame_size(self, clip):
+        for w in (0.7, 0.95, 1.3):
+            out = Resize(w).apply_clip(clip)
+            assert out.frames.shape == clip.frames.shape
+
+    def test_downscale_point_mapping_tracks_content(self, clip):
+        """A bright dot placed at a known position must move where
+        map_points predicts."""
+        frame = np.zeros((72, 88), dtype=np.uint8)
+        y, x = 20, 30
+        frame[y - 1:y + 2, x - 1:x + 2] = 255
+        tr = Resize(0.8)
+        out = tr.apply_frame(frame)
+        my, mx = tr.map_points(np.array([[y, x]], float), (72, 88))[0]
+        peak = np.unravel_index(np.argmax(out), out.shape)
+        assert abs(peak[0] - my) <= 2 and abs(peak[1] - mx) <= 2
+
+    def test_upscale_point_mapping_tracks_content(self):
+        frame = np.zeros((72, 88), dtype=np.uint8)
+        y, x = 40, 50
+        frame[y - 1:y + 2, x - 1:x + 2] = 255
+        tr = Resize(1.25)
+        out = tr.apply_frame(frame)
+        my, mx = tr.map_points(np.array([[y, x]], float), (72, 88))[0]
+        peak = np.unravel_index(np.argmax(out), out.shape)
+        assert abs(peak[0] - my) <= 2 and abs(peak[1] - mx) <= 2
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            Resize(0.0)
+
+    def test_params_and_label(self):
+        tr = Resize(0.8)
+        assert tr.params() == {"w_scale": 0.8}
+        assert "scale" in tr.label()
+
+
+class TestVerticalShift:
+    def test_shifts_content_down(self):
+        frame = np.zeros((40, 10), dtype=np.uint8)
+        frame[10] = 200
+        out = VerticalShift(0.25).apply_frame(frame)  # 10 px down
+        assert out[20].max() == 200
+        assert out[:10].max() == 0  # black fill
+
+    def test_negative_shift(self):
+        frame = np.zeros((40, 10), dtype=np.uint8)
+        frame[20] = 200
+        out = VerticalShift(-0.25).apply_frame(frame)
+        assert out[10].max() == 200
+
+    def test_point_mapping(self):
+        tr = VerticalShift(0.1)
+        pts = tr.map_points(np.array([[5.0, 7.0]]), (40, 10))
+        assert pts[0, 0] == pytest.approx(9.0)
+        assert pts[0, 1] == pytest.approx(7.0)
+
+    def test_rejects_full_shift(self):
+        with pytest.raises(ConfigurationError):
+            VerticalShift(1.0)
+
+
+class TestPhotometric:
+    def test_gamma_brightens_and_darkens(self):
+        frame = np.full((8, 8), 128, dtype=np.uint8)
+        lighter = Gamma(0.5).apply_frame(frame)
+        darker = Gamma(2.0).apply_frame(frame)
+        assert lighter.mean() > 128 > darker.mean()
+
+    def test_gamma_keeps_extremes(self):
+        frame = np.array([[0, 255]], dtype=np.uint8)
+        out = Gamma(2.2).apply_frame(frame)
+        assert out[0, 0] == 0 and out[0, 1] == 255
+
+    def test_contrast_scales_and_clips(self):
+        frame = np.array([[50, 200]], dtype=np.uint8)
+        out = Contrast(2.0).apply_frame(frame)
+        assert out[0, 0] == 100
+        assert out[0, 1] == 255  # clipped
+
+    def test_noise_statistics(self):
+        frame = np.full((64, 64), 128, dtype=np.uint8)
+        out = GaussianNoise(10.0, seed=0).apply_frame(frame)
+        residual = out.astype(float) - 128.0
+        assert 8.0 < residual.std() < 12.0
+
+    def test_noise_zero_is_identity(self):
+        frame = np.full((8, 8), 99, dtype=np.uint8)
+        out = GaussianNoise(0.0, seed=0).apply_frame(frame)
+        assert np.array_equal(out, frame)
+
+    def test_noise_reproducible_by_seed(self, clip):
+        a = GaussianNoise(10.0, seed=5).apply_clip(clip)
+        b = GaussianNoise(10.0, seed=5).apply_clip(clip)
+        assert np.array_equal(a.frames, b.frames)
+
+    def test_photometric_points_identity(self):
+        pts = np.array([[1.0, 2.0]])
+        for tr in (Gamma(2.0), Contrast(1.5), GaussianNoise(5.0, seed=0)):
+            assert np.array_equal(tr.map_points(pts, (10, 10)), pts)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Gamma(0.0)
+        with pytest.raises(ConfigurationError):
+            Contrast(-1.0)
+        with pytest.raises(ConfigurationError):
+            GaussianNoise(-1.0)
+
+
+class TestCompose:
+    def test_applies_in_order(self):
+        frame = np.array([[100]], dtype=np.uint8)
+        both = Compose([Contrast(2.0), Gamma(2.0)]).apply_frame(frame)
+        by_hand = Gamma(2.0).apply_frame(Contrast(2.0).apply_frame(frame))
+        assert np.array_equal(both, by_hand)
+
+    def test_maps_points_through_chain(self):
+        tr = Compose([VerticalShift(0.1), VerticalShift(0.1)])
+        pts = tr.map_points(np.array([[0.0, 0.0]]), (40, 10))
+        assert pts[0, 0] == pytest.approx(8.0)
+
+    def test_label_and_params(self):
+        tr = Compose([Resize(0.8), Gamma(1.5)])
+        assert "scale" in tr.label() and "gamma" in tr.label()
+        assert "scale.w_scale" in tr.params()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Compose([])
+
+
+class TestJitter:
+    def test_zero_jitter_is_copy(self):
+        pts = np.array([[3.0, 4.0]])
+        out = jitter_points(pts, 0.0, rng=0)
+        assert np.array_equal(out, pts)
+        assert out is not pts
+
+    def test_jitter_magnitude(self):
+        pts = np.zeros((500, 2))
+        out = jitter_points(pts, 1.0, rng=0)
+        norms = np.linalg.norm(out, axis=1)
+        assert np.all(norms <= np.sqrt(2) + 1e-9)
+        assert norms.mean() > 0.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            jitter_points(np.zeros((1, 2)), -1.0)
+
+
+class TestLogoInsertion:
+    def test_overlay_painted(self):
+        from repro.video.transforms import LogoInsertion
+
+        frame = np.zeros((72, 88), dtype=np.uint8)
+        logo = LogoInsertion(y_frac=0.1, x_frac=0.5, h_frac=0.2, w_frac=0.3)
+        out = logo.apply_frame(frame)
+        y0, x0, y1, x1 = logo._box((72, 88))
+        assert out[(y0 + y1) // 2, (x0 + x1) // 2] == 230
+        assert out[0, 0] == 0  # outside untouched
+
+    def test_covers_mask(self):
+        from repro.video.transforms import LogoInsertion
+
+        logo = LogoInsertion(y_frac=0.0, x_frac=0.0, h_frac=0.5, w_frac=0.5)
+        points = np.array([[1.0, 1.0], [60.0, 80.0]])
+        mask = logo.covers(points, (72, 88))
+        assert mask.tolist() == [True, False]
+
+    def test_points_unmoved(self):
+        from repro.video.transforms import LogoInsertion
+
+        pts = np.array([[3.0, 4.0]])
+        assert np.array_equal(
+            LogoInsertion().map_points(pts, (72, 88)), pts
+        )
+
+    def test_rejects_bad_fractions(self):
+        from repro.video.transforms import LogoInsertion
+
+        with pytest.raises(ConfigurationError):
+            LogoInsertion(y_frac=1.0)
+        with pytest.raises(ConfigurationError):
+            LogoInsertion(level=300)
+
+    def test_detection_survives_logo(self):
+        """The paper's motivating case: local fingerprints outside the
+        overlay still identify the copy."""
+        from repro.cbcd.detector import CopyDetector, DetectorConfig
+        from repro.cbcd.evaluation import is_good_detection
+        from repro.corpus.builder import build_reference_corpus
+        from repro.distortion.model import NormalDistortionModel
+        from repro.index.s3 import S3Index
+        from repro.video.transforms import LogoInsertion
+
+        corpus = build_reference_corpus(4, 120, seed=21)
+        index = S3Index(
+            corpus.store, model=NormalDistortionModel(20, 20.0), depth=20
+        )
+        detector = CopyDetector(
+            index, DetectorConfig(alpha=0.8, decision_threshold=8)
+        )
+        clip, truth = corpus.candidate(1, 20, 70)
+        overlaid = LogoInsertion().apply_clip(clip)
+        report = detector.detect_clip(overlaid)
+        assert is_good_detection(report, truth)
