@@ -1,0 +1,35 @@
+"""Segmented live index — online ingestion vs rebuilding the monolith.
+
+Measures what the segmented index buys the paper's deployment loop:
+streaming batches into the WAL-backed memtable (with auto-compaction)
+must beat rebuilding a monolithic index after every batch, and the
+query-side fan-out cost per extra sealed segment must stay modest.
+"""
+
+from conftest import run_and_report
+
+from repro.experiments import run_segmented_ingest
+
+
+def test_segmented_ingest_throughput(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        capsys,
+        lambda: run_segmented_ingest(
+            db_rows=24_000,
+            num_batches=16,
+            segment_counts=(1, 2, 4, 8),
+            num_queries=40,
+            seed=0,
+        ),
+    )
+    # Streaming ingestion must beat rebuilding the monolith per batch.
+    assert result.speedup > 1.0
+    assert result.segmented_rows_per_s > result.rebuild_rows_per_s
+    # Compaction bounded the segment count below the batch count.
+    assert result.final_segments <= 8
+    # Fan-out degrades latency gracefully: 8 segments may not cost more
+    # than ~8x one segment (it should be far less in practice).
+    one = next(p for p in result.latency if p.num_segments == 1)
+    worst = max(p.mean_ms for p in result.latency)
+    assert worst < 8 * one.mean_ms

@@ -10,8 +10,6 @@ Shows the two empirical properties the S³ design leans on:
 Run:  python examples/index_diagnostics.py
 """
 
-import numpy as np
-
 from repro import NormalDistortionModel, S3Index
 from repro.corpus import build_reference_corpus, model_queries, scale_store
 from repro.index import clustering_summary, occupancy_summary

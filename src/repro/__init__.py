@@ -30,15 +30,19 @@ from .errors import (
     IndexError_,
     ReproError,
     StoreError,
+    WALError,
 )
 from .fingerprint import ExtractorConfig, FingerprintExtractor
 from .hilbert import HilbertCurve
 from .index import (
+    CompactionPolicy,
     FingerprintStore,
     PseudoDiskSearcher,
     S3Index,
     SearchResult,
+    SegmentedS3Index,
     SequentialScanIndex,
+    StoreBuilder,
     tune_depth,
 )
 from .video import VideoClip, generate_clip, generate_corpus
@@ -46,6 +50,7 @@ from .video import VideoClip, generate_clip, generate_corpus
 __version__ = "1.0.0"
 
 __all__ = [
+    "CompactionPolicy",
     "ConfigurationError",
     "CopyDetector",
     "Detection",
@@ -63,9 +68,12 @@ __all__ = [
     "ReproError",
     "S3Index",
     "SearchResult",
+    "SegmentedS3Index",
     "SequentialScanIndex",
+    "StoreBuilder",
     "StoreError",
     "VideoClip",
+    "WALError",
     "estimate_distortion",
     "generate_clip",
     "generate_corpus",

@@ -13,14 +13,25 @@ stateful loop:
 * the voting strategy runs on the buffer after every analysis step, and
   newly confirmed detections are emitted exactly once (identifier +
   aligned offset de-duplication).
+
+With ``ingest_new=True`` (and a :class:`~repro.index.segmented.SegmentedS3Index`,
+or any index exposing ``add``), the monitor also *references* detected-new
+material on the fly — the paper's operational loop at INA, where each
+day's broadcast extends the reference database: key-frames that match
+nothing in the archive are inserted under ``ingest_video_id``, so later
+re-broadcasts of the same material are detected.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..index.segmented import SegmentedS3Index
 
 from ..errors import ConfigurationError, ExtractionError
 from ..fingerprint.extractor import ExtractorConfig, FingerprintExtractor
@@ -43,6 +54,9 @@ class MonitorConfig:
     decision_threshold: int = 10
     min_matches: int = 2
     dedupe_offset_tolerance: float = 4.0
+    ingest_new: bool = False
+    ingest_video_id: int = 1_000_000
+    ingest_match_threshold: int = 0
     extractor: ExtractorConfig = field(default_factory=ExtractorConfig)
 
     def __post_init__(self) -> None:
@@ -60,6 +74,15 @@ class MonitorConfig:
         if self.buffer_keyframes < 2:
             raise ConfigurationError(
                 f"buffer_keyframes must be >= 2, got {self.buffer_keyframes}"
+            )
+        if self.ingest_video_id < 0:
+            raise ConfigurationError(
+                f"ingest_video_id must be >= 0, got {self.ingest_video_id}"
+            )
+        if self.ingest_match_threshold < 0:
+            raise ConfigurationError(
+                "ingest_match_threshold must be >= 0, got "
+                f"{self.ingest_match_threshold}"
             )
 
 
@@ -83,11 +106,27 @@ class StreamDetection:
 
 
 class StreamMonitor:
-    """Incremental copy detector over a continuous frame stream."""
+    """Incremental copy detector over a continuous frame stream.
 
-    def __init__(self, index: S3Index, config: MonitorConfig | None = None):
+    *index* is usually a static :class:`~repro.index.s3.S3Index`; with
+    ``config.ingest_new`` it must support online inserts (an index
+    exposing ``add``, e.g.
+    :class:`~repro.index.segmented.SegmentedS3Index`).
+    """
+
+    def __init__(
+        self,
+        index: "S3Index | SegmentedS3Index",
+        config: MonitorConfig | None = None,
+    ):
         self.index = index
         self.config = config or MonitorConfig()
+        if self.config.ingest_new and not hasattr(index, "add"):
+            raise ConfigurationError(
+                "ingest_new requires an index with online inserts "
+                "(e.g. SegmentedS3Index); got "
+                f"{type(index).__name__}"
+            )
         self._extractor = FingerprintExtractor(self.config.extractor)
         self._frames: np.ndarray | None = None
         self._stream_pos = 0          # absolute index of buffer start
@@ -95,6 +134,8 @@ class StreamMonitor:
         self._matches: deque[QueryMatches] = deque()
         self._reported: list[StreamDetection] = []
         self._frames_seen = 0
+        self._ingest_horizon = 0.0    # stream time already referenced
+        self._ingested_rows = 0
 
     # ------------------------------------------------------------------
     @property
@@ -106,6 +147,11 @@ class StreamMonitor:
     def detections(self) -> list[StreamDetection]:
         """Everything reported so far, in order of first confirmation."""
         return list(self._reported)
+
+    @property
+    def ingested_rows(self) -> int:
+        """Fingerprints referenced on the fly (``ingest_new`` mode)."""
+        return self._ingested_rows
 
     def feed(self, frames: np.ndarray) -> list[StreamDetection]:
         """Consume a chunk of frames; return detections confirmed by it.
@@ -163,9 +209,10 @@ class StreamMonitor:
             return []
 
         self.index.reset_threshold_cache()
-        for fp, tc in zip(
+        unmatched_rows: list[int] = []
+        for row, (fp, tc) in enumerate(zip(
             extraction.store.fingerprints, extraction.store.timecodes
-        ):
+        )):
             result = self.index.statistical_query(
                 fp.astype(np.float64), cfg.alpha
             )
@@ -177,6 +224,12 @@ class StreamMonitor:
                         timecodes=result.timecodes,
                     )
                 )
+            if len(result) <= cfg.ingest_match_threshold:
+                unmatched_rows.append(row)
+        if cfg.ingest_new:
+            self._ingest_unmatched(
+                extraction.store, unmatched_rows, window_start
+            )
         # Bound the buffer to the most recent key-frame matches.
         while len(self._matches) > cfg.buffer_keyframes:
             self._matches.popleft()
@@ -202,6 +255,38 @@ class StreamMonitor:
             self._reported.append(detection)
             fresh.append(detection)
         return fresh
+
+    def _ingest_unmatched(
+        self,
+        store,
+        unmatched_rows: list[int],
+        window_start: int,
+    ) -> None:
+        """Reference this window's new material in the live index.
+
+        Only the slice of stream time the *next* window will not revisit
+        (``[ingest_horizon, window_start + hop)``) is ingested, so
+        overlapping analysis windows never reference the same material
+        twice.  Key-frames with more than ``ingest_match_threshold``
+        archive matches are skipped — they are copies, not new material.
+        """
+        cfg = self.config
+        upper = float(window_start + cfg.hop_frames)
+        rows = [
+            row for row in unmatched_rows
+            if self._ingest_horizon
+            <= float(store.timecodes[row]) + window_start < upper
+        ]
+        self._ingest_horizon = upper
+        if not rows:
+            return
+        idx = np.asarray(rows, dtype=np.int64)
+        self._ingested_rows += int(idx.size)
+        self.index.add(
+            store.fingerprints[idx],
+            np.full(idx.size, cfg.ingest_video_id, dtype=np.uint32),
+            store.timecodes[idx] + float(window_start),
+        )
 
     def _already_reported(self, video_id: int, offset: float) -> bool:
         tol = self.config.dedupe_offset_tolerance

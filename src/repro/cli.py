@@ -11,6 +11,16 @@ fingerprints, build an index, query it, run copy detection::
     repro-s3 detect archive candidate.npy --alpha 0.8 --threshold 10
     repro-s3 info db.fp
 
+The segmented live index (online ingestion, see
+:mod:`repro.index.segmented`) lives in a *directory* instead of a file
+prefix; ``query``, ``detect`` and ``info`` accept either form::
+
+    repro-s3 ingest live/ db0.fp db1.fp --sigma 20
+    repro-s3 ingest live/ db2.fp --flush
+    repro-s3 compact live/ --force
+    repro-s3 info live/
+    repro-s3 query live/ --from-row 7
+
 Videos are exchanged as ``.npy`` arrays of shape ``(T, H, W)`` uint8;
 fingerprint stores use the single-file binary format of
 :mod:`repro.index.store`.
@@ -29,6 +39,7 @@ from .distortion.model import NormalDistortionModel
 from .errors import ReproError
 from .fingerprint.extractor import FingerprintExtractor
 from .index.s3 import S3Index
+from .index.segmented import CompactionPolicy, Manifest, SegmentedS3Index
 from .index.store import FingerprintStore, read_header
 from .video.synthetic import VideoClip, generate_clip
 
@@ -77,16 +88,25 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_index(path: str) -> "S3Index | SegmentedS3Index":
+    """Open *path* as a segmented directory or a static index prefix."""
+    if Path(path).is_dir():
+        return SegmentedS3Index.open(path)
+    return S3Index.load(path)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = S3Index.load(args.index)
+    index = _load_index(args.index)
     if args.queries is not None:
         queries = np.load(args.queries).astype(np.float64)
         if queries.ndim == 1:
             queries = queries[None, :]
     elif args.from_row is not None:
-        queries = index.store.fingerprints[args.from_row][None, :].astype(
-            np.float64
-        )
+        if isinstance(index, SegmentedS3Index):
+            fp, _id, _tc = index.record(args.from_row)
+        else:
+            fp = index.store.fingerprints[args.from_row]
+        queries = fp[None, :].astype(np.float64)
     else:
         print("error: pass --queries FILE or --from-row N", file=sys.stderr)
         return 2
@@ -106,7 +126,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    index = S3Index.load(args.index)
+    index = _load_index(args.index)
     config = DetectorConfig(alpha=args.alpha, decision_threshold=args.threshold)
     detector = CopyDetector(index, config)
     clip = _load_clip(args.video)
@@ -123,10 +143,84 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    path = Path(args.store)
+    if path.is_dir():
+        return _segmented_info(path)
     count, ndims = read_header(args.store)
-    size = Path(args.store).stat().st_size
+    size = path.stat().st_size
     print(f"{args.store}: {count} fingerprints, dimension {ndims}, "
           f"{size / 1e6:.2f} MB")
+    return 0
+
+
+def _segmented_info(directory: Path) -> int:
+    manifest = Manifest.load(directory)
+    with SegmentedS3Index.open(directory) as index:
+        print(f"{directory}: segmented index, {len(index)} fingerprints, "
+              f"dimension {manifest.ndims}")
+        print(f"  geometry: order={manifest.order} "
+              f"key_levels={manifest.key_levels} depth={manifest.depth} "
+              f"sigma={manifest.sigma}")
+        print(f"  wal: {manifest.wal} "
+              f"({index.pending_rows} unsealed fingerprints)")
+        print(f"  segments: {index.num_segments}")
+        for seg in index.segments:
+            size = (directory / (seg.name + ".store")).stat().st_size
+            print(f"    {seg.name}: {seg.count} fingerprints, "
+                  f"{size / 1e6:.2f} MB")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    directory = Path(args.directory)
+    stores = [FingerprintStore.load(path) for path in args.stores]
+    if Manifest.exists(directory):
+        index = SegmentedS3Index.open(
+            directory, flush_rows=args.memtable_rows,
+            policy=CompactionPolicy(max_segments=args.max_segments),
+        )
+    else:
+        ndims = args.ndims if args.ndims is not None else stores[0].ndims
+        index = SegmentedS3Index.create(
+            directory, ndims=ndims, depth=args.depth,
+            model=NormalDistortionModel(ndims, args.sigma),
+            flush_rows=args.memtable_rows,
+            policy=CompactionPolicy(max_segments=args.max_segments),
+        )
+        print(f"created segmented index at {directory} "
+              f"(ndims={ndims}, depth={index.depth})")
+    with index:
+        added = 0
+        for store in stores:
+            added += index.add(
+                store.fingerprints, store.ids, store.timecodes
+            )
+        if args.flush:
+            index.flush()
+        print(f"ingested {added} fingerprints -> {directory} "
+              f"({index.num_segments} segments, "
+              f"{index.pending_rows} unsealed)")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    with SegmentedS3Index.open(
+        args.directory,
+        policy=CompactionPolicy(max_segments=args.max_segments),
+        auto_compact=False,
+    ) as index:
+        if args.flush:
+            index.flush()
+        before = index.num_segments
+        result = index.compact(force=args.force)
+        if result is None:
+            print(f"nothing to compact ({before} segments, "
+                  f"max {index.policy.max_segments})")
+        else:
+            print(f"compacted {result.merged_segments} segments "
+                  f"({result.merged_rows} fingerprints) into "
+                  f"{result.segment_name} in {result.seconds:.2f} s; "
+                  f"{before} -> {index.num_segments} segments")
     return 0
 
 
@@ -162,8 +256,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(func=_cmd_build)
 
+    p = sub.add_parser(
+        "ingest",
+        help="add fingerprint stores to a segmented live index directory",
+    )
+    p.add_argument("directory", help="segmented index directory "
+                   "(created on first ingest)")
+    p.add_argument("stores", nargs="+", help="fingerprint store files")
+    p.add_argument("--ndims", type=int, default=None,
+                   help="dimension when creating (default: first store's)")
+    p.add_argument("--sigma", type=float, default=20.0,
+                   help="distortion severity when creating")
+    p.add_argument("--depth", type=int, default=None,
+                   help="partition depth when creating")
+    p.add_argument("--memtable-rows", type=int, default=8192,
+                   help="seal the memtable past this many rows")
+    p.add_argument("--max-segments", type=int, default=8,
+                   help="compaction trigger (segment-count cap)")
+    p.add_argument("--flush", action="store_true",
+                   help="seal the memtable after ingesting")
+    p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser(
+        "compact", help="merge segments of a segmented index directory"
+    )
+    p.add_argument("directory")
+    p.add_argument("--max-segments", type=int, default=8)
+    p.add_argument("--flush", action="store_true",
+                   help="seal the memtable before compacting")
+    p.add_argument("--force", action="store_true",
+                   help="merge everything into a single segment")
+    p.set_defaults(func=_cmd_compact)
+
     p = sub.add_parser("query", help="run statistical queries")
-    p.add_argument("index", help="index prefix (from `build --out`)")
+    p.add_argument("index", help="index prefix (from `build --out`) "
+                   "or segmented index directory")
     p.add_argument("--alpha", type=float, default=0.8)
     p.add_argument("--queries", default=None, help="(N, D) .npy of queries")
     p.add_argument("--from-row", type=int, default=None,
@@ -173,13 +300,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("detect", help="detect copies in a candidate video")
-    p.add_argument("index", help="index prefix")
+    p.add_argument("index", help="index prefix or segmented index directory")
     p.add_argument("video", help="(T, H, W) uint8 .npy file")
     p.add_argument("--alpha", type=float, default=0.8)
     p.add_argument("--threshold", type=int, default=10)
     p.set_defaults(func=_cmd_detect)
 
-    p = sub.add_parser("info", help="describe a fingerprint store file")
+    p = sub.add_parser(
+        "info",
+        help="describe a fingerprint store file or segmented index directory",
+    )
     p.add_argument("store")
     p.set_defaults(func=_cmd_info)
 

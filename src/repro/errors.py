@@ -25,6 +25,10 @@ class StoreError(ReproError):
     """A fingerprint store file is missing, truncated or inconsistent."""
 
 
+class WALError(ReproError):
+    """A write-ahead log file has a bad header or inconsistent geometry."""
+
+
 class IndexError_(ReproError):
     """An index structure is used before being built, or built inconsistently.
 

@@ -24,6 +24,7 @@ from .fig56_alpha_sweep import Fig56Result, run_fig56
 from .fig7_scaling import Fig7Result, run_fig7
 from .fig8_dbsize_abacus import Fig8Result, run_fig8
 from .fig9_alpha_abacus import Fig9Result, run_fig9
+from .segmented_ingest import SegmentedIngestResult, run_segmented_ingest
 from .table1_severity import Table1Result, paper_transform_ladder, run_table1
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "Fig7Result",
     "Fig8Result",
     "Fig9Result",
+    "SegmentedIngestResult",
     "Series",
     "Table1Result",
     "build_setup",
@@ -54,6 +56,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_segmented_ingest",
     "run_table1",
     "sweep_transforms",
     "sweep_transforms_shared",

@@ -1,0 +1,226 @@
+"""Segmented live index — ingestion throughput and query-latency cost.
+
+The paper's deployment keeps referencing new broadcast material "more
+than 20,000 hours of archives" strong; with a monolithic
+:class:`~repro.index.s3.S3Index` every insertion batch forces a full
+curve re-sort of the archive.  The segmented index
+(:mod:`repro.index.segmented`) amortises that: batches land in a
+WAL-backed memtable, seal into sorted segments, and compaction bounds
+the segment count.
+
+This experiment measures the trade on one corpus:
+
+* **ingestion throughput** — rows/second of streaming batches into the
+  segmented index (including flushes and auto-compaction) versus
+  rebuilding a monolithic index from scratch after every batch, the
+  only way a static index stays queryable while growing;
+* **query-latency degradation** — mean statistical-query latency
+  against the same data held in 1, 2, 4, ... sealed segments, versus
+  the monolithic baseline, quantifying the fan-out cost per extra
+  segment.
+
+Durability fsyncs are disabled (``sync=False``) so both sides measure
+indexing work, not disk-flush stalls.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..corpus.builder import build_reference_corpus
+from ..corpus.filler import scale_store
+from ..distortion.model import NormalDistortionModel
+from ..index.s3 import S3Index
+from ..index.segmented import CompactionPolicy, SegmentedS3Index
+from ..rng import SeedLike, resolve_rng
+from .common import format_table
+
+
+@dataclass
+class LatencyPoint:
+    """Mean statistical-query latency at one segment count."""
+
+    num_segments: int
+    mean_ms: float
+
+
+@dataclass
+class SegmentedIngestResult:
+    """Throughput and latency series of the ingestion experiment."""
+
+    total_rows: int
+    batch_rows: int
+    num_batches: int
+    segmented_seconds: float
+    rebuild_seconds: float
+    final_segments: int
+    compactions: int
+    latency: list[LatencyPoint] = field(default_factory=list)
+    monolithic_ms: float = 0.0
+
+    @property
+    def segmented_rows_per_s(self) -> float:
+        return self.total_rows / max(self.segmented_seconds, 1e-9)
+
+    @property
+    def rebuild_rows_per_s(self) -> float:
+        return self.total_rows / max(self.rebuild_seconds, 1e-9)
+
+    @property
+    def speedup(self) -> float:
+        """Segmented ingest throughput over rebuild-per-batch."""
+        return self.rebuild_seconds / max(self.segmented_seconds, 1e-9)
+
+    def render(self) -> str:
+        ingest = format_table(
+            ["strategy", "total s", "rows/s"],
+            [
+                ("segmented ingest", self.segmented_seconds,
+                 self.segmented_rows_per_s),
+                ("rebuild per batch", self.rebuild_seconds,
+                 self.rebuild_rows_per_s),
+            ],
+            title=(
+                f"Segmented live ingestion — {self.total_rows} rows in "
+                f"{self.num_batches} batches of {self.batch_rows} "
+                f"(final: {self.final_segments} segments, "
+                f"{self.compactions} compactions)"
+            ),
+        )
+        latency = format_table(
+            ["segments", "mean query ms", "vs monolithic"],
+            [
+                (p.num_segments, p.mean_ms,
+                 f"{p.mean_ms / max(self.monolithic_ms, 1e-9):.2f}x")
+                for p in self.latency
+            ],
+            title=(
+                "Query latency vs segment count "
+                f"(monolithic baseline: {self.monolithic_ms:.3f} ms)"
+            ),
+        )
+        return (
+            ingest
+            + f"\ningest speedup: {self.speedup:.1f}x over rebuild\n\n"
+            + latency
+        )
+
+
+def _make_queries(
+    store_fp: np.ndarray, num: int, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    rows = rng.integers(0, store_fp.shape[0], size=num)
+    noisy = store_fp[rows].astype(np.float64) + rng.normal(
+        0.0, sigma / 2.0, size=(num, store_fp.shape[1])
+    )
+    return np.clip(noisy, 0.0, 255.0)
+
+
+def _mean_query_ms(index, queries: np.ndarray, alpha: float) -> float:
+    index.reset_threshold_cache()
+    index.statistical_query(queries[0], alpha)  # warm the threshold cache
+    t0 = time.perf_counter()
+    for q in queries:
+        index.statistical_query(q, alpha)
+    return (time.perf_counter() - t0) / queries.shape[0] * 1e3
+
+
+def run_segmented_ingest(
+    db_rows: int = 24_000,
+    num_batches: int = 16,
+    segment_counts: tuple[int, ...] = (1, 2, 4, 8),
+    num_queries: int = 40,
+    max_segments: int = 8,
+    depth: int = 16,
+    sigma: float = 20.0,
+    alpha: float = 0.8,
+    seed: SeedLike = 0,
+) -> SegmentedIngestResult:
+    """Stream a corpus into the segmented index and score the trade."""
+    rng = resolve_rng(seed)
+    corpus = build_reference_corpus(6, 140, seed=rng)
+    store = scale_store(corpus.store, db_rows, rng=rng)
+    ndims = store.ndims
+    batch_rows = len(store) // num_batches
+    total = batch_rows * num_batches
+    model = NormalDistortionModel(ndims, sigma)
+    queries = _make_queries(store.fingerprints[:total], num_queries,
+                            sigma, rng)
+
+    with tempfile.TemporaryDirectory(prefix="s3-ingest-") as tmp:
+        tmpdir = Path(tmp)
+
+        # --- segmented: stream the batches in ------------------------
+        index = SegmentedS3Index.create(
+            tmpdir / "live", ndims=ndims, depth=depth, model=model,
+            flush_rows=batch_rows,
+            policy=CompactionPolicy(max_segments=max_segments),
+            sync=False,
+        )
+        compactions = 0
+        t0 = time.perf_counter()
+        with index:
+            for b in range(num_batches):
+                lo, hi = b * batch_rows, (b + 1) * batch_rows
+                before = index.num_segments
+                index.add(
+                    store.fingerprints[lo:hi],
+                    store.ids[lo:hi],
+                    store.timecodes[lo:hi],
+                )
+                # Each batch seals one segment; a net gain below +1
+                # means auto-compaction merged some away.
+                if index.num_segments <= before:
+                    compactions += 1
+            index.flush()
+            segmented_seconds = time.perf_counter() - t0
+            final_segments = index.num_segments
+
+        # --- baseline: rebuild + persist the monolith per batch ------
+        # A static index must be re-sorted over ALL rows so far and
+        # saved back to disk to stay queryable after a restart — the
+        # same durability the segmented WAL provides continuously.
+        t0 = time.perf_counter()
+        for b in range(num_batches):
+            part = store.row_slice(0, (b + 1) * batch_rows)
+            S3Index(part, depth=depth, model=model).save(tmpdir / "mono")
+        rebuild_seconds = time.perf_counter() - t0
+
+        # --- query latency as a function of segment count ------------
+        latency: list[LatencyPoint] = []
+        for k in segment_counts:
+            directory = tmpdir / f"seg-{k}"
+            per = total // k
+            with SegmentedS3Index.create(
+                directory, ndims=ndims, depth=depth, model=model,
+                flush_rows=per, auto_compact=False, sync=False,
+            ) as idx:
+                for j in range(k):
+                    lo, hi = j * per, (j + 1) * per
+                    idx.add(store.fingerprints[lo:hi], store.ids[lo:hi],
+                            store.timecodes[lo:hi])
+                idx.flush()
+                latency.append(
+                    LatencyPoint(idx.num_segments,
+                                 _mean_query_ms(idx, queries, alpha))
+                )
+
+        mono = S3Index(store.row_slice(0, total), depth=depth, model=model)
+        monolithic_ms = _mean_query_ms(mono, queries, alpha)
+
+    return SegmentedIngestResult(
+        total_rows=total,
+        batch_rows=batch_rows,
+        num_batches=num_batches,
+        segmented_seconds=segmented_seconds,
+        rebuild_seconds=rebuild_seconds,
+        final_segments=final_segments,
+        compactions=compactions,
+        latency=latency,
+        monolithic_ms=monolithic_ms,
+    )

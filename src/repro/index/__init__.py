@@ -9,7 +9,10 @@
 * :class:`~repro.index.pseudodisk.PseudoDiskSearcher` — the batched,
   section-loading strategy for stores larger than memory (§IV-B);
 * :mod:`~repro.index.tuning` — the start-of-retrieval learning of the
-  optimal partition depth ``p_min`` (§IV-A).
+  optimal partition depth ``p_min`` (§IV-A);
+* :mod:`~repro.index.segmented` — the live LSM-style extension:
+  WAL-backed online ingestion, sealed Hilbert segments and background
+  compaction (the §V-D operational setting).
 """
 
 from .diagnostics import (
@@ -32,8 +35,14 @@ from .filtering import (
 from .knn import knn_query
 from .pseudodisk import BatchStats, PseudoDiskSearcher, auto_batch_size
 from .s3 import QueryStats, S3Index, SearchResult
+from .segmented import (
+    CompactionPolicy,
+    CompactionResult,
+    SegmentedQueryStats,
+    SegmentedS3Index,
+)
 from .seqscan import SequentialScanIndex
-from .store import FingerprintStore
+from .store import FingerprintStore, StoreBuilder
 from .table import HilbertLayout
 from .tuning import DepthProfile, profile_depths, tune_depth
 from .vafile import VAFile
@@ -42,6 +51,8 @@ __all__ = [
     "BatchStats",
     "BlockSelection",
     "ClusteringSummary",
+    "CompactionPolicy",
+    "CompactionResult",
     "DepthProfile",
     "FingerprintStore",
     "HilbertLayout",
@@ -50,7 +61,10 @@ __all__ = [
     "QueryStats",
     "S3Index",
     "SearchResult",
+    "SegmentedQueryStats",
+    "SegmentedS3Index",
     "SequentialScanIndex",
+    "StoreBuilder",
     "VAFile",
     "auto_batch_size",
     "best_first_blocks",

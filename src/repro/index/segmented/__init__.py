@@ -1,0 +1,34 @@
+"""Segmented live index: WAL-backed ingestion over sealed Hilbert segments.
+
+An LSM-style extension of the paper's static S³ structure for the
+continuous-monitoring deployment of §V-D: durable online ``add`` (write-
+ahead log + memtable), immutable Hilbert-ordered segments sealed by
+flushes, size-tiered compaction, and a query path that fans the
+statistical / ε-range block selection out across all segments and merges
+the results — byte-for-byte the same answers as a monolithic
+:class:`~repro.index.s3.S3Index` over the union of the records.
+"""
+
+from .compaction import CompactionPolicy
+from .lsm import (
+    CompactionResult,
+    Segment,
+    SegmentedQueryStats,
+    SegmentedS3Index,
+)
+from .manifest import Manifest, SegmentMeta
+from .memtable import MemTable
+from .wal import WriteAheadLog, replay
+
+__all__ = [
+    "CompactionPolicy",
+    "CompactionResult",
+    "Manifest",
+    "MemTable",
+    "Segment",
+    "SegmentMeta",
+    "SegmentedQueryStats",
+    "SegmentedS3Index",
+    "WriteAheadLog",
+    "replay",
+]

@@ -1,0 +1,629 @@
+"""The segmented (LSM-style) S³ index: online ingestion over sealed segments.
+
+The paper's S³ structure is static — "no dynamic insertion or deletion
+are possible" — which matches its batch experiments but not its
+operational setting (INA references new broadcast material every day).
+:class:`SegmentedS3Index` converts the structure into a servable,
+continuously growing engine with the classic log-structured recipe:
+
+* inserts land in a mutable in-memory **memtable** after being made
+  durable in a **write-ahead log** (:mod:`.wal`);
+* when the memtable exceeds ``flush_rows`` it is **sealed**: sorted along
+  the Hilbert curve and written as an immutable segment — a
+  :class:`~repro.index.store.FingerprintStore` +
+  :class:`~repro.index.table.HilbertLayout` pair in the existing on-disk
+  format — after which the WAL is rotated;
+* **compaction** (:mod:`.compaction`) merges small segments back into one
+  Hilbert-ordered segment so query fan-out stays bounded;
+* queries compute the block selection **once** (it depends only on the
+  query, the distortion model and the shared curve geometry — not on the
+  data) and fan it out across every sealed segment plus the memtable,
+  merging the per-segment results.  The answer is therefore *identical*
+  to a monolithic :class:`~repro.index.s3.S3Index` over the union of the
+  records, for statistical and ε-range queries alike.
+
+A ``MANIFEST.json`` (:mod:`.manifest`) tracks the live segments and the
+current WAL; reopening a directory after a crash replays the WAL, so no
+acknowledged insert is ever lost.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ...distortion.model import IndependentDistortionModel, NormalDistortionModel
+from ...errors import ConfigurationError, IndexError_
+from ...hilbert.butz import HilbertCurve
+from ..filtering import BlockSelection, range_blocks, statistical_blocks_cached
+from ..s3 import QueryStats, S3Index, SearchResult
+from ..store import FingerprintStore, PathLike, StoreBuilder
+from .compaction import CompactionPolicy
+from .manifest import (
+    Manifest,
+    SegmentMeta,
+    segment_filename,
+    wal_filename,
+)
+from .memtable import MemTable
+from .wal import WriteAheadLog, replay
+
+
+@dataclass
+class SegmentedQueryStats(QueryStats):
+    """Aggregated cost of one fan-out query, plus the per-segment split."""
+
+    segments_scanned: int = 0
+    memtable_rows_scanned: int = 0
+    per_segment: list[QueryStats] = field(default_factory=list)
+
+
+@dataclass
+class Segment:
+    """One sealed, immutable segment: manifest entry + loaded index."""
+
+    meta: SegmentMeta
+    index: S3Index
+
+
+@dataclass
+class CompactionResult:
+    """Outcome of one compaction step."""
+
+    merged_segments: int
+    merged_rows: int
+    segment_name: str
+    seconds: float
+
+
+class SegmentedS3Index:
+    """A live, crash-recoverable S³ index composed of sealed segments.
+
+    Use :meth:`create` to initialise a fresh directory and :meth:`open`
+    to reopen one (replaying the WAL).  All segments share one geometry
+    — dimension, curve order, key levels, partition depth — fixed at
+    creation time and recorded in the manifest.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        manifest: Manifest,
+        segments: list[Segment],
+        memtable: MemTable,
+        wal: WriteAheadLog,
+        model: Optional[IndependentDistortionModel],
+        flush_rows: int,
+        policy: CompactionPolicy,
+        auto_compact: bool,
+    ):
+        self.directory = directory
+        self.manifest = manifest
+        self._segments = segments
+        self._memtable = memtable
+        self._wal = wal
+        self.model = model
+        self.flush_rows = flush_rows
+        self.policy = policy
+        self.auto_compact = auto_compact
+        self.curve = HilbertCurve(manifest.ndims, manifest.order)
+        self._threshold_cache: dict[tuple[float, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: PathLike,
+        ndims: int,
+        order: int = 8,
+        key_levels: int = 2,
+        depth: Optional[int] = None,
+        model: Optional[IndependentDistortionModel] = None,
+        flush_rows: int = 8192,
+        policy: Optional[CompactionPolicy] = None,
+        auto_compact: bool = True,
+        sync: bool = True,
+    ) -> "SegmentedS3Index":
+        """Initialise a fresh segmented index in *directory*."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if Manifest.exists(directory):
+            raise IndexError_(
+                f"already a segmented index directory: {directory}"
+            )
+        if ndims < 1:
+            raise ConfigurationError(f"ndims must be >= 1, got {ndims}")
+        key_bits = key_levels * ndims
+        if not 1 <= key_bits <= 64:
+            raise ConfigurationError(
+                f"key_levels * ndims must be in [1, 64], got {key_bits}"
+            )
+        if depth is None:
+            depth = min(16, key_bits)
+        if not 1 <= depth <= key_bits:
+            raise ConfigurationError(
+                f"depth must be in [1, {key_bits}], got {depth}"
+            )
+        if model is not None and model.ndims != ndims:
+            raise ConfigurationError(
+                f"model dimension {model.ndims} != index dimension {ndims}"
+            )
+        if flush_rows < 1:
+            raise ConfigurationError(
+                f"flush_rows must be >= 1, got {flush_rows}"
+            )
+        manifest = Manifest(
+            ndims=ndims,
+            order=order,
+            key_levels=key_levels,
+            depth=depth,
+            sigma=getattr(model, "sigma", None),
+            next_seq=1,
+            wal=wal_filename(0),
+        )
+        wal = WriteAheadLog.create(directory / manifest.wal, ndims, sync=sync)
+        manifest.save(directory)
+        memtable = MemTable(ndims, order, key_levels)
+        return cls(
+            directory, manifest, [], memtable, wal, model,
+            flush_rows, policy or CompactionPolicy(), auto_compact,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        directory: PathLike,
+        model: Optional[IndependentDistortionModel] = None,
+        flush_rows: int = 8192,
+        policy: Optional[CompactionPolicy] = None,
+        auto_compact: bool = True,
+        sync: bool = True,
+    ) -> "SegmentedS3Index":
+        """Reopen *directory*: load segments, replay the WAL, GC orphans.
+
+        *model* overrides the manifest's calibrated σ; by default a
+        :class:`~repro.distortion.model.NormalDistortionModel` is rebuilt
+        from the manifest, mirroring :meth:`repro.index.s3.S3Index.load`.
+        """
+        directory = Path(directory)
+        manifest = Manifest.load(directory)
+        if model is None and manifest.sigma is not None:
+            model = NormalDistortionModel(manifest.ndims, manifest.sigma)
+        segments = []
+        for meta in manifest.segments:
+            path = directory / (meta.name + ".store")
+            store = FingerprintStore.load(path)
+            if len(store) != meta.count or store.ndims != manifest.ndims:
+                raise IndexError_(
+                    f"segment {path} does not match its manifest entry: "
+                    f"{len(store)}x{store.ndims} vs "
+                    f"{meta.count}x{manifest.ndims}"
+                )
+            segments.append(Segment(meta=meta, index=S3Index(
+                store,
+                order=manifest.order,
+                key_levels=manifest.key_levels,
+                depth=manifest.depth,
+                model=model,
+            )))
+        memtable = MemTable(manifest.ndims, manifest.order, manifest.key_levels)
+        wal_path = directory / manifest.wal
+        if wal_path.is_file():
+            for fp, ids, tcs in replay(wal_path):
+                memtable.add(fp, ids, tcs)
+            wal = WriteAheadLog.open(wal_path, sync=sync)
+        else:
+            wal = WriteAheadLog.create(wal_path, manifest.ndims, sync=sync)
+        _collect_orphans(directory, manifest)
+        return cls(
+            directory, manifest, segments, memtable, wal, model,
+            flush_rows, policy or CompactionPolicy(), auto_compact,
+        )
+
+    def close(self) -> None:
+        """Close the WAL file handle (buffered records stay durable)."""
+        self._wal.close()
+
+    def __enter__(self) -> "SegmentedS3Index":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def ndims(self) -> int:
+        return self.manifest.ndims
+
+    @property
+    def depth(self) -> int:
+        return self.manifest.depth
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def segments(self) -> list[SegmentMeta]:
+        """Manifest entries of the live segments (copies)."""
+        return [SegmentMeta(s.meta.name, s.meta.count) for s in self._segments]
+
+    @property
+    def pending_rows(self) -> int:
+        """Records buffered in the memtable (not yet sealed)."""
+        return len(self._memtable)
+
+    def __len__(self) -> int:
+        return self.manifest.total_sealed() + len(self._memtable)
+
+    def record(self, row: int) -> tuple[np.ndarray, int, float]:
+        """The ``(fingerprint, id, timecode)`` at global *row*.
+
+        Rows number the sealed segments in manifest order (each in curve
+        order) followed by the memtable in insertion order — the same
+        virtual concatenation query results index into.
+        """
+        if row < 0 or row >= len(self):
+            raise ConfigurationError(
+                f"row must be in [0, {len(self)}), got {row}"
+            )
+        for seg in self._segments:
+            if row < seg.meta.count:
+                store = seg.index.store
+                return (
+                    store.fingerprints[row].copy(),
+                    int(store.ids[row]),
+                    float(store.timecodes[row]),
+                )
+            row -= seg.meta.count
+        part = self._memtable.take(np.array([row]))
+        return (
+            part.fingerprints[0].copy(),
+            int(part.ids[0]),
+            float(part.timecodes[0]),
+        )
+
+    def reset_threshold_cache(self) -> None:
+        """Forget warm-start thresholds (see :meth:`S3Index.reset_threshold_cache`)."""
+        self._threshold_cache.clear()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        fingerprints: np.ndarray,
+        ids: np.ndarray,
+        timecodes: np.ndarray,
+    ) -> int:
+        """Durably insert a batch of records; returns the number added.
+
+        The batch is appended to the WAL first (fsynced when ``sync``),
+        then buffered in the memtable; once the memtable reaches
+        ``flush_rows`` it is sealed into a segment automatically.
+        """
+        added = self._wal.append(fingerprints, ids, timecodes)
+        if added == 0:
+            return 0
+        self._memtable.add(fingerprints, ids, timecodes)
+        if len(self._memtable) >= self.flush_rows:
+            self.flush()
+        return added
+
+    def flush(self) -> Optional[SegmentMeta]:
+        """Seal the memtable into a new immutable segment.
+
+        No-op (returns ``None``) when the memtable is empty.  The segment
+        file is fully written and fsynced before the manifest references
+        it, and the WAL is rotated afterwards, so a crash at any point
+        loses nothing and duplicates nothing.
+        """
+        if len(self._memtable) == 0:
+            return None
+        store = self._memtable.to_store()
+        index = S3Index(
+            store,
+            order=self.manifest.order,
+            key_levels=self.manifest.key_levels,
+            depth=self.manifest.depth,
+            model=self.model,
+        )
+        seq = self.manifest.next_seq
+        name = segment_filename(seq)
+        seg_path = self.directory / (name + ".store")
+        index.store.save(seg_path)
+        _fsync_file(seg_path)
+
+        new_wal_name = wal_filename(seq)
+        new_wal = WriteAheadLog.create(
+            self.directory / new_wal_name, self.ndims, sync=self._wal.sync
+        )
+        old_wal_path = self.directory / self.manifest.wal
+
+        meta = SegmentMeta(name=name, count=len(store))
+        self.manifest.segments.append(meta)
+        self.manifest.wal = new_wal_name
+        self.manifest.next_seq = seq + 1
+        self.manifest.save(self.directory)
+
+        self._wal.close()
+        self._wal = new_wal
+        old_wal_path.unlink(missing_ok=True)
+        self._segments.append(Segment(meta=meta, index=index))
+        self._memtable.clear()
+
+        if self.auto_compact:
+            self.compact()
+        return meta
+
+    def compact(self, force: bool = False) -> Optional[CompactionResult]:
+        """Merge segments according to the policy (everything if *force*).
+
+        Returns ``None`` when there is nothing to merge.  The merged
+        segment is written and fsynced before the manifest switches over;
+        the replaced files are deleted last, so a crash mid-compaction
+        leaves at worst an orphan file that :meth:`open` collects.
+        """
+        counts = [seg.meta.count for seg in self._segments]
+        if force:
+            picked = list(range(len(counts))) if len(counts) >= 2 else []
+        else:
+            picked = self.policy.plan(counts)
+        if not picked:
+            return None
+        t0 = time.perf_counter()
+        builder = StoreBuilder(self.ndims)
+        for i in picked:
+            builder.append_store(self._segments[i].index.store)
+        merged = builder.build()
+        index = S3Index(
+            merged,
+            order=self.manifest.order,
+            key_levels=self.manifest.key_levels,
+            depth=self.manifest.depth,
+            model=self.model,
+        )
+        seq = self.manifest.next_seq
+        name = segment_filename(seq)
+        seg_path = self.directory / (name + ".store")
+        index.store.save(seg_path)
+        _fsync_file(seg_path)
+
+        meta = SegmentMeta(name=name, count=len(merged))
+        picked_set = set(picked)
+        old = [self._segments[i] for i in picked]
+        new_segments: list[Segment] = []
+        inserted = False
+        for i, seg in enumerate(self._segments):
+            if i in picked_set:
+                if not inserted:
+                    new_segments.append(Segment(meta=meta, index=index))
+                    inserted = True
+                continue
+            new_segments.append(seg)
+        self._segments = new_segments
+        self.manifest.segments = [s.meta for s in new_segments]
+        self.manifest.next_seq = seq + 1
+        self.manifest.save(self.directory)
+        for seg in old:
+            (self.directory / (seg.meta.name + ".store")).unlink(
+                missing_ok=True
+            )
+        return CompactionResult(
+            merged_segments=len(picked),
+            merged_rows=len(merged),
+            segment_name=name,
+            seconds=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def statistical_query(
+        self,
+        query: np.ndarray,
+        alpha: float,
+        model: Optional[IndependentDistortionModel] = None,
+        depth: Optional[int] = None,
+    ) -> SearchResult:
+        """Statistical query of expectation α across segments + memtable.
+
+        The block selection is computed once — it depends only on the
+        query, the model and the shared curve geometry — and applied to
+        every segment and to the memtable, so the merged result equals a
+        monolithic :class:`S3Index` over the same records.
+        """
+        resolved = self._resolve_model(model)
+        depth = self._resolve_depth(depth)
+        t0 = time.perf_counter()
+        selection = statistical_blocks_cached(
+            query, resolved, self.curve, depth, alpha,
+            cache=self._threshold_cache,
+        )
+        t1 = time.perf_counter()
+        result = self._fan_out(selection, refine=None)
+        result.stats.filter_seconds = t1 - t0
+        return result
+
+    def range_query(
+        self,
+        query: np.ndarray,
+        epsilon: float,
+        depth: Optional[int] = None,
+    ) -> SearchResult:
+        """ε-range query across segments + memtable (exact refinement)."""
+        depth = self._resolve_depth(depth)
+        t0 = time.perf_counter()
+        selection = range_blocks(query, epsilon, self.curve, depth)
+        t1 = time.perf_counter()
+        result = self._fan_out(
+            selection, refine=(np.asarray(query, dtype=np.float64), epsilon)
+        )
+        result.stats.filter_seconds = t1 - t0
+        return result
+
+    # ------------------------------------------------------------------
+    def _resolve_model(
+        self, model: Optional[IndependentDistortionModel]
+    ) -> IndependentDistortionModel:
+        resolved = model if model is not None else self.model
+        if resolved is None:
+            raise ConfigurationError(
+                "no distortion model: pass `model=` or set a default on the index"
+            )
+        if resolved.ndims != self.ndims:
+            raise ConfigurationError(
+                f"model dimension {resolved.ndims} != index dimension "
+                f"{self.ndims}"
+            )
+        return resolved
+
+    def _resolve_depth(self, depth: Optional[int]) -> int:
+        if depth is None:
+            return self.manifest.depth
+        key_bits = self.manifest.key_levels * self.ndims
+        if not 1 <= depth <= key_bits:
+            raise ConfigurationError(
+                f"depth must be in [1, {key_bits}], got {depth}"
+            )
+        return depth
+
+    def _fan_out(
+        self,
+        selection: BlockSelection,
+        refine: Optional[tuple[np.ndarray, float]],
+    ) -> SearchResult:
+        """Scan the selection in every segment + the memtable and merge.
+
+        With *refine* set (``(query, epsilon)``), an exact distance test
+        is applied to each part — the ε-range refinement — and distances
+        are reported.
+        """
+        stats = SegmentedQueryStats()
+        parts: list[SearchResult] = []
+        base = 0
+        for seg in self._segments:
+            t0 = time.perf_counter()
+            ranges = seg.index.row_ranges(selection)
+            rows = seg.index.layout.gather_rows(ranges)
+            store = seg.index.store
+            fps = store.fingerprints[rows]
+            distances = None
+            seg_stats = QueryStats(
+                blocks_selected=len(selection),
+                sections_scanned=len(ranges),
+                rows_scanned=int(rows.size),
+            )
+            if refine is not None and rows.size:
+                q, epsilon = refine
+                diffs = fps.astype(np.float64) - q
+                dist_sq = np.einsum("ij,ij->i", diffs, diffs)
+                keep = dist_sq <= float(epsilon) ** 2
+                rows = rows[keep]
+                fps = fps[keep]
+                distances = np.sqrt(dist_sq[keep])
+            elif refine is not None:
+                distances = np.empty(0, dtype=np.float64)
+            part = SearchResult(
+                rows=rows + base,
+                ids=store.ids[rows],
+                timecodes=store.timecodes[rows],
+                fingerprints=fps,
+                distances=distances,
+                stats=seg_stats,
+            )
+            seg_stats.results = len(part)
+            seg_stats.refine_seconds = time.perf_counter() - t0
+            parts.append(part)
+            stats.per_segment.append(seg_stats)
+            base += seg.meta.count
+
+        # The memtable part: block membership for statistical queries,
+        # exact distances for range queries (strictly tighter than block
+        # membership, hence still consistent with the monolithic answer).
+        t0 = time.perf_counter()
+        if refine is None:
+            mem_rows = self._memtable.scan_selection(selection)
+            mem_distances = None
+        else:
+            q, epsilon = refine
+            mem_rows, mem_distances = self._memtable.range_rows(q, epsilon)
+        mem_part_store = self._memtable.take(mem_rows)
+        mem_stats = QueryStats(
+            blocks_selected=len(selection),
+            rows_scanned=len(self._memtable),
+            results=int(mem_rows.size),
+            refine_seconds=time.perf_counter() - t0,
+        )
+        parts.append(SearchResult(
+            rows=mem_rows + base,
+            ids=mem_part_store.ids,
+            timecodes=mem_part_store.timecodes,
+            fingerprints=mem_part_store.fingerprints,
+            distances=mem_distances,
+            stats=mem_stats,
+        ))
+
+        merged = SearchResult(
+            rows=np.concatenate([p.rows for p in parts]),
+            ids=np.concatenate([p.ids for p in parts]),
+            timecodes=np.concatenate([p.timecodes for p in parts]),
+            fingerprints=np.concatenate([p.fingerprints for p in parts]),
+            distances=(
+                np.concatenate([p.distances for p in parts])
+                if refine is not None else None
+            ),
+            stats=stats,
+        )
+        stats.blocks_selected = len(selection)
+        stats.nodes_visited = selection.nodes_visited
+        stats.descents = selection.descents
+        stats.segments_scanned = len(self._segments)
+        stats.memtable_rows_scanned = len(self._memtable)
+        stats.sections_scanned = sum(
+            s.sections_scanned for s in stats.per_segment
+        )
+        stats.rows_scanned = (
+            sum(s.rows_scanned for s in stats.per_segment)
+            + len(self._memtable)
+        )
+        stats.refine_seconds = (
+            sum(s.refine_seconds for s in stats.per_segment)
+            + mem_stats.refine_seconds
+        )
+        stats.results = len(merged)
+        return merged
+
+
+def _fsync_file(path: Path) -> None:
+    """Flush a freshly written file's contents to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _collect_orphans(directory: Path, manifest: Manifest) -> None:
+    """Delete files a crash left behind (not referenced by the manifest)."""
+    live = {seg.name + ".store" for seg in manifest.segments}
+    live.add(manifest.wal)
+    for path in directory.iterdir():
+        name = path.name
+        if name.startswith("seg-") and name.endswith(".store") \
+                and name not in live:
+            path.unlink(missing_ok=True)
+        elif name.startswith("wal-") and name.endswith(".log") \
+                and name not in live:
+            path.unlink(missing_ok=True)
+        elif name.endswith(".tmp"):
+            path.unlink(missing_ok=True)

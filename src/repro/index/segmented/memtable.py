@@ -1,0 +1,111 @@
+"""In-memory write buffer of the segmented index.
+
+The memtable accepts inserts in arrival order and is scanned exhaustively
+at query time.  It is small by construction (it is sealed into a segment
+once it exceeds the flush threshold), so the scan is a handful of
+vectorised numpy operations:
+
+* **statistical queries** select records by p-block membership — the
+  memtable keeps the truncated Hilbert key of every record (computed once
+  per inserted batch) and tests it against the selected prefixes, so the
+  returned set is exactly "everything stored inside ``V_α``", the same
+  semantics the sealed segments implement with their sorted layouts;
+* **ε-range queries** use a direct exact distance test (the refinement
+  the sealed path performs after its block scan).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...hilbert.vectorized import encode_batch
+from ..filtering import BlockSelection
+from ..store import FingerprintStore, StoreBuilder
+
+
+class MemTable:
+    """Mutable record buffer with Hilbert keys for block-membership scans."""
+
+    def __init__(self, ndims: int, order: int = 8, key_levels: int = 2):
+        self.ndims = int(ndims)
+        self.order = int(order)
+        self.key_levels = int(key_levels)
+        self._builder = StoreBuilder(ndims)
+        self._keys = np.empty(1024, dtype=np.uint64)
+
+    @property
+    def key_bits(self) -> int:
+        return self.key_levels * self.ndims
+
+    def __len__(self) -> int:
+        return len(self._builder)
+
+    def nbytes(self) -> int:
+        """Approximate payload size of the buffered records."""
+        return len(self) * (self.ndims + 4 + 8 + 8)
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        fingerprints: np.ndarray,
+        ids: np.ndarray,
+        timecodes: np.ndarray,
+    ) -> int:
+        """Buffer one batch; returns the number of records added."""
+        size = len(self._builder)
+        n = self._builder.append(fingerprints, ids, timecodes)
+        if n == 0:
+            return 0
+        while self._keys.size < size + n:
+            self._keys = np.concatenate(
+                [self._keys, np.empty(self._keys.size, dtype=np.uint64)]
+            )
+        self._keys[size:size + n] = encode_batch(
+            self._builder.fingerprints[size:size + n],
+            self.order, self.key_levels,
+        )
+        return n
+
+    def clear(self) -> None:
+        self._builder.clear()
+
+    def to_store(self) -> FingerprintStore:
+        """Snapshot the buffered records (insertion order) as a store."""
+        return self._builder.build()
+
+    # ------------------------------------------------------------------
+    def scan_selection(self, selection: BlockSelection) -> np.ndarray:
+        """Row indices of buffered records inside the selected blocks."""
+        n = len(self)
+        if n == 0 or len(selection) == 0:
+            return np.empty(0, dtype=np.int64)
+        shift = np.uint64(self.key_bits - selection.depth)
+        blocks = self._keys[:n] >> shift
+        prefixes = np.asarray(selection.prefixes, dtype=np.uint64)
+        idx = np.searchsorted(prefixes, blocks)
+        member = (idx < prefixes.size) & (
+            prefixes[np.minimum(idx, prefixes.size - 1)] == blocks
+        )
+        return np.flatnonzero(member).astype(np.int64)
+
+    def range_rows(
+        self, query: np.ndarray, epsilon: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(rows, distances)`` of buffered records within *epsilon*."""
+        n = len(self)
+        if n == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        fp = self._builder.fingerprints.astype(np.float64)
+        q = np.asarray(query, dtype=np.float64)
+        diffs = fp - q
+        dist_sq = np.einsum("ij,ij->i", diffs, diffs)
+        keep = np.flatnonzero(dist_sq <= float(epsilon) ** 2).astype(np.int64)
+        return keep, np.sqrt(dist_sq[keep])
+
+    def take(self, rows: np.ndarray) -> FingerprintStore:
+        """The buffered records at *rows*, as a store (query gather)."""
+        return FingerprintStore(
+            fingerprints=self._builder.fingerprints[rows],
+            ids=self._builder.ids[rows],
+            timecodes=self._builder.timecodes[rows],
+        )

@@ -1,0 +1,176 @@
+"""Write-ahead log for the segmented index (durability of online inserts).
+
+Every accepted ``add`` is appended to the log *before* it reaches the
+in-memory write buffer, so a crash between segment seals loses nothing:
+reopening the directory replays the log into a fresh memtable.
+
+File layout::
+
+    magic 'S3WL' | version u32 | ndims u32 |
+    record*  where record = count u32 | crc32 u32 | payload
+    payload  = fingerprints (count x ndims u8) | ids (count u32)
+             | timecodes (count f64)
+
+The CRC covers the payload.  Replay stops at the first incomplete or
+corrupt record — a torn tail from a crash mid-append is expected and is
+silently dropped (the insert was never acknowledged as durable); opening
+the log for writing truncates the tail so new records extend the valid
+prefix.  A bad file header, by contrast, raises :class:`~repro.errors.WALError`:
+that is not a torn write but the wrong file.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from ...errors import WALError
+from ..store import PathLike
+
+_MAGIC = b"S3WL"
+_VERSION = 1
+_FILE_HEADER = struct.Struct("<4sII")
+_RECORD_HEADER = struct.Struct("<II")
+
+
+def _payload_size(count: int, ndims: int) -> int:
+    return count * (ndims + 4 + 8)
+
+
+class WriteAheadLog:
+    """Append-only durable log of fingerprint record batches."""
+
+    def __init__(self, path: PathLike, ndims: int, fh, sync: bool = True):
+        self.path = Path(path)
+        self.ndims = int(ndims)
+        self.sync = bool(sync)
+        self._fh = fh
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: PathLike, ndims: int, sync: bool = True
+               ) -> "WriteAheadLog":
+        """Start a fresh log at *path* (truncating any existing file)."""
+        if ndims < 1:
+            raise WALError(f"ndims must be >= 1, got {ndims}")
+        path = Path(path)
+        fh = open(path, "wb")
+        fh.write(_FILE_HEADER.pack(_MAGIC, _VERSION, ndims))
+        fh.flush()
+        if sync:
+            os.fsync(fh.fileno())
+        return cls(path, ndims, fh, sync=sync)
+
+    @classmethod
+    def open(cls, path: PathLike, sync: bool = True) -> "WriteAheadLog":
+        """Open an existing log for appending.
+
+        The valid record prefix is located first; any torn tail beyond it
+        is truncated away so the next append lands on a clean boundary.
+        """
+        path = Path(path)
+        ndims, _records, valid_end = _scan(path)
+        fh = open(path, "r+b")
+        fh.truncate(valid_end)
+        fh.seek(valid_end)
+        return cls(path, ndims, fh, sync=sync)
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        fingerprints: np.ndarray,
+        ids: np.ndarray,
+        timecodes: np.ndarray,
+    ) -> int:
+        """Durably append one batch; returns the number of records."""
+        fp = np.ascontiguousarray(fingerprints, dtype=np.uint8)
+        if fp.ndim != 2 or fp.shape[1] != self.ndims:
+            raise WALError(
+                f"fingerprints must be (N, {self.ndims}), got shape {fp.shape}"
+            )
+        ids = np.ascontiguousarray(ids, dtype=np.uint32)
+        tcs = np.ascontiguousarray(timecodes, dtype=np.float64)
+        n = fp.shape[0]
+        if ids.shape != (n,) or tcs.shape != (n,):
+            raise WALError(
+                "column length mismatch: "
+                f"{n} fingerprints, {ids.shape[0]} ids, {tcs.shape[0]} timecodes"
+            )
+        if n == 0:
+            return 0
+        payload = fp.tobytes() + ids.tobytes() + tcs.tobytes()
+        self._fh.write(_RECORD_HEADER.pack(n, zlib.crc32(payload)))
+        self._fh.write(payload)
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+        return n
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def replay(path: PathLike) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Return every complete ``(fingerprints, ids, timecodes)`` batch.
+
+    Torn or corrupt trailing records are dropped; a bad header raises
+    :class:`~repro.errors.WALError`.
+    """
+    _ndims, records, _valid_end = _scan(path)
+    return records
+
+
+def _scan(path: PathLike) -> tuple[
+    int, list[tuple[np.ndarray, np.ndarray, np.ndarray]], int
+]:
+    """Parse the log: ``(ndims, complete record batches, valid end offset)``."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise WALError(f"cannot read WAL file {path}: {exc}") from exc
+    if len(raw) < _FILE_HEADER.size:
+        raise WALError(f"WAL file too short: {path}")
+    magic, version, ndims = _FILE_HEADER.unpack_from(raw, 0)
+    if magic != _MAGIC:
+        raise WALError(f"bad magic in WAL file {path}: {magic!r}")
+    if version != _VERSION:
+        raise WALError(f"unsupported WAL version {version} in {path}")
+    if ndims < 1:
+        raise WALError(f"bad ndims {ndims} in WAL file {path}")
+
+    records: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    pos = _FILE_HEADER.size
+    while True:
+        if pos + _RECORD_HEADER.size > len(raw):
+            break  # torn record header
+        count, crc = _RECORD_HEADER.unpack_from(raw, pos)
+        size = _payload_size(count, ndims)
+        start = pos + _RECORD_HEADER.size
+        if count == 0 or start + size > len(raw):
+            break  # torn payload (or garbage header)
+        payload = raw[start:start + size]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt tail
+        fp_end = count * ndims
+        ids_end = fp_end + count * 4
+        fp = np.frombuffer(payload[:fp_end], dtype=np.uint8).reshape(
+            count, ndims
+        )
+        ids = np.frombuffer(payload[fp_end:ids_end], dtype=np.uint32)
+        tcs = np.frombuffer(payload[ids_end:], dtype=np.float64)
+        records.append((fp.copy(), ids.copy(), tcs.copy()))
+        pos = start + size
+    return ndims, records, pos

@@ -150,6 +150,13 @@ class FingerprintStore:
         path = Path(path)
         count, ndims = read_header(path)
         offsets = column_offsets(count, ndims)
+        expected = expected_file_size(count, ndims)
+        actual = path.stat().st_size
+        if actual < expected:
+            raise StoreError(
+                f"truncated store file {path}: {actual} bytes, "
+                f"header promises {expected}"
+            )
         if mmap:
             fp = np.memmap(
                 path, dtype=np.uint8, mode="r",
@@ -185,6 +192,114 @@ class FingerprintStore:
         return cls(fingerprints=fp.copy(), ids=ids.copy(), timecodes=tcs.copy())
 
 
+class StoreBuilder:
+    """Incrementally accumulate records into a :class:`FingerprintStore`.
+
+    The builder keeps pre-allocated column arrays and grows them by
+    amortised doubling, so appending many small batches — the memtable
+    and segment-flush path of the segmented index — never round-trips
+    through Python lists.
+    """
+
+    def __init__(self, ndims: int, initial_capacity: int = 1024):
+        if ndims < 1:
+            raise StoreError(f"ndims must be >= 1, got {ndims}")
+        if initial_capacity < 1:
+            raise StoreError(
+                f"initial_capacity must be >= 1, got {initial_capacity}"
+            )
+        self._ndims = int(ndims)
+        self._size = 0
+        self._fp = np.empty((initial_capacity, ndims), dtype=np.uint8)
+        self._ids = np.empty(initial_capacity, dtype=np.uint32)
+        self._tcs = np.empty(initial_capacity, dtype=np.float64)
+
+    @property
+    def ndims(self) -> int:
+        return self._ndims
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._fp.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        self._fp = np.concatenate(
+            [self._fp, np.empty((capacity - self._fp.shape[0], self._ndims),
+                                dtype=np.uint8)]
+        )
+        self._ids = np.concatenate(
+            [self._ids, np.empty(capacity - self._ids.shape[0],
+                                 dtype=np.uint32)]
+        )
+        self._tcs = np.concatenate(
+            [self._tcs, np.empty(capacity - self._tcs.shape[0],
+                                 dtype=np.float64)]
+        )
+
+    def append(
+        self,
+        fingerprints: np.ndarray,
+        ids: np.ndarray,
+        timecodes: np.ndarray,
+    ) -> int:
+        """Append a batch of records; returns the number appended."""
+        fp = np.ascontiguousarray(fingerprints, dtype=np.uint8)
+        if fp.ndim != 2 or fp.shape[1] != self._ndims:
+            raise StoreError(
+                f"fingerprints must be (N, {self._ndims}), got shape {fp.shape}"
+            )
+        ids = np.ascontiguousarray(ids, dtype=np.uint32)
+        tcs = np.ascontiguousarray(timecodes, dtype=np.float64)
+        n = fp.shape[0]
+        if ids.shape != (n,) or tcs.shape != (n,):
+            raise StoreError(
+                "column length mismatch: "
+                f"{n} fingerprints, {ids.shape[0]} ids, {tcs.shape[0]} timecodes"
+            )
+        self._reserve(n)
+        self._fp[self._size:self._size + n] = fp
+        self._ids[self._size:self._size + n] = ids
+        self._tcs[self._size:self._size + n] = tcs
+        self._size += n
+        return n
+
+    @property
+    def fingerprints(self) -> np.ndarray:
+        """View of the filled fingerprint rows (do not mutate)."""
+        return self._fp[:self._size]
+
+    @property
+    def ids(self) -> np.ndarray:
+        """View of the filled id column (do not mutate)."""
+        return self._ids[:self._size]
+
+    @property
+    def timecodes(self) -> np.ndarray:
+        """View of the filled timecode column (do not mutate)."""
+        return self._tcs[:self._size]
+
+    def append_store(self, store: FingerprintStore) -> int:
+        """Append every record of *store* (the compaction merge path)."""
+        return self.append(store.fingerprints, store.ids, store.timecodes)
+
+    def build(self) -> FingerprintStore:
+        """Return the accumulated records as an immutable store (copy)."""
+        return FingerprintStore(
+            fingerprints=self._fp[:self._size].copy(),
+            ids=self._ids[:self._size].copy(),
+            timecodes=self._tcs[:self._size].copy(),
+        )
+
+    def clear(self) -> None:
+        """Drop the accumulated records (capacity is retained)."""
+        self._size = 0
+
+
 def read_header(path: PathLike) -> tuple[int, int]:
     """Return ``(count, ndims)`` from a store file header."""
     path = Path(path)
@@ -201,6 +316,11 @@ def read_header(path: PathLike) -> tuple[int, int]:
     if version != _VERSION:
         raise StoreError(f"unsupported store version {version} in {path}")
     return int(count), int(ndims)
+
+
+def expected_file_size(count: int, ndims: int) -> int:
+    """Total on-disk size of a store with *count* records of *ndims*."""
+    return _HEADER.size + count * (ndims + 4 + 8)
 
 
 def column_offsets(count: int, ndims: int) -> dict[str, int]:

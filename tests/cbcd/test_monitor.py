@@ -41,6 +41,10 @@ class TestConfigValidation:
             MonitorConfig(hop_frames=100, window_frames=80)
         with pytest.raises(ConfigurationError):
             MonitorConfig(buffer_keyframes=1)
+        with pytest.raises(ConfigurationError):
+            MonitorConfig(ingest_video_id=-1)
+        with pytest.raises(ConfigurationError):
+            MonitorConfig(ingest_match_threshold=-1)
 
 
 class TestFeeding:
@@ -124,7 +128,9 @@ class TestDetection:
         for start in range(0, stream.shape[0], 7):
             got_small.extend(small.feed(stream[start:start + 7]))
 
-        key = lambda d: (d.video_id, round(d.stream_offset, 1))
+        def key(d):
+            return (d.video_id, round(d.stream_offset, 1))
+
         assert sorted(map(key, got_big)) == sorted(map(key, got_small))
 
     def test_clean_stream_stays_quiet(self, setup):
@@ -133,3 +139,82 @@ class TestDetection:
         stream = np.concatenate([c.frames for c in foreign])
         monitor = make_monitor(index, decision_threshold=25)
         assert monitor.feed(stream) == []
+
+
+class TestOnlineIngestion:
+    def make_live_index(self, directory):
+        from repro.index.segmented import SegmentedS3Index
+
+        return SegmentedS3Index.create(
+            directory, ndims=20, depth=20,
+            model=NormalDistortionModel(20, 20.0),
+            flush_rows=100_000, auto_compact=False, sync=False,
+        )
+
+    def test_ingest_new_requires_mutable_index(self, setup):
+        _, index = setup
+        with pytest.raises(ConfigurationError, match="ingest_new"):
+            StreamMonitor(index, MonitorConfig(ingest_new=True))
+
+    def test_unmatched_material_is_referenced(self, setup, tmp_path):
+        corpus, _ = setup
+        with self.make_live_index(tmp_path / "live") as index:
+            store = corpus.store
+            index.add(store.fingerprints, store.ids, store.timecodes)
+            before = len(index)
+            monitor = make_monitor(index, ingest_new=True,
+                                   ingest_video_id=777)
+            novel = generate_corpus(1, 160, seed=60_001)[0]
+            monitor.feed(novel.frames)
+            assert monitor.ingested_rows > 0
+            assert len(index) == before + monitor.ingested_rows
+
+    def test_overlapping_windows_ingest_once(self, setup, tmp_path):
+        """The ingest horizon stops overlapping analysis windows from
+        referencing the same stream time twice."""
+        corpus, _ = setup
+        with self.make_live_index(tmp_path / "live") as index:
+            store = corpus.store
+            index.add(store.fingerprints, store.ids, store.timecodes)
+            monitor = make_monitor(index, ingest_new=True,
+                                   ingest_video_id=777)
+            novel = generate_corpus(1, 200, seed=60_002)[0]
+            monitor.feed(novel.frames)
+            # Several local fingerprints legitimately share a key-frame
+            # timecode, but no (fingerprint, timecode) pair may be
+            # referenced twice by overlapping windows.
+            ingested = [
+                (tuple(fp), tc) for fp, vid, tc in (
+                    index.record(row) for row in range(len(index))
+                ) if vid == 777
+            ]
+            assert ingested
+            assert len(ingested) == len(set(ingested))
+
+    def test_rebroadcast_of_ingested_material_is_detected(
+        self, setup, tmp_path
+    ):
+        corpus, _ = setup
+        with self.make_live_index(tmp_path / "live") as index:
+            store = corpus.store
+            index.add(store.fingerprints, store.ids, store.timecodes)
+            monitor = make_monitor(
+                index, decision_threshold=20,
+                ingest_new=True, ingest_video_id=777,
+                ingest_match_threshold=4,
+            )
+            novel = generate_corpus(1, 120, seed=60_003)[0]
+            filler = generate_corpus(2, 80, seed=60_004)
+            stream = np.concatenate([
+                filler[0].frames, novel.frames,     # first airing
+                filler[1].frames, novel.frames,     # re-broadcast
+            ])
+            detections = monitor.feed(stream)
+            assert 777 in {d.video_id for d in detections}
+
+    def test_static_monitor_does_not_ingest(self, setup):
+        corpus, index = setup
+        monitor = make_monitor(index)  # ingest_new defaults to False
+        novel = generate_corpus(1, 120, seed=60_005)[0]
+        monitor.feed(novel.frames)
+        assert monitor.ingested_rows == 0

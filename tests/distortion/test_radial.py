@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from scipy import stats
 
 from repro.distortion.radial import (
     closed_form_norm_pdf,

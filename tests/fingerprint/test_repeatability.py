@@ -1,6 +1,5 @@
 """Tests for interest-point repeatability measurement."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

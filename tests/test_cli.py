@@ -71,9 +71,68 @@ class TestPipeline:
         assert "no copy detected" in capsys.readouterr().out
 
 
+class TestSegmented:
+    @pytest.fixture(scope="class")
+    def live(self, workspace, tmp_path_factory):
+        """A segmented index directory built with `ingest`."""
+        directory = tmp_path_factory.mktemp("seg") / "live"
+        assert main(["ingest", str(directory), str(workspace["store"]),
+                     "--sigma", "20", "--depth", "20", "--flush"]) == 0
+        return directory
+
+    def test_ingest_creates_directory(self, live, capsys):
+        assert (live / "MANIFEST.json").exists()
+        assert list(live.glob("seg-*.store"))
+
+    def test_ingest_appends_segment(self, live, workspace, capsys):
+        assert main(["ingest", str(live), str(workspace["store"]),
+                     "--flush"]) == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out
+        assert "2 segments" in out
+
+    def test_info_on_directory(self, live, capsys):
+        assert main(["info", str(live)]) == 0
+        out = capsys.readouterr().out
+        assert "segmented index" in out
+        assert "seg-000001" in out
+
+    def test_query_from_row_on_directory(self, live, capsys):
+        assert main(["query", str(live), "--from-row", "3",
+                     "--alpha", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "results" in out
+        assert "id=0" in out
+
+    def test_detect_on_directory(self, live, workspace, capsys):
+        clip = generate_clip(150, seed=1)
+        candidate = workspace["tmp"] / "seg-cand.npy"
+        np.save(candidate, clip.frames[30:110])
+        code = main(["detect", str(live), str(candidate),
+                     "--threshold", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "copy of video 0" in out
+
+    def test_compact_force_merges(self, live, capsys):
+        assert main(["compact", str(live), "--force"]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 2 segments" in out
+        assert "-> 1 segments" in out
+
+    def test_compact_nothing_to_do(self, live, capsys):
+        assert main(["compact", str(live)]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
+
+
 class TestErrors:
     def test_missing_store_reports_error(self, tmp_path, capsys):
         code = main(["info", str(tmp_path / "nope.fp")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_compact_missing_directory_reports_error(self, tmp_path, capsys):
+        code = main(["compact", str(tmp_path / "nope")])
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
