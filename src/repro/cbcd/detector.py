@@ -17,6 +17,7 @@ import numpy as np
 from ..distortion.model import IndependentDistortionModel
 from ..errors import ConfigurationError, ExtractionError
 from ..fingerprint.extractor import ExtractorConfig, FingerprintExtractor
+from ..index.batch import BatchQueryExecutor
 from ..index.s3 import S3Index
 from ..video.synthetic import VideoClip
 from .voting import QueryMatches, Vote, vote
@@ -47,6 +48,8 @@ class DetectorConfig:
     tukey_c: float = 6.0
     decision_threshold: int = 5
     min_matches: int = 2
+    batch_size: int = 32
+    workers: int = 1
     extractor: ExtractorConfig = field(default_factory=ExtractorConfig)
 
     def __post_init__(self) -> None:
@@ -55,6 +58,14 @@ class DetectorConfig:
         if self.decision_threshold < 1:
             raise ConfigurationError(
                 f"decision_threshold must be >= 1, got {self.decision_threshold}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
             )
 
 
@@ -108,13 +119,16 @@ class CopyDetector:
         # Per-run determinism: the index's warm-start cache is scoped to
         # one candidate clip (still warm across its ~hundreds of queries).
         self.index.reset_threshold_cache()
+        executor = BatchQueryExecutor(
+            self.index, cfg.alpha, model=self.model,
+            batch_size=cfg.batch_size, workers=cfg.workers,
+        )
         matches: list[QueryMatches] = []
         rows_scanned = 0
         search_seconds = 0.0
-        for fp, tc in zip(fingerprints, timecodes):
-            result = self.index.statistical_query(
-                fp.astype(np.float64), cfg.alpha, model=self.model
-            )
+        for result, tc in zip(
+            executor.query_all(fingerprints.astype(np.float64)), timecodes
+        ):
             rows_scanned += result.stats.rows_scanned
             search_seconds += result.stats.total_seconds
             if len(result):

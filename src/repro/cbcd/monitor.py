@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 
 from ..errors import ConfigurationError, ExtractionError
 from ..fingerprint.extractor import ExtractorConfig, FingerprintExtractor
+from ..index.batch import BatchQueryExecutor
 from ..index.s3 import S3Index
 from ..video.synthetic import VideoClip
 from .detector import Detection
@@ -57,6 +58,8 @@ class MonitorConfig:
     ingest_new: bool = False
     ingest_video_id: int = 1_000_000
     ingest_match_threshold: int = 0
+    batch_size: int = 32
+    workers: int = 1
     extractor: ExtractorConfig = field(default_factory=ExtractorConfig)
 
     def __post_init__(self) -> None:
@@ -83,6 +86,14 @@ class MonitorConfig:
             raise ConfigurationError(
                 "ingest_match_threshold must be >= 0, got "
                 f"{self.ingest_match_threshold}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
             )
 
 
@@ -209,13 +220,17 @@ class StreamMonitor:
             return []
 
         self.index.reset_threshold_cache()
+        executor = BatchQueryExecutor(
+            self.index, cfg.alpha,
+            batch_size=cfg.batch_size, workers=cfg.workers,
+        )
+        results = executor.query_all(
+            extraction.store.fingerprints.astype(np.float64)
+        )
         unmatched_rows: list[int] = []
-        for row, (fp, tc) in enumerate(zip(
-            extraction.store.fingerprints, extraction.store.timecodes
+        for row, (result, tc) in enumerate(zip(
+            results, extraction.store.timecodes
         )):
-            result = self.index.statistical_query(
-                fp.astype(np.float64), cfg.alpha
-            )
             if len(result):
                 self._matches.append(
                     QueryMatches(

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..distortion.model import IndependentDistortionModel
 from ..errors import ConfigurationError
+from ..index.batch import BatchQueryExecutor
 from ..index.s3 import S3Index
 from ..index.store import FingerprintStore
 from .mestimator import estimate_offset, tukey_weight
@@ -221,12 +222,47 @@ class SpatialSearchIndex:
             positions=self.positions[result.rows],
         )
 
+    def query_batch(
+        self,
+        fingerprints: np.ndarray,
+        timecodes: np.ndarray,
+        positions: np.ndarray,
+        alpha: float,
+        batch_size: int = 32,
+        workers: int = 1,
+    ) -> list[SpatioTemporalMatch]:
+        """Batched statistical queries joined with positions.
+
+        One engine pass per ``batch_size`` chunk (shared block selection +
+        coalesced scan, see :mod:`repro.index.batch`); every match list is
+        identical to per-query :meth:`query` from the same warm-start
+        cache state.
+        """
+        executor = BatchQueryExecutor(
+            self.index, alpha, batch_size=batch_size, workers=workers
+        )
+        results = executor.query_all(
+            np.asarray(fingerprints, dtype=np.float64)
+        )
+        return [
+            SpatioTemporalMatch(
+                timecode=float(tc),
+                position=np.asarray(pos, dtype=np.float64),
+                ids=result.ids,
+                timecodes=result.timecodes,
+                positions=self.positions[result.rows],
+            )
+            for result, tc, pos in zip(results, timecodes, positions)
+        ]
+
     def detect(
         self,
         fingerprints: np.ndarray,
         timecodes: np.ndarray,
         positions: np.ndarray,
         alpha: float = 0.8,
+        batch_size: int = 32,
+        workers: int = 1,
         **vote_kwargs,
     ) -> list[SpatioTemporalVote]:
         """Search a candidate's fingerprints and run the extended voting."""
@@ -243,9 +279,12 @@ class SpatialSearchIndex:
                 "must align"
             )
         self.index.reset_threshold_cache()
-        matches = []
-        for fp, tc, pos in zip(fingerprints, timecodes, positions):
-            match = self.query(fp, tc, pos, alpha)
-            if match.ids.size:
-                matches.append(match)
+        matches = [
+            match
+            for match in self.query_batch(
+                fingerprints, timecodes, positions, alpha,
+                batch_size=batch_size, workers=workers,
+            )
+            if match.ids.size
+        ]
         return spatio_temporal_vote(matches, **vote_kwargs)

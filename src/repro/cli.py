@@ -38,6 +38,7 @@ from .cbcd.detector import CopyDetector, DetectorConfig
 from .distortion.model import NormalDistortionModel
 from .errors import ReproError
 from .fingerprint.extractor import FingerprintExtractor
+from .index.batch import BatchQueryExecutor
 from .index.s3 import S3Index
 from .index.segmented import CompactionPolicy, Manifest, SegmentedS3Index
 from .index.store import FingerprintStore, read_header
@@ -110,8 +111,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         print("error: pass --queries FILE or --from-row N", file=sys.stderr)
         return 2
-    for i, q in enumerate(queries):
-        result = index.statistical_query(q, args.alpha)
+    executor = BatchQueryExecutor(
+        index, args.alpha,
+        batch_size=args.batch_size, workers=args.workers,
+    )
+    for i, result in enumerate(executor.query_all(queries)):
         stats = result.stats
         print(
             f"query {i}: {len(result)} results, "
@@ -127,7 +131,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_detect(args: argparse.Namespace) -> int:
     index = _load_index(args.index)
-    config = DetectorConfig(alpha=args.alpha, decision_threshold=args.threshold)
+    config = DetectorConfig(
+        alpha=args.alpha, decision_threshold=args.threshold,
+        batch_size=args.batch_size, workers=args.workers,
+    )
     detector = CopyDetector(index, config)
     clip = _load_clip(args.video)
     report = detector.detect_clip(clip)
@@ -150,6 +157,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
     size = path.stat().st_size
     print(f"{args.store}: {count} fingerprints, dimension {ndims}, "
           f"{size / 1e6:.2f} MB")
+    if path.with_suffix(".meta.json").is_file():
+        index = S3Index.load(str(path.with_suffix("")))
+        supported = "supported" if index.supports_coalesced_scans \
+            else "not supported"
+        print(f"  coalesced scans: {supported} "
+              "(contiguous curve-ordered layout)")
     return 0
 
 
@@ -163,6 +176,9 @@ def _segmented_info(directory: Path) -> int:
               f"sigma={manifest.sigma}")
         print(f"  wal: {manifest.wal} "
               f"({index.pending_rows} unsealed fingerprints)")
+        supported = "supported" if index.supports_coalesced_scans \
+            else "not supported"
+        print(f"  coalesced scans: {supported} (per sealed segment)")
         print(f"  segments: {index.num_segments}")
         for seg in index.segments:
             size = (directory / (seg.name + ".store")).stat().st_size
@@ -297,6 +313,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="query with a stored fingerprint (sanity check)")
     p.add_argument("--limit", type=int, default=5,
                    help="matches to print per query")
+    p.add_argument("--batch-size", type=int, default=32,
+                   help="queries per batched engine call")
+    p.add_argument("--workers", type=int, default=1,
+                   help="threads for the coalesced scan / segment fan-out")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("detect", help="detect copies in a candidate video")
@@ -304,6 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("video", help="(T, H, W) uint8 .npy file")
     p.add_argument("--alpha", type=float, default=0.8)
     p.add_argument("--threshold", type=int, default=10)
+    p.add_argument("--batch-size", type=int, default=32,
+                   help="queries per batched engine call")
+    p.add_argument("--workers", type=int, default=1,
+                   help="threads for the coalesced scan / segment fan-out")
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser(

@@ -40,6 +40,17 @@ class IndependentDistortionModel:
         """Return ``P(ΔS_dim <= x)`` element-wise."""
         raise NotImplementedError
 
+    def cache_token(self) -> tuple:
+        """A hashable identity used to key per-model warm-start caches.
+
+        Models with equal tokens must induce identical box probabilities;
+        the default is instance identity (never collides across distinct
+        live models, never shares across equal ones).  Concrete models
+        override this with a value-based token so equal models share
+        warm-start state.
+        """
+        return ("instance", id(self))
+
     def sample(self, size: int, rng: SeedLike = None) -> np.ndarray:
         """Draw ``(size, ndims)`` distortion vectors."""
         raise NotImplementedError
@@ -111,6 +122,9 @@ class NormalDistortionModel(IndependentDistortionModel):
     def component_cdf(self, dim: int, x: np.ndarray) -> np.ndarray:
         return ndtr(np.asarray(x, dtype=np.float64) / self.sigma)
 
+    def cache_token(self) -> tuple:
+        return ("normal", self.ndims, self.sigma)
+
     def sample(self, size: int, rng: SeedLike = None) -> np.ndarray:
         gen = resolve_rng(rng)
         return gen.normal(0.0, self.sigma, size=(size, self.ndims))
@@ -147,6 +161,9 @@ class PerComponentNormalModel(IndependentDistortionModel):
 
     def component_cdf(self, dim: int, x: np.ndarray) -> np.ndarray:
         return ndtr(np.asarray(x, dtype=np.float64) / self.sigmas[dim])
+
+    def cache_token(self) -> tuple:
+        return ("per-component", self.ndims, self.sigmas.tobytes())
 
     def sample(self, size: int, rng: SeedLike = None) -> np.ndarray:
         gen = resolve_rng(rng)

@@ -15,6 +15,7 @@ from .abacus import (
     sweep_transforms_shared,
 )
 from .ascii_plot import render_plot
+from .batch_query import BatchQueryBenchResult, run_batch_query
 from .common import Series, format_table
 from .fig1_distance import Fig1Result, run_fig1
 from .fig10_monitoring import Fig10Result, run_fig10
@@ -31,6 +32,7 @@ __all__ = [
     "AbacusCell",
     "AbacusResult",
     "AbacusSetup",
+    "BatchQueryBenchResult",
     "Fig1Result",
     "Fig10Result",
     "Fig2Result",
@@ -48,6 +50,7 @@ __all__ = [
     "make_detector",
     "paper_transform_ladder",
     "render_plot",
+    "run_batch_query",
     "run_fig1",
     "run_fig10",
     "run_fig2",

@@ -15,6 +15,13 @@
   compaction (the §V-D operational setting).
 """
 
+from .batch import (
+    BatchQueryExecutor,
+    BatchQueryStats,
+    coalesce_ranges,
+    query_batch_monolithic,
+    query_batch_segmented,
+)
 from .diagnostics import (
     ClusteringSummary,
     OccupancySummary,
@@ -28,8 +35,12 @@ from .filtering import (
     grid_probability,
     range_blocks,
     select_blocks_threshold,
+    select_blocks_threshold_multi,
     statistical_blocks,
+    statistical_blocks_batch_cached,
     statistical_blocks_cached,
+    statistical_blocks_multi,
+    threshold_cache_key,
     window_blocks,
 )
 from .knn import knn_query
@@ -48,6 +59,8 @@ from .tuning import DepthProfile, profile_depths, tune_depth
 from .vafile import VAFile
 
 __all__ = [
+    "BatchQueryExecutor",
+    "BatchQueryStats",
     "BatchStats",
     "BlockSelection",
     "ClusteringSummary",
@@ -70,14 +83,21 @@ __all__ = [
     "best_first_blocks",
     "block_occupancy",
     "clustering_summary",
+    "coalesce_ranges",
     "grid_probability",
     "knn_query",
     "occupancy_summary",
     "profile_depths",
+    "query_batch_monolithic",
+    "query_batch_segmented",
     "range_blocks",
     "select_blocks_threshold",
+    "select_blocks_threshold_multi",
     "statistical_blocks",
+    "statistical_blocks_batch_cached",
     "statistical_blocks_cached",
+    "statistical_blocks_multi",
+    "threshold_cache_key",
     "window_blocks",
     "tune_depth",
 ]

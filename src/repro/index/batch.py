@@ -1,0 +1,467 @@
+"""Batched multi-query engine: shared filtering, coalesced scans, demux.
+
+The paper's deployed system answers one statistical query per key-frame
+fingerprint; the detection paths originally reproduced that literally — a
+Python loop re-descending the Hilbert tree and re-scanning overlapping
+curve sections for every query.  This module amortises that per-query
+work across a frame batch:
+
+1. **Shared block selection** — the threshold search of eq. (4) runs over
+   the whole ``(B, D)`` query matrix at once
+   (:func:`~repro.index.filtering.statistical_blocks_batch_cached`): all
+   still-active searches share one vectorised pass per tree level, and
+   the warm-start ``t_max`` cache is read/written once per batch.
+2. **Scan coalescing** — temporally adjacent key-frames select heavily
+   overlapping p-blocks, so the selected curve sections of a batch are
+   merged into their disjoint union, each physical section is gathered
+   exactly once, and rows are demultiplexed back to per-query
+   :class:`~repro.index.s3.SearchResult`s.  O(B·overlap) I/O becomes
+   O(union).
+3. **Parallel execution** — ``workers=N`` shards the coalesced gather
+   (monolithic index) or the per-segment fan-out (segmented index) across
+   a thread pool; sharding is by position, so results stay deterministic.
+
+Per-query results are **bit-identical** to the sequential
+``statistical_query`` path started from the same warm-start cache state
+(property-tested in ``tests/index/test_batch.py``); see
+``docs/batch-query.md`` for the exact cache semantics of a batch.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..distortion.model import IndependentDistortionModel
+from ..errors import ConfigurationError
+from .filtering import statistical_blocks_batch_cached
+from .s3 import QueryStats, S3Index, SearchResult
+from .store import FingerprintStore
+from .table import HilbertLayout
+
+RowRange = tuple[int, int]
+
+
+@dataclass
+class BatchQueryStats:
+    """Aggregate cost of one or more batched queries.
+
+    ``logical_rows`` is what a sequential per-query loop would have
+    scanned (the sum of every query's selected rows); ``unique_rows`` is
+    what the coalesced scan actually gathered.  Their ratio is the I/O
+    saved by coalescing.
+    """
+
+    queries: int = 0
+    batches: int = 0
+    blocks_selected: int = 0
+    sections_scanned: int = 0
+    logical_rows: int = 0
+    unique_rows: int = 0
+    results: int = 0
+    filter_seconds: float = 0.0
+    scan_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.filter_seconds + self.scan_seconds
+
+    @property
+    def coalescing_factor(self) -> float:
+        """Logical rows per physically gathered row (>= 1 with overlap)."""
+        if self.unique_rows == 0:
+            return 1.0
+        return self.logical_rows / self.unique_rows
+
+    def merge(self, other: "BatchQueryStats") -> None:
+        """Accumulate *other* into this (used when chunking a workload)."""
+        self.queries += other.queries
+        self.batches += other.batches
+        self.blocks_selected += other.blocks_selected
+        self.sections_scanned += other.sections_scanned
+        self.logical_rows += other.logical_rows
+        self.unique_rows += other.unique_rows
+        self.results += other.results
+        self.filter_seconds += other.filter_seconds
+        self.scan_seconds += other.scan_seconds
+
+
+# ----------------------------------------------------------------------
+# Scan coalescing
+# ----------------------------------------------------------------------
+def coalesce_ranges(
+    range_lists: Sequence[list[RowRange]],
+) -> list[RowRange]:
+    """Merge every query's row ranges into their disjoint sorted union.
+
+    Each input list is the merged "curve sections" of one query (sorted,
+    disjoint — as produced by
+    :meth:`~repro.index.table.HilbertLayout.block_row_ranges`).  Touching
+    ranges merge, so every input range lies **entirely inside exactly
+    one** union range — the invariant the demux step relies on.
+    """
+    total = sum(len(ranges) for ranges in range_lists)
+    if total == 0:
+        return []
+    starts = np.empty(total, dtype=np.int64)
+    ends = np.empty(total, dtype=np.int64)
+    at = 0
+    for ranges in range_lists:
+        for s, e in ranges:
+            starts[at] = s
+            ends[at] = e
+            at += 1
+    order = np.argsort(starts, kind="stable")
+    starts = starts[order]
+    ends = ends[order]
+    running = np.maximum.accumulate(ends)
+    new_group = np.empty(total, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = starts[1:] > running[:-1]
+    first = np.nonzero(new_group)[0]
+    last = np.append(first[1:] - 1, total - 1)
+    return [
+        (int(s), int(e)) for s, e in zip(starts[first], running[last])
+    ]
+
+
+def _gather_columns(
+    store: FingerprintStore, rows: np.ndarray, workers: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather ``(ids, timecodes, fingerprints)`` at *rows*, optionally sharded.
+
+    Shards are contiguous position chunks and are concatenated back in
+    order, so the output is identical for any worker count.
+    """
+    if workers > 1 and rows.size >= 4096:
+        chunks = np.array_split(rows, workers)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parts = list(
+                pool.map(
+                    lambda c: (
+                        store.ids[c],
+                        store.timecodes[c],
+                        store.fingerprints[c],
+                    ),
+                    chunks,
+                )
+            )
+        return (
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]),
+        )
+    return store.ids[rows], store.timecodes[rows], store.fingerprints[rows]
+
+
+def _scan_coalesced(
+    layout: HilbertLayout,
+    store: FingerprintStore,
+    per_query_ranges: Sequence[list[RowRange]],
+    workers: int = 1,
+) -> tuple[list[tuple], int, int]:
+    """Scan the union of all queries' sections once and demultiplex.
+
+    Returns ``(per_query, union_sections, unique_rows)`` where each
+    ``per_query`` entry is ``(rows, ids, timecodes, fingerprints)`` —
+    exactly the columns the sequential ``_scan_blocks`` would have
+    gathered for that query alone, in the same (curve) order.
+    """
+    union = coalesce_ranges(per_query_ranges)
+    u_rows = layout.gather_rows(union)
+    u_ids, u_tcs, u_fps = _gather_columns(store, u_rows, workers)
+    if union:
+        u_starts = np.array([s for s, _ in union], dtype=np.int64)
+        lengths = np.array([e - s for s, e in union], dtype=np.int64)
+        offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(lengths)]
+        )
+    per_query = []
+    for ranges in per_query_ranges:
+        rows_q = layout.gather_rows(ranges)
+        if rows_q.size:
+            # Each per-query range sits inside exactly one union range, so
+            # its rows map to positions by offsetting within that range.
+            k = np.searchsorted(u_starts, rows_q, side="right") - 1
+            pos = offsets[k] + (rows_q - u_starts[k])
+            per_query.append(
+                (rows_q, u_ids[pos], u_tcs[pos], u_fps[pos])
+            )
+        else:
+            per_query.append(
+                (rows_q, u_ids[:0], u_tcs[:0], u_fps[:0])
+            )
+    return per_query, len(union), int(u_rows.size)
+
+
+# ----------------------------------------------------------------------
+# Batched statistical queries
+# ----------------------------------------------------------------------
+def _check_batch(queries: np.ndarray, ndims: int) -> np.ndarray:
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    if queries.ndim != 2 or queries.shape[1] != ndims:
+        raise ConfigurationError(
+            f"queries must be (B, {ndims}), got shape {queries.shape}"
+        )
+    return queries
+
+
+def query_batch_monolithic(
+    index: S3Index,
+    queries: np.ndarray,
+    alpha: float,
+    model: Optional[IndependentDistortionModel] = None,
+    depth: Optional[int] = None,
+    workers: int = 1,
+) -> tuple[list[SearchResult], BatchQueryStats]:
+    """Answer a batch of statistical queries against a monolithic index.
+
+    Per-query results are bit-identical to ``index.statistical_query``
+    called per query from the same warm-start cache state.  Per-query
+    timing fields carry an equal share of the batch's filter/scan time.
+    """
+    queries = _check_batch(queries, index.ndims)
+    resolved = index._resolve_model(model)
+    depth = index.depth if depth is None else depth
+    index._check_depth(depth)
+    num = queries.shape[0]
+    batch = BatchQueryStats(queries=num, batches=1)
+    if num == 0:
+        return [], batch
+
+    t0 = time.perf_counter()
+    selections = statistical_blocks_batch_cached(
+        queries, resolved, index.curve, depth, alpha,
+        cache=index._threshold_cache,
+    )
+    t1 = time.perf_counter()
+    per_ranges = [index.row_ranges(sel) for sel in selections]
+    scans, union_sections, unique_rows = _scan_coalesced(
+        index.layout, index.store, per_ranges, workers
+    )
+    t2 = time.perf_counter()
+
+    results = []
+    for sel, ranges, (rows_q, ids, tcs, fps) in zip(
+        selections, per_ranges, scans
+    ):
+        stats = QueryStats(
+            blocks_selected=len(sel),
+            sections_scanned=len(ranges),
+            rows_scanned=int(rows_q.size),
+            results=int(rows_q.size),
+            nodes_visited=sel.nodes_visited,
+            descents=sel.descents,
+            filter_seconds=(t1 - t0) / num,
+            refine_seconds=(t2 - t1) / num,
+        )
+        results.append(SearchResult(
+            rows=rows_q, ids=ids, timecodes=tcs, fingerprints=fps,
+            stats=stats,
+        ))
+
+    batch.blocks_selected = sum(len(s) for s in selections)
+    batch.sections_scanned = union_sections
+    batch.logical_rows = sum(len(r) for r in results)
+    batch.unique_rows = unique_rows
+    batch.results = batch.logical_rows
+    batch.filter_seconds = t1 - t0
+    batch.scan_seconds = t2 - t1
+    return results, batch
+
+
+def query_batch_segmented(
+    index,
+    queries: np.ndarray,
+    alpha: float,
+    model: Optional[IndependentDistortionModel] = None,
+    depth: Optional[int] = None,
+    workers: int = 1,
+) -> tuple[list[SearchResult], BatchQueryStats]:
+    """Answer a batch of statistical queries against a segmented index.
+
+    The block selections are computed once per batch and fanned out:
+    each sealed segment is scanned with one coalesced pass (segments run
+    in parallel when ``workers > 1``), the memtable by block membership
+    per query.  Merge order matches the sequential ``_fan_out`` —
+    segments in manifest order, then the memtable — so per-query results
+    are bit-identical to ``index.statistical_query`` from the same
+    warm-start cache state.
+    """
+    from .segmented.lsm import SegmentedQueryStats
+
+    queries = _check_batch(queries, index.ndims)
+    resolved = index._resolve_model(model)
+    depth = index._resolve_depth(depth)
+    num = queries.shape[0]
+    batch = BatchQueryStats(queries=num, batches=1)
+    if num == 0:
+        return [], batch
+
+    t0 = time.perf_counter()
+    selections = statistical_blocks_batch_cached(
+        queries, resolved, index.curve, depth, alpha,
+        cache=index._threshold_cache,
+    )
+    t1 = time.perf_counter()
+
+    def scan_segment(seg):
+        per_ranges = [seg.index.row_ranges(sel) for sel in selections]
+        scans, sections, unique = _scan_coalesced(
+            seg.index.layout, seg.index.store, per_ranges, workers=1
+        )
+        return per_ranges, scans, sections, unique
+
+    segments = index._segments
+    if workers > 1 and len(segments) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            seg_scans = list(pool.map(scan_segment, segments))
+    else:
+        seg_scans = [scan_segment(seg) for seg in segments]
+
+    mem_rows = [index._memtable.scan_selection(sel) for sel in selections]
+    mem_parts = [index._memtable.take(rows) for rows in mem_rows]
+    t2 = time.perf_counter()
+
+    filter_share = (t1 - t0) / num
+    scan_share = (t2 - t1) / num
+    results = []
+    for qi in range(num):
+        sel = selections[qi]
+        stats = SegmentedQueryStats(
+            blocks_selected=len(sel),
+            nodes_visited=sel.nodes_visited,
+            descents=sel.descents,
+            filter_seconds=filter_share,
+        )
+        rows_parts, ids_parts, tcs_parts, fps_parts = [], [], [], []
+        base = 0
+        for seg, (per_ranges, scans, _, _) in zip(segments, seg_scans):
+            rows_q, ids, tcs, fps = scans[qi]
+            seg_stats = QueryStats(
+                blocks_selected=len(sel),
+                sections_scanned=len(per_ranges[qi]),
+                rows_scanned=int(rows_q.size),
+                results=int(rows_q.size),
+            )
+            rows_parts.append(rows_q + base)
+            ids_parts.append(ids)
+            tcs_parts.append(tcs)
+            fps_parts.append(fps)
+            stats.per_segment.append(seg_stats)
+            base += seg.meta.count
+        mem = mem_parts[qi]
+        rows_parts.append(mem_rows[qi] + base)
+        ids_parts.append(mem.ids)
+        tcs_parts.append(mem.timecodes)
+        fps_parts.append(mem.fingerprints)
+
+        merged = SearchResult(
+            rows=np.concatenate(rows_parts),
+            ids=np.concatenate(ids_parts),
+            timecodes=np.concatenate(tcs_parts),
+            fingerprints=np.concatenate(fps_parts),
+            stats=stats,
+        )
+        stats.segments_scanned = len(segments)
+        stats.memtable_rows_scanned = len(index._memtable)
+        stats.sections_scanned = sum(
+            s.sections_scanned for s in stats.per_segment
+        )
+        stats.rows_scanned = (
+            sum(s.rows_scanned for s in stats.per_segment)
+            + len(index._memtable)
+        )
+        stats.results = len(merged)
+        stats.refine_seconds = scan_share
+        results.append(merged)
+
+    batch.blocks_selected = sum(len(s) for s in selections)
+    batch.sections_scanned = sum(s[2] for s in seg_scans)
+    batch.logical_rows = sum(len(r) for r in results)
+    batch.unique_rows = (
+        sum(s[3] for s in seg_scans)
+        + sum(int(r.size) for r in mem_rows)
+    )
+    batch.results = batch.logical_rows
+    batch.filter_seconds = t1 - t0
+    batch.scan_seconds = t2 - t1
+    return results, batch
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class BatchQueryExecutor:
+    """Chunk a query workload into batches and run the batched engine.
+
+    One executor serves one ``(index, alpha, model, depth)`` workload —
+    the combination the warm-start threshold cache is keyed on.  Both
+    :class:`~repro.index.s3.S3Index` and
+    :class:`~repro.index.segmented.lsm.SegmentedS3Index` are supported;
+    the right engine is picked by duck-typing on the fan-out internals.
+
+    Parameters
+    ----------
+    batch_size:
+        Queries per engine call.  Larger batches amortise descent
+        overhead and coalesce more aggressively but delay the warm-start
+        cache update (it happens once per batch).
+    workers:
+        Thread count for the coalesced gather (monolithic) or the
+        per-segment fan-out (segmented).  Results are identical for any
+        value; 1 disables threading.
+    """
+
+    def __init__(
+        self,
+        index,
+        alpha: float,
+        model: Optional[IndependentDistortionModel] = None,
+        depth: Optional[int] = None,
+        batch_size: int = 32,
+        workers: int = 1,
+    ):
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.index = index
+        self.alpha = alpha
+        self.model = model
+        self.depth = depth
+        self.batch_size = batch_size
+        self.workers = workers
+        self.stats = BatchQueryStats()
+        self._engine = (
+            query_batch_segmented
+            if hasattr(index, "_fan_out")
+            else query_batch_monolithic
+        )
+
+    def query_batch(self, queries: np.ndarray) -> list[SearchResult]:
+        """Run one engine call over *queries* (no chunking)."""
+        results, batch = self._engine(
+            self.index, queries, self.alpha,
+            model=self.model, depth=self.depth, workers=self.workers,
+        )
+        self.stats.merge(batch)
+        return results
+
+    def query_all(self, queries: np.ndarray) -> list[SearchResult]:
+        """Run *queries* through the engine in ``batch_size`` chunks."""
+        queries = _check_batch(queries, self.index.ndims)
+        results: list[SearchResult] = []
+        for start in range(0, queries.shape[0], self.batch_size):
+            results.extend(
+                self.query_batch(queries[start:start + self.batch_size])
+            )
+        return results

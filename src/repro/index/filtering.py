@@ -602,25 +602,39 @@ def window_blocks(
     )
 
 
+def threshold_cache_key(
+    alpha: float, depth: int, model: IndependentDistortionModel
+) -> tuple:
+    """Key of the warm-start threshold cache for one query family.
+
+    A usable warm start is specific to ``(alpha, depth)`` *and* to the
+    distortion model: a threshold tuned for a narrow model selects far too
+    few blocks under a wide one, so callers that alternate models per
+    query must not poison each other's warm starts.  The model contributes
+    a value-based identity token (:meth:`IndependentDistortionModel.cache_token`).
+    """
+    return (round(alpha, 6), depth, model.cache_token())
+
+
 def statistical_blocks_cached(
     query: np.ndarray,
     model: IndependentDistortionModel,
     curve: HilbertCurve,
     depth: int,
     alpha: float,
-    cache: dict[tuple[float, int], float],
+    cache: dict[tuple, float],
 ) -> BlockSelection:
     """:func:`statistical_blocks` with a self-regulating warm-start cache.
 
-    Queries of one workload share ``(alpha, depth)``, so the previous
-    query's ``t_max`` (ratcheted up by 1.5×) is an excellent first probe:
-    successes push the cached threshold toward minimal block sets while
-    failures fall back through the shrink loop.  Typically saves 2–4
-    descents per query.  Both :class:`~repro.index.s3.S3Index` and the
-    pseudo-disk searcher route through here, so equal cache histories give
-    bit-identical selections.
+    Queries of one workload share ``(alpha, depth, model)``, so the
+    previous query's ``t_max`` (ratcheted up by 1.5×) is an excellent
+    first probe: successes push the cached threshold toward minimal block
+    sets while failures fall back through the shrink loop.  Typically
+    saves 2–4 descents per query.  Both :class:`~repro.index.s3.S3Index`
+    and the pseudo-disk searcher route through here, so equal cache
+    histories give bit-identical selections.
     """
-    cache_key = (round(alpha, 6), depth)
+    cache_key = threshold_cache_key(alpha, depth, model)
     warm = cache.get(cache_key)
     selection = statistical_blocks(
         query,
@@ -634,6 +648,363 @@ def statistical_blocks_cached(
     if np.isfinite(selection.threshold) and selection.threshold > 0:
         cache[cache_key] = selection.threshold
     return selection
+
+
+# ----------------------------------------------------------------------
+# Multi-query (batched) statistical filtering.
+#
+# The batched selectors run the same descent as their single-query
+# counterparts over a whole (B, D) query matrix at once: the frontier
+# holds (query, node) pairs tagged with a `qidx` column, so every tree
+# level is one set of numpy operations shared by all B queries instead of
+# B independent descents.  All per-element arithmetic is the *same
+# expression* as the single-query path, so each query's selection is
+# bit-identical to what `select_blocks_threshold` / `statistical_blocks`
+# would return for it alone (property-tested in tests/index/test_batch.py).
+
+
+def select_blocks_threshold_multi(
+    queries: np.ndarray,
+    model: IndependentDistortionModel,
+    curve: HilbertCurve,
+    depth: int,
+    thresholds: np.ndarray,
+) -> list[BlockSelection]:
+    """Batched :func:`select_blocks_threshold`: one descent for B queries.
+
+    *queries* is ``(B, D)``; *thresholds* carries one pruning threshold
+    per query.  Returns one :class:`BlockSelection` per query, each
+    bit-identical to the single-query selector's output.
+    """
+    queries = _check_queries(queries, curve)
+    thresholds = np.asarray(thresholds, dtype=np.float64).ravel()
+    if thresholds.size != queries.shape[0]:
+        raise ConfigurationError(
+            f"got {queries.shape[0]} queries but {thresholds.size} thresholds"
+        )
+    if thresholds.size and not np.all((thresholds > 0.0) & (thresholds < 1.0)):
+        raise ConfigurationError("thresholds must be in (0, 1)")
+    _check_depth(depth, curve)
+
+    num = queries.shape[0]
+    if num == 0:
+        return []
+    n = curve.ndims
+    fr = _Frontier(
+        entry=np.zeros(num, dtype=_U64),
+        direction=np.zeros(num, dtype=_U64),
+        partial_w=np.zeros(num, dtype=_U64),
+        prefix=np.zeros(num, dtype=_U64),
+        lo=np.zeros((num, n), dtype=np.float64),
+        hi=np.full((num, n), float(curve.side), dtype=np.float64),
+    )
+    dims_all = np.arange(n)
+    philo = model.cdf_multi(np.broadcast_to(dims_all, (num, n)), fr.lo - queries)
+    phihi = model.cdf_multi(np.broadcast_to(dims_all, (num, n)), fr.hi - queries)
+    fr.extra["philo"] = philo
+    fr.extra["phihi"] = phihi
+    fr.extra["prob"] = np.prod(phihi - philo, axis=1)
+    fr.extra["qidx"] = np.arange(num, dtype=np.int64)
+
+    nodes = np.zeros(num, dtype=np.int64)
+    for d in range(depth):
+        if fr.prefix.size == 0:
+            break
+        qidx = fr.extra["qidx"]
+        nodes += np.bincount(qidx, minlength=num)
+        dims, mid, v0, rows = _split_geometry(fr, curve, d)
+        phimid = model.cdf_multi(dims, mid - queries[qidx, dims])
+        philo_j = fr.extra["philo"][rows, dims]
+        phihi_j = fr.extra["phihi"][rows, dims]
+        old = phihi_j - philo_j
+        prob = fr.extra["prob"]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            prob_low = np.where(old > 0, prob * (phimid - philo_j) / old, 0.0)
+            prob_high = np.where(old > 0, prob * (phihi_j - phimid) / old, 0.0)
+        t_row = thresholds[qidx]
+        keep0 = prob_low > t_row
+        keep1 = prob_high > t_row
+
+        child_prob = {0: prob_low, 1: prob_high}
+        nxt = _advance(fr, curve, d, dims, mid, v0, keep0, keep1)
+        # Rebuild the CDF extras child-by-child in _advance's order; qidx
+        # rides along automatically through the frontier's extra dict.
+        extras_prob = []
+        extras_philo = []
+        extras_phihi = []
+        for value, keep in ((0, keep0), (1, keep1)):
+            idx = np.nonzero(keep)[0]
+            if idx.size == 0:
+                continue
+            pl = fr.extra["philo"][idx].copy()
+            ph = fr.extra["phihi"][idx].copy()
+            if value == 0:
+                ph[np.arange(idx.size), dims[idx]] = phimid[idx]
+            else:
+                pl[np.arange(idx.size), dims[idx]] = phimid[idx]
+            extras_philo.append(pl)
+            extras_phihi.append(ph)
+            extras_prob.append(child_prob[value][idx])
+        if extras_prob:
+            nxt.extra["philo"] = np.concatenate(extras_philo)
+            nxt.extra["phihi"] = np.concatenate(extras_phihi)
+            nxt.extra["prob"] = np.concatenate(extras_prob)
+        else:
+            nxt.extra["philo"] = np.empty((0, n))
+            nxt.extra["phihi"] = np.empty((0, n))
+            nxt.extra["prob"] = np.empty(0)
+        fr = nxt
+
+    qidx = fr.extra["qidx"]
+    order = np.lexsort((fr.prefix, qidx))
+    prefixes = fr.prefix[order]
+    probs = fr.extra["prob"][order]
+    q_sorted = qidx[order]
+    bounds = np.searchsorted(q_sorted, np.arange(num + 1))
+    selections = []
+    for i in range(num):
+        s, e = int(bounds[i]), int(bounds[i + 1])
+        p = probs[s:e]
+        selections.append(BlockSelection(
+            prefixes=prefixes[s:e],
+            probabilities=p,
+            depth=depth,
+            threshold=float(thresholds[i]),
+            total_probability=float(p.sum()),
+            nodes_visited=int(nodes[i]),
+        ))
+    return selections
+
+
+class _ThresholdSearch:
+    """Per-query replay of :func:`statistical_blocks`'s threshold search.
+
+    The search is a tiny scalar state machine (shrink → grow → refine);
+    only the *probes* — full tree descents — are expensive, and those are
+    batched across all still-active queries by
+    :func:`statistical_blocks_multi`.  The transitions mirror the
+    single-query control flow statement for statement, so each query's
+    probe sequence (and hence its final selection) is bit-identical.
+    """
+
+    __slots__ = (
+        "target", "shrink", "grow_steps", "max_descents", "t", "t_fail",
+        "t_ok", "t_probe", "best", "descents", "nodes", "grow",
+        "refine_left", "phase",
+    )
+
+    def __init__(
+        self,
+        target: float,
+        initial_threshold: float,
+        shrink: float,
+        refine_steps: int,
+        grow_steps: int,
+        max_descents: int,
+    ):
+        self.target = target
+        self.shrink = shrink
+        self.grow_steps = grow_steps
+        self.max_descents = max_descents
+        self.t = initial_threshold
+        self.t_fail: float | None = None
+        self.t_ok = float("nan")
+        self.best: BlockSelection | None = None
+        self.descents = 0
+        self.nodes = 0
+        self.grow = 0
+        self.refine_left = refine_steps
+        self.phase = "shrink"
+        self.t_probe = self.t
+
+    @property
+    def active(self) -> bool:
+        return self.phase != "done"
+
+    def consume(self, sel: BlockSelection) -> None:
+        """Account one probe at ``t_probe`` and advance the state machine."""
+        self.descents += 1
+        self.nodes += sel.nodes_visited
+        if self.phase == "shrink":
+            if sel.total_probability >= self.target:
+                self.best = sel
+                self._enter_grow()
+            else:
+                self.t_fail = self.t
+                self.t *= self.shrink
+                if self.t < 1e-12:
+                    self.best = sel  # closest achievable set
+                    self.phase = "done"
+                elif self.descents >= self.max_descents:
+                    self.best = sel
+                    self.phase = "done"
+                else:
+                    self.t_probe = self.t
+        elif self.phase == "grow":
+            self.grow += 1
+            if sel.total_probability >= self.target:
+                self.best = sel
+                self._enter_grow()
+            else:
+                self.t_fail = self.t_probe
+                self._enter_refine()
+        elif self.phase == "refine":
+            if sel.total_probability >= self.target:
+                self.best = sel
+                self.t_ok = self.t_probe
+            else:
+                self.t_fail = self.t_probe
+            self.refine_left -= 1
+            if self.refine_left > 0:
+                self.t_probe = 0.5 * (self.t_ok + self.t_fail)
+            else:
+                self.phase = "done"
+        else:  # pragma: no cover - defensive
+            raise AssertionError("probe consumed after convergence")
+
+    def _enter_grow(self) -> None:
+        assert self.best is not None
+        if (
+            self.t_fail is None
+            and self.best.total_probability >= self.target
+            and self.grow < self.grow_steps
+            and self.descents < self.max_descents
+            and self.best.threshold * 4.0 < 1.0
+        ):
+            self.phase = "grow"
+            self.t_probe = self.best.threshold * 4.0
+        else:
+            self._enter_refine()
+
+    def _enter_refine(self) -> None:
+        assert self.best is not None
+        if (
+            self.best.total_probability >= self.target
+            and self.t_fail is not None
+            and self.refine_left > 0
+        ):
+            self.phase = "refine"
+            self.t_ok = self.best.threshold
+            self.t_probe = 0.5 * (self.t_ok + self.t_fail)
+        else:
+            self.phase = "done"
+
+    def result(self, depth: int) -> BlockSelection:
+        assert self.best is not None
+        return BlockSelection(
+            prefixes=self.best.prefixes,
+            probabilities=self.best.probabilities,
+            depth=depth,
+            threshold=self.best.threshold,
+            total_probability=self.best.total_probability,
+            nodes_visited=self.nodes,
+            descents=self.descents,
+        )
+
+
+def statistical_blocks_multi(
+    queries: np.ndarray,
+    model: IndependentDistortionModel,
+    curve: HilbertCurve,
+    depth: int,
+    alpha: float,
+    initial_threshold: float | None = None,
+    shrink: float = 0.25,
+    refine_steps: int = 1,
+    grow_steps: int = 2,
+    max_descents: int = 40,
+) -> list[BlockSelection]:
+    """Batched :func:`statistical_blocks`: B threshold searches, shared descents.
+
+    Every round performs **one** multi-query descent covering all queries
+    whose search is still active (each at its own current probe
+    threshold), so B queries share one pass per tree level instead of B
+    independent descents.  Each query's probe sequence replays the
+    single-query search exactly, so the returned selections are
+    bit-identical to calling :func:`statistical_blocks` per query with the
+    same parameters.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+    if not 0.0 < shrink < 1.0:
+        raise ConfigurationError(f"shrink must be in (0, 1), got {shrink}")
+    queries = _check_queries(queries, curve)
+    num = queries.shape[0]
+    if num == 0:
+        return []
+
+    t0 = initial_threshold if initial_threshold is not None else (1.0 - alpha) / 4.0
+    t0 = min(max(t0, 1e-12), 1.0 - 1e-12)
+    searches = [
+        _ThresholdSearch(
+            target=alpha * grid_probability(queries[i], model, curve),
+            initial_threshold=t0,
+            shrink=shrink,
+            refine_steps=refine_steps,
+            grow_steps=grow_steps,
+            max_descents=max_descents,
+        )
+        for i in range(num)
+    ]
+
+    while True:
+        active = [i for i in range(num) if searches[i].active]
+        if not active:
+            break
+        idx = np.asarray(active, dtype=np.int64)
+        probes = np.array([searches[i].t_probe for i in active])
+        sels = select_blocks_threshold_multi(
+            queries[idx], model, curve, depth, probes
+        )
+        for i, sel in zip(active, sels):
+            searches[i].consume(sel)
+
+    return [search.result(depth) for search in searches]
+
+
+def statistical_blocks_batch_cached(
+    queries: np.ndarray,
+    model: IndependentDistortionModel,
+    curve: HilbertCurve,
+    depth: int,
+    alpha: float,
+    cache: dict[tuple, float],
+) -> list[BlockSelection]:
+    """Batched :func:`statistical_blocks_cached`: one warm start per batch.
+
+    The warm-start cache is read **once** before the batch (every query in
+    it shares the same initial probe threshold) and written **once**
+    after it (the last query's converged ``t_max``, mirroring the
+    sequential chain's "previous query" semantics).  A batch of size 1
+    therefore reproduces the sequential cached loop bit for bit; larger
+    batches are bit-identical to a sequential loop in which each query
+    starts from the same cache state (see docs/batch-query.md).
+    """
+    cache_key = threshold_cache_key(alpha, depth, model)
+    warm = cache.get(cache_key)
+    selections = statistical_blocks_multi(
+        queries,
+        model,
+        curve,
+        depth,
+        alpha,
+        initial_threshold=None if warm is None else warm * 1.5,
+        grow_steps=0 if warm is not None else 2,
+    )
+    for selection in selections:
+        if np.isfinite(selection.threshold) and selection.threshold > 0:
+            cache[cache_key] = selection.threshold
+    return selections
+
+
+def _check_queries(queries: np.ndarray, curve: HilbertCurve) -> np.ndarray:
+    """Validate a ``(B, D)`` query matrix against *curve*."""
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[1] != curve.ndims:
+        raise ConfigurationError(
+            f"queries must be (B, {curve.ndims}), got shape {queries.shape}"
+        )
+    return queries
 
 
 # ----------------------------------------------------------------------

@@ -104,7 +104,7 @@ class PseudoDiskSearcher:
         self.r = layout.section_split_for_memory(memory_rows)
         self.sections = layout.curve_sections(self.r)
         self._row_bytes = mapped.ndims + 4 + 8
-        self._threshold_cache: dict[tuple[float, int], float] = {}
+        self._threshold_cache: dict[tuple, float] = {}
 
     def __len__(self) -> int:
         return len(self._mapped)

@@ -123,9 +123,9 @@ class S3Index:
         self.depth = depth
         self.model = model
         # Warm-start cache for the threshold search of eq. (4): queries of
-        # one workload share (alpha, depth), so the previous query's t_max
-        # is an excellent first probe and typically saves 2-4 descents.
-        self._threshold_cache: dict[tuple[float, int], float] = {}
+        # one workload share (alpha, depth, model), so the previous query's
+        # t_max is an excellent first probe, typically saving 2-4 descents.
+        self._threshold_cache: dict[tuple, float] = {}
 
     # ------------------------------------------------------------------
     def reset_threshold_cache(self) -> None:
@@ -142,6 +142,16 @@ class S3Index:
     def curve(self):
         """The underlying :class:`~repro.hilbert.butz.HilbertCurve`."""
         return self.layout.curve
+
+    @property
+    def supports_coalesced_scans(self) -> bool:
+        """Whether batched queries can merge overlapping section scans.
+
+        True for this layout: the store is one contiguous curve-ordered
+        array, so the union of many queries' sections is scannable in a
+        single gather (see :mod:`repro.index.batch`).
+        """
+        return True
 
     @property
     def ndims(self) -> int:
@@ -208,6 +218,30 @@ class S3Index:
         result.stats.nodes_visited = selection.nodes_visited
         result.stats.descents = selection.descents
         return result
+
+    def statistical_query_batch(
+        self,
+        queries: np.ndarray,
+        alpha: float,
+        model: Optional[IndependentDistortionModel] = None,
+        depth: Optional[int] = None,
+        workers: int = 1,
+    ) -> list[SearchResult]:
+        """Answer a batch of statistical queries in one engine pass.
+
+        One shared block-selection descent for the whole ``(B, D)`` query
+        matrix, one coalesced scan of the union of the selected curve
+        sections, then demultiplexing — see :mod:`repro.index.batch`.
+        Each returned result is bit-identical to
+        :meth:`statistical_query` on that query from the same warm-start
+        cache state; the cache itself is read and written once per batch.
+        """
+        from .batch import query_batch_monolithic
+
+        results, _ = query_batch_monolithic(
+            self, queries, alpha, model=model, depth=depth, workers=workers
+        )
+        return results
 
     def range_query(
         self,

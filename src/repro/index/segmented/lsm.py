@@ -112,7 +112,7 @@ class SegmentedS3Index:
         self.policy = policy
         self.auto_compact = auto_compact
         self.curve = HilbertCurve(manifest.ndims, manifest.order)
-        self._threshold_cache: dict[tuple[float, int], float] = {}
+        self._threshold_cache: dict[tuple, float] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -296,6 +296,16 @@ class SegmentedS3Index:
         """Forget warm-start thresholds (see :meth:`S3Index.reset_threshold_cache`)."""
         self._threshold_cache.clear()
 
+    @property
+    def supports_coalesced_scans(self) -> bool:
+        """Whether batched queries can merge overlapping section scans.
+
+        True: every sealed segment is a contiguous curve-ordered array, so
+        batched queries scan each segment's section union in one gather
+        (the memtable is scanned by block membership, outside coalescing).
+        """
+        return True
+
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
@@ -453,6 +463,31 @@ class SegmentedS3Index:
         result = self._fan_out(selection, refine=None)
         result.stats.filter_seconds = t1 - t0
         return result
+
+    def statistical_query_batch(
+        self,
+        queries: np.ndarray,
+        alpha: float,
+        model: Optional[IndependentDistortionModel] = None,
+        depth: Optional[int] = None,
+        workers: int = 1,
+    ) -> list[SearchResult]:
+        """Answer a batch of statistical queries in one fan-out pass.
+
+        Block selections are computed once for the whole batch (shared
+        descents, one warm-start cache read/write), then each sealed
+        segment is scanned with a single coalesced pass over the union of
+        the batch's curve sections — segments in parallel when
+        ``workers > 1`` — and the memtable by block membership.  Each
+        result is bit-identical to :meth:`statistical_query` on that
+        query from the same warm-start cache state.
+        """
+        from ..batch import query_batch_segmented
+
+        results, _ = query_batch_segmented(
+            self, queries, alpha, model=model, depth=depth, workers=workers
+        )
+        return results
 
     def range_query(
         self,
