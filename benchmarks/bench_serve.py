@@ -1,0 +1,88 @@
+"""Detection service — cross-client micro-batching vs per-query serving.
+
+Acceptance gate for the serving layer: with >= 16 concurrent clients
+against a >= 50k-fingerprint corpus, the micro-batched server must beat
+one-request-per-query serving end to end (sockets and framing included)
+while the served results stay bit-identical to solo in-process
+deterministic statistical queries.  The run refreshes
+``BENCH_serve.json`` at the repo root — the machine-readable perf
+record later PRs regress against (schema in ``docs/serving.md``).
+
+``python benchmarks/bench_serve.py --smoke`` boots the server against a
+tiny corpus with concurrent clients — the CI serve-smoke gate: results
+must not diverge, nothing may be shed, the server must drain cleanly.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_serve_batching_speedup(benchmark, capsys):
+    from conftest import run_and_report
+
+    from repro.experiments import run_serve_bench
+
+    result = run_and_report(
+        benchmark,
+        capsys,
+        lambda: run_serve_bench(
+            db_rows=50_000,
+            num_clients=16,
+            queries_per_client=16,
+            max_batch=32,
+            max_wait_ms=2.0,
+            alpha=0.8,
+            seed=0,
+            json_path=REPO_ROOT / "BENCH_serve.json",
+        ),
+    )
+    # Equivalence: what the sockets served is what the engine computes.
+    assert result.bit_identical_results
+    assert result.shed == 0
+    # Batching actually aggregated concurrent clients' queries.
+    assert result.batched_mean_fill > 1.0
+    # Acceptance: cross-client batching beats one-request-per-query
+    # serving at 16 concurrent connections.
+    assert result.speedup > 1.0
+
+
+def _smoke() -> int:
+    """Tiny-corpus CI gate: never divergent, never shedding, drains."""
+    from repro.experiments import run_serve_bench
+
+    result = run_serve_bench(
+        db_rows=6_000,
+        num_clients=8,
+        queries_per_client=6,
+        max_batch=32,
+        max_wait_ms=5.0,
+        alpha=0.8,
+        seed=0,
+    )
+    print(result.render())
+    failures = []
+    if not result.bit_identical_results:
+        failures.append(
+            "served results diverge from solo in-process queries"
+        )
+    if result.shed != 0:
+        failures.append(
+            f"server shed {result.shed} queries under nominal load"
+        )
+    if result.batched_mean_fill <= 1.0:
+        failures.append(
+            "micro-batcher never aggregated concurrent queries "
+            f"(mean fill {result.batched_mean_fill:.2f})"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        raise SystemExit(_smoke())
+    print(__doc__)
+    raise SystemExit(2)

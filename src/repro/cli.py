@@ -21,6 +21,15 @@ prefix; ``query``, ``detect`` and ``info`` accept either form::
     repro-s3 info live/
     repro-s3 query live/ --from-row 7
 
+The detection service (:mod:`repro.serve`) exposes either index over a
+socket, micro-batching queries across clients; ``request`` is the
+matching wire client::
+
+    repro-s3 serve live/ --port 8765 --max-batch 32 --max-wait-ms 2
+    repro-s3 request query --port 8765 --queries q.npy
+    repro-s3 request health --port 8765
+    repro-s3 info live/ --json
+
 Videos are exchanged as ``.npy`` arrays of shape ``(T, H, W)`` uint8;
 fingerprint stores use the single-file binary format of
 :mod:`repro.index.store`.
@@ -29,6 +38,7 @@ fingerprint stores use the single-file binary format of
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -36,13 +46,36 @@ import numpy as np
 
 from .cbcd.detector import CopyDetector, DetectorConfig
 from .distortion.model import NormalDistortionModel
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
 from .fingerprint.extractor import FingerprintExtractor
 from .index.batch import BatchQueryExecutor
 from .index.s3 import S3Index
 from .index.segmented import CompactionPolicy, Manifest, SegmentedS3Index
 from .index.store import FingerprintStore, read_header
+from .index.summary import index_summary, store_file_summary
 from .video.synthetic import VideoClip, generate_clip
+
+
+def _validate_common_args(args: argparse.Namespace) -> None:
+    """Reject out-of-domain engine knobs with a friendly message.
+
+    Shared by ``query``, ``detect``, ``serve`` and ``request`` so a typo
+    like ``--batch-size 0`` fails as a one-line ``error:`` instead of a
+    traceback from deep inside the engine.
+    """
+    batch_size = getattr(args, "batch_size", None)
+    if batch_size is not None and batch_size < 1:
+        raise ConfigurationError(
+            f"--batch-size must be >= 1, got {batch_size}"
+        )
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        raise ConfigurationError(f"--workers must be >= 1, got {workers}")
+    alpha = getattr(args, "alpha", None)
+    if alpha is not None and not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(
+            f"--alpha must be in (0, 1], got {alpha}"
+        )
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -97,6 +130,7 @@ def _load_index(path: str) -> "S3Index | SegmentedS3Index":
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    _validate_common_args(args)
     index = _load_index(args.index)
     if args.queries is not None:
         queries = np.load(args.queries).astype(np.float64)
@@ -130,6 +164,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
+    _validate_common_args(args)
     index = _load_index(args.index)
     config = DetectorConfig(
         alpha=args.alpha, decision_threshold=args.threshold,
@@ -151,6 +186,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
 def _cmd_info(args: argparse.Namespace) -> int:
     path = Path(args.store)
+    if args.json:
+        print(json.dumps(_info_payload(path), indent=2))
+        return 0
     if path.is_dir():
         return _segmented_info(path)
     count, ndims = read_header(args.store)
@@ -164,6 +202,30 @@ def _cmd_info(args: argparse.Namespace) -> int:
         print(f"  coalesced scans: {supported} "
               "(contiguous curve-ordered layout)")
     return 0
+
+
+def _info_payload(path: Path) -> dict:
+    """The machine-readable ``info --json`` summary of *path*.
+
+    Same schema as the detection service's ``health`` payload (both are
+    built by :mod:`repro.index.summary`), so monitoring can consume
+    either interchangeably.
+    """
+    if path.is_dir():
+        with SegmentedS3Index.open(path) as index:
+            payload = index_summary(index)
+            payload["path"] = str(path)
+            for seg in payload["segments"]:
+                seg["bytes"] = (
+                    path / (seg["name"] + ".store")
+                ).stat().st_size
+            return payload
+    payload = store_file_summary(path)
+    if path.with_suffix(".meta.json").is_file():
+        payload["index"] = index_summary(
+            S3Index.load(str(path.with_suffix("")))
+        )
+    return payload
 
 
 def _segmented_info(directory: Path) -> int:
@@ -237,6 +299,114 @@ def _cmd_compact(args: argparse.Namespace) -> int:
                   f"({result.merged_rows} fingerprints) into "
                   f"{result.segment_name} in {result.seconds:.2f} s; "
                   f"{before} -> {index.num_segments} segments")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.server import DetectionServer, ServeConfig
+
+    _validate_common_args(args)
+    index = _load_index(args.index)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        alpha=args.alpha,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+    )
+
+    async def _run() -> None:
+        server = DetectionServer(index, config)
+        await server.start()
+        print(
+            f"serving {args.index} on {config.host}:{server.port} "
+            f"(alpha={config.alpha}, max_batch={config.max_batch}, "
+            f"max_wait_ms={config.max_wait_ms}, "
+            f"queue_limit={config.queue_limit})"
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining and shutting down ...")
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    from .serve.client import ServeClient
+
+    _validate_common_args(args)
+    with ServeClient(
+        host=args.host, port=args.port, timeout=args.timeout,
+        retries=args.retries,
+    ) as client:
+        if args.op in ("health", "stats"):
+            payload = client.health() if args.op == "health" \
+                else client.stats()
+            print(json.dumps(payload, indent=2))
+            return 0
+        if args.op == "query":
+            if args.queries is None:
+                print("error: query needs --queries FILE", file=sys.stderr)
+                return 2
+            queries = np.load(args.queries).astype(np.float64)
+            results = client.query(queries, deadline_ms=args.deadline_ms)
+            for i, result in enumerate(results):
+                print(f"query {i}: {len(result)} results")
+                for row in range(min(len(result), args.limit)):
+                    print(f"  id={result.ids[row]} "
+                          f"tc={result.timecodes[row]:.1f}")
+            return 0
+        if args.op == "detect":
+            if args.queries is None:
+                print("error: detect needs --queries FILE (fingerprints)",
+                      file=sys.stderr)
+                return 2
+            fingerprints = np.load(args.queries).astype(np.float64)
+            timecodes = (
+                np.load(args.timecodes).astype(np.float64)
+                if args.timecodes is not None
+                else np.arange(fingerprints.shape[0], dtype=np.float64)
+            )
+            detections = client.detect(
+                fingerprints, timecodes, threshold=args.threshold,
+                deadline_ms=args.deadline_ms,
+            )
+            if not detections:
+                print("no copy detected")
+                return 1
+            for det in detections:
+                print(
+                    f"copy of video {det['video_id']}: "
+                    f"offset b={det['offset']:.1f} frames, "
+                    f"n_sim={det['nsim']}/{det['num_candidates']}"
+                )
+            return 0
+        # ingest
+        if not args.stores:
+            print("error: ingest needs store files", file=sys.stderr)
+            return 2
+        for path in args.stores:
+            store = FingerprintStore.load(path)
+            reply = client.ingest(
+                store.fingerprints, store.ids, store.timecodes
+            )
+            print(
+                f"ingested {reply['added']} fingerprints from {path} "
+                f"({reply['num_segments']} segments, "
+                f"{reply['pending_rows']} unsealed)"
+            )
     return 0
 
 
@@ -335,7 +505,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="describe a fingerprint store file or segmented index directory",
     )
     p.add_argument("store")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable summary (same schema as "
+                        "the detection service's health payload)")
     p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the detection service over an index (Ctrl-C drains)",
+    )
+    p.add_argument("index", help="index prefix or segmented index directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="0 binds an ephemeral port")
+    p.add_argument("--alpha", type=float, default=0.8,
+                   help="the expectation every request is served at")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="fingerprints per coalesced engine call")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="micro-batching window")
+    p.add_argument("--queue-limit", type=int, default=1024,
+                   help="queued fingerprints before requests are shed")
+    p.add_argument("--workers", type=int, default=1,
+                   help="threads for the coalesced scan / segment fan-out")
+    p.set_defaults(func=_cmd_serve, batch_size=None)
+
+    p = sub.add_parser(
+        "request",
+        help="send one request to a running detection service",
+    )
+    p.add_argument("op", choices=["query", "detect", "ingest",
+                                  "stats", "health"])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--queries", default=None,
+                   help="(N, D) .npy of fingerprints (query/detect)")
+    p.add_argument("--timecodes", default=None,
+                   help="(N,) .npy of candidate timecodes (detect)")
+    p.add_argument("stores", nargs="*",
+                   help="fingerprint store files (ingest)")
+    p.add_argument("--threshold", type=int, default=None,
+                   help="detection decision threshold (detect)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request deadline propagated to the server")
+    p.add_argument("--limit", type=int, default=5,
+                   help="matches to print per query")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--retries", type=int, default=4)
+    p.set_defaults(func=_cmd_request)
 
     return parser
 

@@ -26,6 +26,7 @@ from .fig7_scaling import Fig7Result, run_fig7
 from .fig8_dbsize_abacus import Fig8Result, run_fig8
 from .fig9_alpha_abacus import Fig9Result, run_fig9
 from .segmented_ingest import SegmentedIngestResult, run_segmented_ingest
+from .serve_bench import ServeBenchResult, run_serve_bench
 from .table1_severity import Table1Result, paper_transform_ladder, run_table1
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "Fig9Result",
     "SegmentedIngestResult",
     "Series",
+    "ServeBenchResult",
     "Table1Result",
     "build_setup",
     "combined_transform",
@@ -60,6 +62,7 @@ __all__ = [
     "run_fig8",
     "run_fig9",
     "run_segmented_ingest",
+    "run_serve_bench",
     "run_table1",
     "sweep_transforms",
     "sweep_transforms_shared",

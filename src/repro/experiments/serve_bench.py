@@ -1,0 +1,289 @@
+"""Detection service — cross-client micro-batching vs one-per-query.
+
+The serving question PR 2 left open: the batched engine amortises work
+across one caller's frames, but the deployed traffic shape is many
+independent monitoring clients, each sending one statistical query per
+key-frame.  The micro-batcher (:mod:`repro.serve.batcher`) merges those
+concurrent requests into shared engine calls; this experiment measures
+what that buys end to end — sockets, framing and demux included — by
+serving the same workload twice:
+
+* **unbatched** — ``max_batch=1, max_wait_ms=0``: every request drains
+  alone, the one-request-per-query serving baseline;
+* **batched** — requests landing inside the ``max_wait_ms`` window share
+  one coalesced engine call (fill approaches the number of concurrent
+  clients).
+
+Both runs serve real concurrent clients (:class:`~repro.serve.client
+.ServeClient` on threads) against a real server
+(:class:`~repro.serve.runner.ServerThread`).  The batched run's served
+results are verified **bit-identical** to solo in-process deterministic
+``statistical_query`` calls.  Results serialise to ``BENCH_serve.json``
+(schema in ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..corpus.builder import build_reference_corpus
+from ..corpus.filler import scale_store
+from ..distortion.model import NormalDistortionModel
+from ..index.s3 import S3Index
+from ..rng import SeedLike, resolve_rng
+from ..serve.client import ServeClient
+from ..serve.runner import ServerThread
+from ..serve.server import ServeConfig
+from .common import format_table
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class ServeBenchResult:
+    """Timings + equivalence checks of one serving benchmark run."""
+
+    db_rows: int
+    num_clients: int
+    queries_per_client: int
+    max_batch: int
+    max_wait_ms: float
+    alpha: float
+    depth: int
+    sigma: float
+    ndims: int
+    batched_seconds: float
+    unbatched_seconds: float
+    batched_batches: int
+    batched_mean_fill: float
+    shed: int
+    bit_identical_results: bool
+
+    @property
+    def total_queries(self) -> int:
+        return self.num_clients * self.queries_per_client
+
+    @property
+    def speedup(self) -> float:
+        """Batched serving over one-request-per-query serving."""
+        return self.unbatched_seconds / max(self.batched_seconds, 1e-9)
+
+    @property
+    def batched_qps(self) -> float:
+        return self.total_queries / max(self.batched_seconds, 1e-9)
+
+    @property
+    def unbatched_qps(self) -> float:
+        return self.total_queries / max(self.unbatched_seconds, 1e-9)
+
+    def render(self) -> str:
+        table = format_table(
+            ["serving mode", "total s", "queries/s", "speedup"],
+            [
+                ("one request per query", self.unbatched_seconds,
+                 self.unbatched_qps, "1.00x"),
+                (f"micro-batched (<= {self.max_batch}, "
+                 f"{self.max_wait_ms} ms window)",
+                 self.batched_seconds, self.batched_qps,
+                 f"{self.speedup:.2f}x"),
+            ],
+            title=(
+                f"Detection service — {self.num_clients} concurrent "
+                f"clients x {self.queries_per_client} queries against "
+                f"{self.db_rows} fingerprints (alpha={self.alpha})"
+            ),
+        )
+        return (
+            table
+            + f"\nmean batch fill: {self.batched_mean_fill:.1f} "
+            f"fingerprints/engine call over {self.batched_batches} calls "
+            f"(shed: {self.shed})\n"
+            f"bit-identical to solo in-process queries: "
+            f"{self.bit_identical_results}"
+        )
+
+    def to_json(self) -> dict:
+        """The machine-readable record (see docs/serving.md)."""
+        return {
+            "benchmark": "serve",
+            "schema_version": SCHEMA_VERSION,
+            "config": {
+                "db_rows": self.db_rows,
+                "num_clients": self.num_clients,
+                "queries_per_client": self.queries_per_client,
+                "max_batch": self.max_batch,
+                "max_wait_ms": self.max_wait_ms,
+                "alpha": self.alpha,
+                "depth": self.depth,
+                "sigma": self.sigma,
+                "ndims": self.ndims,
+            },
+            "timing": {
+                "unbatched_seconds": self.unbatched_seconds,
+                "batched_seconds": self.batched_seconds,
+                "unbatched_qps": self.unbatched_qps,
+                "batched_qps": self.batched_qps,
+                "speedup": self.speedup,
+            },
+            "batching": {
+                "batches": self.batched_batches,
+                "mean_fill": self.batched_mean_fill,
+                "shed": self.shed,
+            },
+            "equivalence": {
+                "bit_identical_results": self.bit_identical_results,
+            },
+        }
+
+    def write_json(self, path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+
+def _serve_workloads(
+    index: S3Index,
+    workloads: list[np.ndarray],
+    config: ServeConfig,
+    collect: bool,
+) -> tuple[float, dict, Optional[list[list]]]:
+    """Serve every client workload concurrently; return (seconds, stats).
+
+    Each client thread opens its own connection and issues its queries
+    one request at a time — the paper's monitoring-client traffic shape.
+    With *collect*, served results (with fingerprints) are returned for
+    the equivalence check.
+    """
+    served: list[Optional[list]] = [None] * len(workloads)
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(len(workloads) + 1)
+
+    with ServerThread(index, config) as server:
+        def run_client(i: int) -> None:
+            try:
+                with ServeClient(
+                    port=server.port, timeout=60.0, backoff=0.002
+                ) as client:
+                    barrier.wait()
+                    results = []
+                    for query in workloads[i]:
+                        (result,) = client.query(
+                            query, include_fingerprints=collect
+                        )
+                        if collect:
+                            results.append(result)
+                    served[i] = results
+            except BaseException as exc:
+                errors.append(exc)
+                barrier.abort()
+
+        threads = [
+            threading.Thread(target=run_client, args=(i,))
+            for i in range(len(workloads))
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for t in threads:
+            t.join()
+        seconds = time.perf_counter() - t0
+        stats = server.server.stats_snapshot()
+    if errors:
+        raise errors[0]
+    return seconds, stats, served if collect else None
+
+
+def run_serve_bench(
+    db_rows: int = 50_000,
+    num_clients: int = 16,
+    queries_per_client: int = 16,
+    max_batch: int = 32,
+    max_wait_ms: float = 2.0,
+    alpha: float = 0.8,
+    sigma: float = 10.0,
+    seed: SeedLike = 0,
+    json_path: Optional[Path] = None,
+) -> ServeBenchResult:
+    """Benchmark micro-batched serving against one-request-per-query.
+
+    Builds a *db_rows* synthetic corpus, gives each of *num_clients*
+    concurrent clients a run of consecutive referenced key-frames
+    distorted under the model, and serves the whole workload twice —
+    micro-batched and unbatched — over real sockets.
+    """
+    rng = resolve_rng(seed)
+    corpus = build_reference_corpus(8, 120, seed=rng)
+    store = scale_store(corpus.store, db_rows, rng=rng)
+    model = NormalDistortionModel(store.ndims, sigma)
+    index = S3Index(store, model=model)
+
+    # Per-client candidate clips: consecutive referenced key-frames,
+    # distorted by the model (the coalescing-friendly monitoring shape).
+    workloads = []
+    for c in range(num_clients):
+        base_rows = (
+            np.arange(queries_per_client) + c * queries_per_client
+        ) % len(corpus.store)
+        workloads.append(np.clip(
+            corpus.store.fingerprints[base_rows].astype(np.float64)
+            + model.sample(queries_per_client, rng=rng),
+            0.0, 255.0,
+        ))
+
+    def config(batched: bool) -> ServeConfig:
+        return ServeConfig(
+            port=0,
+            alpha=alpha,
+            max_batch=max_batch if batched else 1,
+            max_wait_ms=max_wait_ms if batched else 0.0,
+            queue_limit=max(1024, num_clients * queries_per_client),
+        )
+
+    unbatched_seconds, _, _ = _serve_workloads(
+        index, workloads, config(batched=False), collect=False
+    )
+    batched_seconds, stats, served = _serve_workloads(
+        index, workloads, config(batched=True), collect=True
+    )
+
+    bit_identical = True
+    for workload, results in zip(workloads, served):
+        for query, result in zip(workload, results):
+            index.reset_threshold_cache()
+            solo = index.statistical_query(query, alpha)
+            if not (
+                np.array_equal(solo.rows, result.rows)
+                and np.array_equal(solo.ids, result.ids)
+                and np.array_equal(solo.timecodes, result.timecodes)
+                and np.array_equal(solo.fingerprints, result.fingerprints)
+            ):
+                bit_identical = False
+
+    result = ServeBenchResult(
+        db_rows=len(store),
+        num_clients=num_clients,
+        queries_per_client=queries_per_client,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        alpha=alpha,
+        depth=index.depth,
+        sigma=sigma,
+        ndims=store.ndims,
+        batched_seconds=batched_seconds,
+        unbatched_seconds=unbatched_seconds,
+        batched_batches=stats["batcher"]["batches"],
+        batched_mean_fill=stats["batcher"]["mean_fill"],
+        shed=stats["batcher"]["shed"],
+        bit_identical_results=bit_identical,
+    )
+    if json_path is not None:
+        result.write_json(json_path)
+    return result

@@ -45,6 +45,15 @@ from .table import HilbertLayout
 
 RowRange = tuple[int, int]
 
+#: Minimum gathered rows before the column gather is sharded across the
+#: thread pool.  Below this, thread startup and result concatenation
+#: cost more than the fancy-index gather they parallelise (measured on
+#: the 20-byte fingerprints of the paper's workload); above it, shards
+#: amortise.  Callers can override per executor via
+#: :class:`BatchQueryExecutor`'s ``parallel_gather_min_rows`` (the
+#: serving layer's batcher exposes it as a config knob).
+PARALLEL_GATHER_MIN_ROWS = 4096
+
 
 @dataclass
 class BatchQueryStats:
@@ -130,14 +139,21 @@ def coalesce_ranges(
 
 
 def _gather_columns(
-    store: FingerprintStore, rows: np.ndarray, workers: int
+    store: FingerprintStore,
+    rows: np.ndarray,
+    workers: int,
+    min_rows: Optional[int] = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Gather ``(ids, timecodes, fingerprints)`` at *rows*, optionally sharded.
 
     Shards are contiguous position chunks and are concatenated back in
-    order, so the output is identical for any worker count.
+    order, so the output is identical for any worker count.  *min_rows*
+    overrides :data:`PARALLEL_GATHER_MIN_ROWS`, the cutoff below which
+    sharding is skipped.
     """
-    if workers > 1 and rows.size >= 4096:
+    if min_rows is None:
+        min_rows = PARALLEL_GATHER_MIN_ROWS
+    if workers > 1 and rows.size >= min_rows:
         chunks = np.array_split(rows, workers)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             parts = list(
@@ -163,6 +179,7 @@ def _scan_coalesced(
     store: FingerprintStore,
     per_query_ranges: Sequence[list[RowRange]],
     workers: int = 1,
+    min_rows: Optional[int] = None,
 ) -> tuple[list[tuple], int, int]:
     """Scan the union of all queries' sections once and demultiplex.
 
@@ -173,7 +190,7 @@ def _scan_coalesced(
     """
     union = coalesce_ranges(per_query_ranges)
     u_rows = layout.gather_rows(union)
-    u_ids, u_tcs, u_fps = _gather_columns(store, u_rows, workers)
+    u_ids, u_tcs, u_fps = _gather_columns(store, u_rows, workers, min_rows)
     if union:
         u_starts = np.array([s for s, _ in union], dtype=np.int64)
         lengths = np.array([e - s for s, e in union], dtype=np.int64)
@@ -219,6 +236,7 @@ def query_batch_monolithic(
     model: Optional[IndependentDistortionModel] = None,
     depth: Optional[int] = None,
     workers: int = 1,
+    parallel_gather_min_rows: Optional[int] = None,
 ) -> tuple[list[SearchResult], BatchQueryStats]:
     """Answer a batch of statistical queries against a monolithic index.
 
@@ -243,7 +261,8 @@ def query_batch_monolithic(
     t1 = time.perf_counter()
     per_ranges = [index.row_ranges(sel) for sel in selections]
     scans, union_sections, unique_rows = _scan_coalesced(
-        index.layout, index.store, per_ranges, workers
+        index.layout, index.store, per_ranges, workers,
+        parallel_gather_min_rows,
     )
     t2 = time.perf_counter()
 
@@ -283,6 +302,7 @@ def query_batch_segmented(
     model: Optional[IndependentDistortionModel] = None,
     depth: Optional[int] = None,
     workers: int = 1,
+    parallel_gather_min_rows: Optional[int] = None,
 ) -> tuple[list[SearchResult], BatchQueryStats]:
     """Answer a batch of statistical queries against a segmented index.
 
@@ -314,7 +334,8 @@ def query_batch_segmented(
     def scan_segment(seg):
         per_ranges = [seg.index.row_ranges(sel) for sel in selections]
         scans, sections, unique = _scan_coalesced(
-            seg.index.layout, seg.index.store, per_ranges, workers=1
+            seg.index.layout, seg.index.store, per_ranges, workers=1,
+            min_rows=parallel_gather_min_rows,
         )
         return per_ranges, scans, sections, unique
 
@@ -417,6 +438,10 @@ class BatchQueryExecutor:
         Thread count for the coalesced gather (monolithic) or the
         per-segment fan-out (segmented).  Results are identical for any
         value; 1 disables threading.
+    parallel_gather_min_rows:
+        Override of :data:`PARALLEL_GATHER_MIN_ROWS`, the row count
+        below which the gather is never sharded.  ``None`` keeps the
+        module default.
     """
 
     def __init__(
@@ -427,6 +452,7 @@ class BatchQueryExecutor:
         depth: Optional[int] = None,
         batch_size: int = 32,
         workers: int = 1,
+        parallel_gather_min_rows: Optional[int] = None,
     ):
         if batch_size < 1:
             raise ConfigurationError(
@@ -434,12 +460,19 @@ class BatchQueryExecutor:
             )
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if parallel_gather_min_rows is not None \
+                and parallel_gather_min_rows < 0:
+            raise ConfigurationError(
+                "parallel_gather_min_rows must be >= 0, got "
+                f"{parallel_gather_min_rows}"
+            )
         self.index = index
         self.alpha = alpha
         self.model = model
         self.depth = depth
         self.batch_size = batch_size
         self.workers = workers
+        self.parallel_gather_min_rows = parallel_gather_min_rows
         self.stats = BatchQueryStats()
         self._engine = (
             query_batch_segmented
@@ -452,6 +485,7 @@ class BatchQueryExecutor:
         results, batch = self._engine(
             self.index, queries, self.alpha,
             model=self.model, depth=self.depth, workers=self.workers,
+            parallel_gather_min_rows=self.parallel_gather_min_rows,
         )
         self.stats.merge(batch)
         return results

@@ -1,0 +1,299 @@
+"""Dynamic micro-batching: many connections, one coalesced engine call.
+
+Independent clients each send one statistical query per key-frame — the
+paper's deployed traffic shape.  Executed naively that is one block
+selection descent and one section scan per request.  The micro-batcher
+instead parks each arriving fingerprint in a bounded queue and lets a
+single drain loop assemble batches dynamically:
+
+* the first queued fingerprint opens a batch and starts a window of
+  ``max_wait_ms``;
+* fingerprints arriving inside the window join, up to ``max_batch``;
+* the batch drains through **one**
+  :meth:`~repro.index.batch.BatchQueryExecutor.query_batch` call on the
+  server's serialised engine lane, and results are demultiplexed back to
+  the per-fingerprint futures.
+
+So N concurrent clients cost one shared descent and one coalesced scan
+instead of N — the cross-request analogue of PR 2's in-process batching.
+The warm-start threshold cache is reset before every engine call, so
+every served result is **bit-identical** to a solo deterministic
+:meth:`~repro.index.s3.S3Index.statistical_query` regardless of which
+requests happened to share a batch (tested in
+``tests/serve/test_server.py``).
+
+Admission control is all-or-nothing per request: if a request's
+fingerprints would push the queue past ``queue_limit`` the whole request
+is shed with :class:`ServiceOverloaded` — an explicit, immediate signal
+the client can back off on, instead of unbounded buffering.  Deadlines
+propagate: a fingerprint whose request deadline passes while it is still
+queued is completed with :class:`DeadlineExceeded` and never reaches the
+engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, ReproError
+from ..index.batch import BatchQueryExecutor
+from ..index.s3 import SearchResult
+
+
+class ServiceOverloaded(ReproError):
+    """The request was shed: admitting it would overflow the queue."""
+
+
+class ServiceClosed(ReproError):
+    """The service is shutting down and no longer admits requests."""
+
+
+class DeadlineExceeded(ReproError):
+    """The request's deadline passed before its queries ran."""
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    """Micro-batching knobs.
+
+    ``max_wait_ms = 0`` degenerates to one-batch-per-arrival (useful as
+    the unbatched baseline in ``benchmarks/bench_serve.py``).
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    queue_limit: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.queue_limit < 0:
+            raise ConfigurationError(
+                f"queue_limit must be >= 0, got {self.queue_limit}"
+            )
+
+
+@dataclass
+class BatcherStats:
+    """Aggregate micro-batcher counters (exposed via ``stats``)."""
+
+    queries: int = 0
+    batches: int = 0
+    shed: int = 0
+    expired: int = 0
+    fill_sum: int = 0
+    max_queue_depth: int = 0
+
+    @property
+    def mean_fill(self) -> float:
+        """Average fingerprints per engine call (> 1 means sharing)."""
+        if self.batches == 0:
+            return 0.0
+        return self.fill_sum / self.batches
+
+    def snapshot(self, queue_depth: int) -> dict:
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "shed": self.shed,
+            "expired": self.expired,
+            "mean_fill": self.mean_fill,
+            "queue_depth": queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+@dataclass
+class _Pending:
+    """One queued fingerprint awaiting its batch."""
+
+    fingerprint: np.ndarray
+    future: asyncio.Future
+    deadline: Optional[float] = None
+
+
+_STOP = object()
+
+
+@dataclass
+class MicroBatcher:
+    """Collects fingerprints across requests and drains them in batches.
+
+    Parameters
+    ----------
+    executor:
+        The shared :class:`BatchQueryExecutor`; its ``batch_size`` should
+        be at least ``config.max_batch`` (one engine call per drain).
+    engine:
+        A **single-threaded** executor serialising index access; shared
+        with the server's ``ingest`` path so queries never observe a
+        half-applied mutation.
+    config:
+        Batching window, batch cap and admission limit.
+    """
+
+    executor: BatchQueryExecutor
+    engine: Executor
+    config: BatcherConfig = field(default_factory=BatcherConfig)
+
+    def __post_init__(self) -> None:
+        self.stats = BatcherStats()
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._task: Optional[asyncio.Task] = None
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the drain loop on the running event loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain_loop()
+            )
+
+    async def drain_and_stop(self) -> None:
+        """Stop admitting, run every queued fingerprint, join the loop."""
+        if self._closing:
+            return
+        self._closing = True
+        self._queue.put_nowait(_STOP)
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    @property
+    def queue_depth(self) -> int:
+        """Fingerprints currently queued (not yet picked into a batch)."""
+        depth = self._queue.qsize()
+        # The stop sentinel is not a query.
+        return max(0, depth - 1) if self._closing else depth
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    async def submit_many(
+        self,
+        fingerprints: np.ndarray,
+        deadline: Optional[float] = None,
+    ) -> list[SearchResult]:
+        """Queue a request's fingerprints and await their results.
+
+        Admission is all-or-nothing: either every fingerprint is queued
+        or the request is shed.  Raises :class:`ServiceOverloaded`,
+        :class:`ServiceClosed`, or :class:`DeadlineExceeded` (when any
+        fingerprint expired before running).
+        """
+        fingerprints = np.asarray(fingerprints, dtype=np.float64)
+        if fingerprints.ndim == 1:
+            fingerprints = fingerprints[None, :]
+        count = fingerprints.shape[0]
+        if self._closing:
+            raise ServiceClosed("service is shutting down")
+        if self.queue_depth + count > self.config.queue_limit:
+            self.stats.shed += count
+            raise ServiceOverloaded(
+                f"queue is full ({self.queue_depth}/"
+                f"{self.config.queue_limit} queued; request adds {count})"
+            )
+        loop = asyncio.get_running_loop()
+        items = [
+            _Pending(fingerprints[i], loop.create_future(), deadline)
+            for i in range(count)
+        ]
+        for item in items:
+            self._queue.put_nowait(item)
+        self.stats.max_queue_depth = max(
+            self.stats.max_queue_depth, self.queue_depth
+        )
+        return list(await asyncio.gather(*(item.future for item in items)))
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+    async def _drain_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        stopping = False
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                # Drain whatever arrived before the sentinel, then exit.
+                stopping = True
+                if self._queue.empty():
+                    return
+                item = self._queue.get_nowait()
+            batch = [item]
+            window_ends = loop.time() + self.config.max_wait_ms / 1e3
+            while len(batch) < self.config.max_batch:
+                if stopping:
+                    if self._queue.empty():
+                        break
+                    nxt = self._queue.get_nowait()
+                else:
+                    remaining = window_ends - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(
+                            self._queue.get(), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                if nxt is _STOP:
+                    stopping = True
+                    continue
+                batch.append(nxt)
+            await self._run_batch(batch, loop)
+            if stopping and self._queue.empty():
+                return
+
+    async def _run_batch(
+        self, batch: list[_Pending], loop: asyncio.AbstractEventLoop
+    ) -> None:
+        now = loop.time()
+        live: list[_Pending] = []
+        for item in batch:
+            if item.deadline is not None and now > item.deadline:
+                self.stats.expired += 1
+                if not item.future.done():
+                    item.future.set_exception(DeadlineExceeded(
+                        "deadline passed while the query was queued"
+                    ))
+            else:
+                live.append(item)
+        if not live:
+            return
+        queries = np.stack([item.fingerprint for item in live])
+        try:
+            results = await loop.run_in_executor(
+                self.engine, self._call_engine, queries
+            )
+        except Exception as exc:  # surface engine failures per future
+            for item in live:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        self.stats.queries += len(live)
+        self.stats.batches += 1
+        self.stats.fill_sum += len(live)
+        for item, result in zip(live, results):
+            if not item.future.done():
+                item.future.set_result(result)
+
+    def _call_engine(self, queries: np.ndarray) -> list[SearchResult]:
+        # Deterministic mode: a cold threshold search per batch makes
+        # every served result independent of batching history — the
+        # bit-identity contract of docs/serving.md.
+        self.executor.index.reset_threshold_cache()
+        return self.executor.query_batch(queries)

@@ -1,0 +1,65 @@
+"""Service-side counters: request latencies and percentile summaries.
+
+The service keeps a sliding window of per-request latencies (a bounded
+deque — O(1) per request, constant memory) and computes p50/p99 on
+demand for the ``stats`` handler.  Percentiles use the nearest-rank
+method on the window, which is exact for the window and cheap at the
+sizes involved.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile ``q`` (in [0, 100]) of *values*.
+
+    Returns 0.0 for an empty list so the stats payload stays total.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class LatencyWindow:
+    """A bounded sliding window of request latencies (seconds)."""
+
+    def __init__(self, maxlen: int = 4096):
+        self._window: deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._window.append(seconds)
+        self.count += 1
+        self.total_seconds += seconds
+
+    def snapshot(self) -> dict:
+        """Counters + window percentiles as a JSON-safe dict."""
+        values = list(self._window)
+        return {
+            "count": self.count,
+            "mean_ms": (
+                self.total_seconds / self.count * 1e3 if self.count else 0.0
+            ),
+            "p50_ms": percentile(values, 50.0) * 1e3,
+            "p99_ms": percentile(values, 99.0) * 1e3,
+            "window": len(values),
+        }
+
+
+class Counter:
+    """A named monotonic counter with an optional per-key breakdown."""
+
+    def __init__(self):
+        self.total = 0
+        self.by_key: dict[str, int] = {}
+
+    def add(self, n: int = 1, key: Optional[str] = None) -> None:
+        self.total += n
+        if key is not None:
+            self.by_key[key] = self.by_key.get(key, 0) + n

@@ -1,0 +1,210 @@
+"""Wire protocol of the detection service: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON::
+
+    frame := uint32_be(len(payload)) || payload
+
+Every payload is one JSON object.  Requests carry an ``op`` (one of
+``query``, ``detect``, ``ingest``, ``stats``, ``health``) plus
+op-specific fields and an optional client-chosen ``id`` echoed back in
+the response.  Responses carry ``ok`` and either ``result`` or
+``error = {"code", "message"}``.  The full frame and field reference is
+``docs/serving.md``.
+
+JSON is exact for this workload: Python serialises floats with their
+shortest round-tripping repr, so float64 fingerprints and timecodes
+survive the wire bit for bit — the property the service's equivalence
+guarantee rests on (tested in ``tests/serve/test_protocol.py``).
+
+Both blocking-socket helpers (used by the client) and asyncio helpers
+(used by the server) live here so the two sides share one framing
+implementation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..index.s3 import SearchResult
+
+#: Frames larger than this are refused by both sides (a corrupted or
+#: hostile length prefix must not trigger an unbounded allocation).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct("!I")
+
+#: Error codes a response's ``error.code`` may carry.
+ERR_BAD_REQUEST = "bad_request"
+ERR_OVERLOADED = "overloaded"
+ERR_DEADLINE = "deadline_exceeded"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_UNSUPPORTED = "unsupported"
+ERR_INTERNAL = "internal"
+
+
+class ProtocolError(ReproError):
+    """A frame is malformed, truncated, oversized, or not valid JSON."""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def encode_frame(message: dict) -> bytes:
+    """Serialise *message* into one length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _check_length(length: int, max_frame: int) -> None:
+    if length > max_frame:
+        raise ProtocolError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{max_frame}-byte limit"
+        )
+
+
+# ----------------------------------------------------------------------
+# Blocking socket I/O (client side)
+# ----------------------------------------------------------------------
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Write one frame to a connected blocking socket."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(
+    sock: socket.socket, max_frame: int = MAX_FRAME_BYTES
+) -> dict:
+    """Read one frame from a connected blocking socket."""
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    _check_length(length, max_frame)
+    return _decode_payload(_recv_exact(sock, length))
+
+
+# ----------------------------------------------------------------------
+# Asyncio stream I/O (server side)
+# ----------------------------------------------------------------------
+async def read_message(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME_BYTES
+) -> Optional[dict]:
+    """Read one frame; ``None`` on a clean EOF between frames."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            "connection closed mid-length-prefix"
+        ) from exc
+    (length,) = _LEN.unpack(header)
+    _check_length(length, max_frame)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame "
+            f"({len(exc.partial)}/{length} bytes read)"
+        ) from exc
+    return _decode_payload(payload)
+
+
+async def write_message(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one frame and flush it."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Message construction
+# ----------------------------------------------------------------------
+def ok_response(request: dict, result: dict) -> dict:
+    return {"id": request.get("id"), "ok": True, "result": result}
+
+
+def error_response(request: Optional[dict], code: str, message: str) -> dict:
+    return {
+        "id": request.get("id") if request else None,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+# ----------------------------------------------------------------------
+# numpy <-> wire conversions
+# ----------------------------------------------------------------------
+def fingerprints_to_wire(fingerprints: np.ndarray) -> list:
+    """A ``(B, D)`` float query matrix as nested JSON-safe lists."""
+    return np.asarray(fingerprints, dtype=np.float64).tolist()
+
+
+def fingerprints_from_wire(value, ndims: int) -> np.ndarray:
+    """Parse a request's ``fingerprints`` field into a ``(B, D)`` matrix."""
+    try:
+        arr = np.asarray(value, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"fingerprints are not numeric: {exc}") from exc
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2 or arr.shape[1] != ndims:
+        raise ProtocolError(
+            f"fingerprints must be (B, {ndims}), got shape {arr.shape}"
+        )
+    return arr
+
+
+def result_to_wire(
+    result: SearchResult, include_fingerprints: bool = False
+) -> dict:
+    """One per-query :class:`SearchResult` as a JSON-safe dict.
+
+    ``rows`` / ``ids`` / ``timecodes`` always travel; the matched
+    fingerprint bytes only on request (they dominate the frame size).
+    """
+    wire = {
+        "count": len(result),
+        "rows": result.rows.tolist(),
+        "ids": result.ids.tolist(),
+        "timecodes": result.timecodes.tolist(),
+    }
+    if include_fingerprints:
+        wire["fingerprints"] = result.fingerprints.tolist()
+    return wire

@@ -1,0 +1,87 @@
+"""Run a :class:`DetectionServer` on a background thread.
+
+Tests, benchmarks and notebooks want a real socket server without
+surrendering the calling thread to the event loop.  :class:`ServerThread`
+owns a private loop on a daemon thread, starts the server there, and
+exposes the bound port; exiting the context manager performs the same
+graceful drain as Ctrl-C on ``repro-s3 serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from ..errors import ReproError
+from .server import DetectionServer, ServeConfig
+
+
+class ServerThread:
+    """A detection server running on its own event-loop thread.
+
+    ``port=0`` (the default for tests) binds an ephemeral port; read the
+    resolved one from :attr:`port` after ``start()`` / ``__enter__``.
+    """
+
+    def __init__(self, index, config: Optional[ServeConfig] = None):
+        self.server = DetectionServer(index, config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ReproError("server did not start within the timeout")
+        if self._startup_error is not None:
+            raise ReproError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful drain (queued queries run, WAL flushed), then join."""
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop
+        )
+        future.result(timeout)
+        self._thread.join(timeout)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self.server.serve_forever()

@@ -1,0 +1,428 @@
+"""The asyncio detection server: admission control, shedding, drain.
+
+:class:`DetectionServer` fronts one :class:`~repro.index.s3.S3Index` or
+:class:`~repro.index.segmented.lsm.SegmentedS3Index` with the framing
+protocol of :mod:`.protocol`.  Request flow:
+
+* ``query`` and ``detect`` push their fingerprints through the shared
+  :class:`~repro.serve.batcher.MicroBatcher`, so concurrent requests —
+  from any mix of connections — drain through one coalesced engine call;
+* ``ingest`` (segmented indexes only) runs on the same single-threaded
+  engine lane as the batches, so readers never observe a half-applied
+  mutation;
+* ``stats`` and ``health`` are served inline from counters and the
+  shared :func:`~repro.index.summary.index_summary`.
+
+Saturation is explicit: a request that would overflow the bounded queue
+is answered immediately with an ``overloaded`` error (and counted), not
+buffered — the client's capped-backoff retry loop is the intended
+response.  Deadlines propagate: ``deadline_ms`` bounds queueing, and
+work that cannot meet it is abandoned with ``deadline_exceeded``.
+
+Shutdown is graceful by construction: :meth:`stop` stops accepting,
+answers new requests with ``shutting_down``, drains every queued
+fingerprint through the engine, lets in-flight responses flush, and
+closes the segmented index's WAL handle — every acknowledged ingest is
+already durable, so the directory reopens replayable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..cbcd.voting import QueryMatches, vote
+from ..errors import ConfigurationError, ReproError
+from ..index.batch import BatchQueryExecutor
+from ..index.summary import index_summary
+from . import protocol
+from .batcher import (
+    BatcherConfig,
+    DeadlineExceeded,
+    MicroBatcher,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from .metrics import Counter, LatencyWindow
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the service needs beyond the index itself."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    alpha: float = 0.8
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    queue_limit: int = 1024
+    workers: int = 1
+    max_frame: int = protocol.MAX_FRAME_BYTES
+    vote_tolerance: float = 2.0
+    tukey_c: float = 6.0
+    min_matches: int = 2
+    decision_threshold: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be in (0, 1], got {self.alpha}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+
+    def batcher_config(self) -> BatcherConfig:
+        return BatcherConfig(
+            max_batch=self.max_batch,
+            max_wait_ms=self.max_wait_ms,
+            queue_limit=self.queue_limit,
+        )
+
+
+@dataclass
+class ServerStats:
+    """Top-level request counters, merged with batcher stats on demand."""
+
+    started_at: float = field(default_factory=time.time)
+    requests: Counter = field(default_factory=Counter)
+    errors: Counter = field(default_factory=Counter)
+    connections_total: int = 0
+    connections_open: int = 0
+    latency: LatencyWindow = field(default_factory=LatencyWindow)
+
+
+class DetectionServer:
+    """Serve statistical queries, detection, and ingestion over sockets."""
+
+    def __init__(self, index, config: Optional[ServeConfig] = None):
+        self.index = index
+        self.config = config or ServeConfig()
+        self.stats = ServerStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._engine: Optional[ThreadPoolExecutor] = None
+        self.batcher: Optional[MicroBatcher] = None
+        self._connections: set[asyncio.Task] = set()
+        self._inflight = 0
+        self._closing = False
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's choice)."""
+        if self._server is None:
+            raise ReproError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the listening socket and spawn the batcher drain loop."""
+        cfg = self.config
+        # One engine lane: batches and ingests serialise through a single
+        # thread, so the (not thread-safe) index is never raced.  The
+        # BatchQueryExecutor may still fan the scan out internally.
+        self._engine = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-engine"
+        )
+        executor = BatchQueryExecutor(
+            self.index, cfg.alpha,
+            batch_size=cfg.max_batch, workers=cfg.workers,
+        )
+        self.batcher = MicroBatcher(
+            executor, self._engine, cfg.batcher_config()
+        )
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, cfg.host, cfg.port
+        )
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` completes (started elsewhere)."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, flush, close."""
+        if self._closing:
+            await self._stopped.wait()
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.batcher is not None:
+            await self.batcher.drain_and_stop()
+        # In-flight handlers now hold resolved futures; wait until every
+        # response has been written (bounded), then disconnect idle
+        # readers — clients keeping the connection open must not block
+        # shutdown.
+        deadline = asyncio.get_running_loop().time() + 5.0
+        while self._inflight and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.005)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.wait(self._connections, timeout=1.0)
+        if self._engine is not None:
+            self._engine.shutdown(wait=True)
+        if hasattr(self.index, "close"):
+            self.index.close()  # closes the segmented WAL handle
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        self.stats.connections_total += 1
+        self.stats.connections_open += 1
+        try:
+            while True:
+                try:
+                    request = await protocol.read_message(
+                        reader, self.config.max_frame
+                    )
+                except protocol.ProtocolError as exc:
+                    # Framing is broken: answer once, drop the connection.
+                    await protocol.write_message(
+                        writer,
+                        protocol.error_response(
+                            None, protocol.ERR_BAD_REQUEST, str(exc)
+                        ),
+                    )
+                    break
+                if request is None:  # clean EOF
+                    break
+                self._inflight += 1
+                try:
+                    response = await self._dispatch(request)
+                    await protocol.write_message(writer, response)
+                finally:
+                    self._inflight -= 1
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self.stats.connections_open -= 1
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        self.stats.requests.add(key=str(op))
+        if self._closing:
+            self.stats.errors.add(key=protocol.ERR_SHUTTING_DOWN)
+            return protocol.error_response(
+                request, protocol.ERR_SHUTTING_DOWN,
+                "server is draining; no new requests admitted",
+            )
+        handler = {
+            "query": self._op_query,
+            "detect": self._op_detect,
+            "ingest": self._op_ingest,
+            "stats": self._op_stats,
+            "health": self._op_health,
+        }.get(op)
+        if handler is None:
+            self.stats.errors.add(key=protocol.ERR_BAD_REQUEST)
+            return protocol.error_response(
+                request, protocol.ERR_BAD_REQUEST,
+                f"unknown op {op!r}; expected one of "
+                "query/detect/ingest/stats/health",
+            )
+        t0 = time.perf_counter()
+        try:
+            result = await handler(request)
+        except protocol.ProtocolError as exc:
+            self.stats.errors.add(key=protocol.ERR_BAD_REQUEST)
+            return protocol.error_response(
+                request, protocol.ERR_BAD_REQUEST, str(exc)
+            )
+        except ServiceOverloaded as exc:
+            self.stats.errors.add(key=protocol.ERR_OVERLOADED)
+            return protocol.error_response(
+                request, protocol.ERR_OVERLOADED, str(exc)
+            )
+        except DeadlineExceeded as exc:
+            self.stats.errors.add(key=protocol.ERR_DEADLINE)
+            return protocol.error_response(
+                request, protocol.ERR_DEADLINE, str(exc)
+            )
+        except ServiceClosed as exc:
+            self.stats.errors.add(key=protocol.ERR_SHUTTING_DOWN)
+            return protocol.error_response(
+                request, protocol.ERR_SHUTTING_DOWN, str(exc)
+            )
+        except ReproError as exc:
+            self.stats.errors.add(key=protocol.ERR_BAD_REQUEST)
+            return protocol.error_response(
+                request, protocol.ERR_BAD_REQUEST, str(exc)
+            )
+        except Exception as exc:  # never leak a traceback over the wire
+            self.stats.errors.add(key=protocol.ERR_INTERNAL)
+            return protocol.error_response(
+                request, protocol.ERR_INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+            )
+        self.stats.latency.record(time.perf_counter() - t0)
+        return protocol.ok_response(request, result)
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def _deadline(self, request: dict) -> Optional[float]:
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is None:
+            return None
+        if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+            raise protocol.ProtocolError(
+                f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
+        return asyncio.get_running_loop().time() + deadline_ms / 1e3
+
+    def _check_alpha(self, request: dict) -> None:
+        alpha = request.get("alpha")
+        if alpha is not None and alpha != self.config.alpha:
+            raise protocol.ProtocolError(
+                f"this server batches across requests at "
+                f"alpha={self.config.alpha}; per-request alpha={alpha} "
+                "is not supported (start another server for it)"
+            )
+
+    async def _op_query(self, request: dict) -> dict:
+        self._check_alpha(request)
+        queries = protocol.fingerprints_from_wire(
+            request.get("fingerprints"), self.index.ndims
+        )
+        include_fp = bool(request.get("include_fingerprints", False))
+        results = await self.batcher.submit_many(
+            queries, deadline=self._deadline(request)
+        )
+        return {
+            "alpha": self.config.alpha,
+            "results": [
+                protocol.result_to_wire(r, include_fp) for r in results
+            ],
+        }
+
+    async def _op_detect(self, request: dict) -> dict:
+        self._check_alpha(request)
+        fingerprints = protocol.fingerprints_from_wire(
+            request.get("fingerprints"), self.index.ndims
+        )
+        timecodes = np.asarray(
+            request.get("timecodes", []), dtype=np.float64
+        )
+        if timecodes.shape != (fingerprints.shape[0],):
+            raise protocol.ProtocolError(
+                f"timecodes must be ({fingerprints.shape[0]},) aligned "
+                f"with fingerprints, got shape {timecodes.shape}"
+            )
+        threshold = int(
+            request.get("threshold", self.config.decision_threshold)
+        )
+        results = await self.batcher.submit_many(
+            fingerprints, deadline=self._deadline(request)
+        )
+        matches = [
+            QueryMatches(timecode=float(tc), ids=r.ids, timecodes=r.timecodes)
+            for r, tc in zip(results, timecodes)
+            if len(r)
+        ]
+        votes = vote(
+            matches,
+            tolerance=self.config.vote_tolerance,
+            tukey_c=self.config.tukey_c,
+            min_matches=self.config.min_matches,
+        )
+        return {
+            "num_queries": int(fingerprints.shape[0]),
+            "detections": [
+                {
+                    "video_id": int(v.video_id),
+                    "offset": float(v.offset),
+                    "nsim": int(v.nsim),
+                    "num_candidates": int(v.num_candidates),
+                }
+                for v in votes
+                if v.nsim >= threshold
+            ],
+        }
+
+    async def _op_ingest(self, request: dict) -> dict:
+        if not hasattr(self.index, "add"):
+            raise protocol.ProtocolError(
+                "this server fronts a static (monolithic) index; "
+                "ingest needs a segmented index directory"
+            ) from None
+        fingerprints = protocol.fingerprints_from_wire(
+            request.get("fingerprints"), self.index.ndims
+        )
+        count = fingerprints.shape[0]
+        ids = np.asarray(request.get("ids", []), dtype=np.int64)
+        timecodes = np.asarray(request.get("timecodes", []), dtype=np.float64)
+        if ids.shape != (count,) or timecodes.shape != (count,):
+            raise protocol.ProtocolError(
+                f"ids and timecodes must both be ({count},) aligned with "
+                f"fingerprints, got {ids.shape} and {timecodes.shape}"
+            )
+        loop = asyncio.get_running_loop()
+        # Same serialised lane as the batches: writes never race a scan.
+        added = await loop.run_in_executor(
+            self._engine,
+            lambda: self.index.add(fingerprints, ids, timecodes),
+        )
+        return {
+            "added": int(added),
+            "rows": len(self.index),
+            "pending_rows": self.index.pending_rows,
+            "num_segments": self.index.num_segments,
+        }
+
+    async def _op_stats(self, request: dict) -> dict:
+        return self.stats_snapshot()
+
+    async def _op_health(self, request: dict) -> dict:
+        return {
+            "status": "draining" if self._closing else "ok",
+            "alpha": self.config.alpha,
+            "index": index_summary(self.index),
+        }
+
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """The ``stats`` payload (also handy for in-process inspection)."""
+        batcher = self.batcher.stats.snapshot(
+            self.batcher.queue_depth
+        ) if self.batcher else {}
+        return {
+            "uptime_seconds": time.time() - self.stats.started_at,
+            "connections": {
+                "open": self.stats.connections_open,
+                "total": self.stats.connections_total,
+            },
+            "requests": dict(self.stats.requests.by_key),
+            "errors": dict(self.stats.errors.by_key),
+            "latency": self.stats.latency.snapshot(),
+            "batcher": batcher,
+            "config": {
+                "alpha": self.config.alpha,
+                "max_batch": self.config.max_batch,
+                "max_wait_ms": self.config.max_wait_ms,
+                "queue_limit": self.config.queue_limit,
+                "workers": self.config.workers,
+            },
+        }

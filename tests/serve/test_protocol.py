@@ -1,0 +1,139 @@
+"""Framing and wire-conversion tests for :mod:`repro.serve.protocol`.
+
+The service's equivalence guarantee needs exact float64 round-trips
+through JSON — tested here against adversarial values — plus robust
+behaviour on truncated, oversized and garbage frames.
+"""
+
+import asyncio
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+
+def frame_roundtrip(message, max_frame=protocol.MAX_FRAME_BYTES):
+    a, b = socket.socketpair()
+    try:
+        protocol.send_message(a, message)
+        return protocol.recv_message(b, max_frame)
+    finally:
+        a.close()
+        b.close()
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"op": "query", "id": 7, "fingerprints": [[1.0, 2.5]]}
+        assert frame_roundtrip(message) == message
+
+    def test_multiple_frames_on_one_socket(self):
+        a, b = socket.socketpair()
+        try:
+            for i in range(3):
+                protocol.send_message(a, {"id": i})
+            for i in range(3):
+                assert protocol.recv_message(b)["id"] == i
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_incoming_frame_refused(self):
+        a, b = socket.socketpair()
+        try:
+            protocol.send_message(a, {"pad": "x" * 2048})
+            with pytest.raises(ProtocolError, match="exceeds"):
+                protocol.recv_message(b, max_frame=64)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            frame = protocol.encode_frame({"op": "stats"})
+            a.sendall(frame[: len(frame) - 3])
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                protocol.recv_message(b)
+        finally:
+            b.close()
+
+    def test_non_object_payload_refused(self):
+        a, b = socket.socketpair()
+        try:
+            payload = b"[1,2,3]"
+            a.sendall(struct.pack("!I", len(payload)) + payload)
+            with pytest.raises(ProtocolError, match="JSON object"):
+                protocol.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_garbage_payload_refused(self):
+        a, b = socket.socketpair()
+        try:
+            payload = b"\xff\xfe not json"
+            a.sendall(struct.pack("!I", len(payload)) + payload)
+            with pytest.raises(ProtocolError, match="not valid JSON"):
+                protocol.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_async_reader_clean_eof_returns_none(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            return await protocol.read_message(reader)
+
+        assert asyncio.run(scenario()) is None
+
+    def test_async_reader_roundtrip_and_truncation(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(protocol.encode_frame({"op": "health"}))
+            first = await protocol.read_message(reader)
+            frame = protocol.encode_frame({"op": "stats"})
+            reader.feed_data(frame[:-1])
+            reader.feed_eof()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                await protocol.read_message(reader)
+            return first
+
+        assert asyncio.run(scenario()) == {"op": "health"}
+
+
+class TestWireConversions:
+    def test_float64_exact_roundtrip(self):
+        rng = np.random.default_rng(0)
+        # Adversarial float64s: tiny, huge, denormal-adjacent, negative.
+        values = np.concatenate([
+            rng.uniform(0, 255, 64),
+            np.array([0.1, 1 / 3, np.pi, 2.0 ** -40, 1e300, -1e-300]),
+        ])[None, :]
+        wire = protocol.fingerprints_to_wire(values)
+        back = protocol.fingerprints_from_wire(
+            frame_roundtrip({"fingerprints": wire})["fingerprints"],
+            values.shape[1],
+        )
+        assert np.array_equal(back, values)
+
+    def test_fingerprints_from_wire_validates_shape(self):
+        with pytest.raises(ProtocolError, match=r"\(B, 4\)"):
+            protocol.fingerprints_from_wire([[1.0, 2.0]], 4)
+        with pytest.raises(ProtocolError, match="not numeric"):
+            protocol.fingerprints_from_wire([["a", "b"]], 2)
+
+    def test_single_vector_promoted(self):
+        arr = protocol.fingerprints_from_wire([1.0, 2.0, 3.0], 3)
+        assert arr.shape == (1, 3)
+
+    def test_oversized_outgoing_frame_refused(self):
+        huge = {"pad": "x" * (protocol.MAX_FRAME_BYTES + 1)}
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.encode_frame(huge)

@@ -31,6 +31,27 @@ class TestPipeline:
         out = capsys.readouterr().out
         assert "fingerprints, dimension 20" in out
 
+    def test_info_json_on_store(self, workspace, capsys):
+        import json
+
+        assert main(["info", "--json", str(workspace["store"])]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "store"
+        assert payload["ndims"] == 20
+        assert payload["rows"] > 0
+        assert payload["bytes"] > 0
+
+    def test_info_json_on_index_prefix(self, workspace, capsys):
+        import json
+
+        assert main([
+            "info", "--json", str(workspace["index"]) + ".store",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["index"]["kind"] == "monolithic"
+        assert payload["index"]["depth"] == 20
+        assert payload["index"]["sigma"] == 20.0
+
     def test_query_from_row(self, workspace, capsys):
         assert main(["query", str(workspace["index"]),
                      "--from-row", "3", "--alpha", "0.8"]) == 0
@@ -97,6 +118,16 @@ class TestSegmented:
         assert "segmented index" in out
         assert "seg-000001" in out
 
+    def test_info_json_on_directory(self, live, capsys):
+        import json
+
+        assert main(["info", "--json", str(live)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "segmented"
+        assert payload["rows"] > 0
+        assert payload["segments"]
+        assert all(seg["bytes"] > 0 for seg in payload["segments"])
+
     def test_query_from_row_on_directory(self, live, capsys):
         assert main(["query", str(live), "--from-row", "3",
                      "--alpha", "0.8"]) == 0
@@ -137,6 +168,47 @@ class TestErrors:
         assert "error:" in capsys.readouterr().err
 
 
+class TestServeRequest:
+    """`repro-s3 request` against an in-process detection server."""
+
+    @pytest.fixture(scope="class")
+    def server(self, workspace):
+        from repro.index.s3 import S3Index
+        from repro.serve import ServeConfig, ServerThread
+
+        index = S3Index.load(str(workspace["index"]))
+        with ServerThread(
+            index, ServeConfig(port=0, alpha=0.8, max_wait_ms=1.0)
+        ) as thread:
+            yield thread
+
+    def test_request_health(self, server, capsys):
+        assert main(["request", "health",
+                     "--port", str(server.port)]) == 0
+        out = capsys.readouterr().out
+        assert '"kind": "monolithic"' in out
+
+    def test_request_query(self, server, workspace, capsys):
+        from repro.index.s3 import S3Index
+
+        index = S3Index.load(str(workspace["index"]))
+        qfile = workspace["tmp"] / "serve-q.npy"
+        np.save(qfile, index.store.fingerprints[:2].astype(np.float64))
+        assert main(["request", "query", "--port", str(server.port),
+                     "--queries", str(qfile)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("query") == 2
+        assert "id=0" in out  # the stored fingerprint matches itself
+
+    def test_request_stats(self, server, capsys):
+        assert main(["request", "stats",
+                     "--port", str(server.port)]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["batcher"]["queries"] >= 2
+
+
 class TestMerge:
     def test_merge_concatenates(self, workspace, tmp_path, capsys):
         merged = tmp_path / "merged.fp"
@@ -151,6 +223,39 @@ class TestMerge:
         single, _ = read_header(workspace["store"])
         assert count == 2 * single
         assert ndims == 20
+
+
+class TestArgumentValidation:
+    """Out-of-domain knobs must fail with a one-line `error:` message."""
+
+    @pytest.mark.parametrize("argv_extra, needle", [
+        (["--batch-size", "0"], "--batch-size must be >= 1"),
+        (["--workers", "0"], "--workers must be >= 1"),
+        (["--workers", "-3"], "--workers must be >= 1"),
+        (["--alpha", "0"], "--alpha must be in (0, 1]"),
+        (["--alpha", "1.5"], "--alpha must be in (0, 1]"),
+    ])
+    def test_query_rejects_bad_knobs(
+        self, workspace, capsys, argv_extra, needle
+    ):
+        code = main(["query", str(workspace["index"]),
+                     "--from-row", "0"] + argv_extra)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert needle in err
+
+    def test_detect_rejects_bad_alpha(self, workspace, capsys):
+        code = main(["detect", str(workspace["index"]),
+                     str(workspace["video"]), "--alpha", "-0.2"])
+        assert code == 2
+        assert "--alpha must be in (0, 1]" in capsys.readouterr().err
+
+    def test_request_unreachable_reports_friendly_error(self, capsys):
+        code = main(["request", "stats", "--port", "1",
+                     "--timeout", "0.2", "--retries", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestBuildOptions:
