@@ -17,7 +17,7 @@ import numpy as np
 from ..distortion.model import IndependentDistortionModel
 from ..errors import ConfigurationError, ExtractionError
 from ..fingerprint.extractor import ExtractorConfig, FingerprintExtractor
-from ..index.batch import BatchQueryExecutor
+from ..index.batch import EXECUTOR_STRATEGIES, BatchQueryExecutor
 from ..index.s3 import S3Index
 from ..video.synthetic import VideoClip
 from .voting import QueryMatches, Vote, vote
@@ -50,6 +50,7 @@ class DetectorConfig:
     min_matches: int = 2
     batch_size: int = 32
     workers: int = 1
+    executor: str = "auto"
     extractor: ExtractorConfig = field(default_factory=ExtractorConfig)
 
     def __post_init__(self) -> None:
@@ -66,6 +67,11 @@ class DetectorConfig:
         if self.workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if self.executor not in EXECUTOR_STRATEGIES:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTOR_STRATEGIES!r}, "
+                f"got {self.executor!r}"
             )
 
 
@@ -119,26 +125,28 @@ class CopyDetector:
         # Per-run determinism: the index's warm-start cache is scoped to
         # one candidate clip (still warm across its ~hundreds of queries).
         self.index.reset_threshold_cache()
-        executor = BatchQueryExecutor(
-            self.index, cfg.alpha, model=self.model,
-            batch_size=cfg.batch_size, workers=cfg.workers,
-        )
         matches: list[QueryMatches] = []
         rows_scanned = 0
         search_seconds = 0.0
-        for result, tc in zip(
-            executor.query_all(fingerprints.astype(np.float64)), timecodes
-        ):
-            rows_scanned += result.stats.rows_scanned
-            search_seconds += result.stats.total_seconds
-            if len(result):
-                matches.append(
-                    QueryMatches(
-                        timecode=float(tc),
-                        ids=result.ids,
-                        timecodes=result.timecodes,
+        with BatchQueryExecutor(
+            self.index, cfg.alpha, model=self.model,
+            batch_size=cfg.batch_size, workers=cfg.workers,
+            executor=cfg.executor,
+        ) as executor:
+            for result, tc in zip(
+                executor.query_all(fingerprints.astype(np.float64)),
+                timecodes,
+            ):
+                rows_scanned += result.stats.rows_scanned
+                search_seconds += result.stats.total_seconds
+                if len(result):
+                    matches.append(
+                        QueryMatches(
+                            timecode=float(tc),
+                            ids=result.ids,
+                            timecodes=result.timecodes,
+                        )
                     )
-                )
         votes = vote(
             matches,
             tolerance=cfg.vote_tolerance,

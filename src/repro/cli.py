@@ -48,7 +48,7 @@ from .cbcd.detector import CopyDetector, DetectorConfig
 from .distortion.model import NormalDistortionModel
 from .errors import ConfigurationError, ReproError
 from .fingerprint.extractor import FingerprintExtractor
-from .index.batch import BatchQueryExecutor
+from .index.batch import EXECUTOR_STRATEGIES, BatchQueryExecutor
 from .index.s3 import S3Index
 from .index.segmented import CompactionPolicy, Manifest, SegmentedS3Index
 from .index.store import FingerprintStore, read_header
@@ -71,6 +71,12 @@ def _validate_common_args(args: argparse.Namespace) -> None:
     workers = getattr(args, "workers", None)
     if workers is not None and workers < 1:
         raise ConfigurationError(f"--workers must be >= 1, got {workers}")
+    executor = getattr(args, "executor", None)
+    if executor is not None and executor not in EXECUTOR_STRATEGIES:
+        raise ConfigurationError(
+            f"--executor must be one of {', '.join(EXECUTOR_STRATEGIES)}, "
+            f"got {executor!r}"
+        )
     alpha = getattr(args, "alpha", None)
     if alpha is not None and not 0.0 < alpha <= 1.0:
         raise ConfigurationError(
@@ -122,11 +128,16 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_index(path: str) -> "S3Index | SegmentedS3Index":
-    """Open *path* as a segmented directory or a static index prefix."""
+def _load_index(path: str, mmap: bool = False) -> "S3Index | SegmentedS3Index":
+    """Open *path* as a segmented directory or a static index prefix.
+
+    ``mmap=True`` maps fingerprint bytes from disk instead of reading
+    them — long-lived consumers (the service) get zero-copy file-backed
+    stores that scan worker processes attach without any duplication.
+    """
     if Path(path).is_dir():
-        return SegmentedS3Index.open(path)
-    return S3Index.load(path)
+        return SegmentedS3Index.open(path, mmap=mmap)
+    return S3Index.load(path, mmap=mmap)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -145,21 +156,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         print("error: pass --queries FILE or --from-row N", file=sys.stderr)
         return 2
-    executor = BatchQueryExecutor(
+    with BatchQueryExecutor(
         index, args.alpha,
         batch_size=args.batch_size, workers=args.workers,
-    )
-    for i, result in enumerate(executor.query_all(queries)):
-        stats = result.stats
-        print(
-            f"query {i}: {len(result)} results, "
-            f"{stats.blocks_selected} blocks, "
-            f"{stats.total_seconds * 1e3:.2f} ms"
-        )
-        for row in range(min(len(result), args.limit)):
+        executor=args.executor,
+    ) as executor:
+        for i, result in enumerate(executor.query_all(queries)):
+            stats = result.stats
             print(
-                f"  id={result.ids[row]} tc={result.timecodes[row]:.1f}"
+                f"query {i}: {len(result)} results, "
+                f"{stats.blocks_selected} blocks, "
+                f"{stats.total_seconds * 1e3:.2f} ms"
             )
+            for row in range(min(len(result), args.limit)):
+                print(
+                    f"  id={result.ids[row]} tc={result.timecodes[row]:.1f}"
+                )
     return 0
 
 
@@ -169,6 +181,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     config = DetectorConfig(
         alpha=args.alpha, decision_threshold=args.threshold,
         batch_size=args.batch_size, workers=args.workers,
+        executor=args.executor,
     )
     detector = CopyDetector(index, config)
     clip = _load_clip(args.video)
@@ -308,7 +321,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve.server import DetectionServer, ServeConfig
 
     _validate_common_args(args)
-    index = _load_index(args.index)
+    # mmap: the server is long-lived, and file-backed stores let the
+    # scan worker processes attach segments without copying them.
+    index = _load_index(args.index, mmap=True)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -317,6 +332,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         queue_limit=args.queue_limit,
         workers=args.workers,
+        executor=args.executor,
     )
 
     async def _run() -> None:
@@ -326,7 +342,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"serving {args.index} on {config.host}:{server.port} "
             f"(alpha={config.alpha}, max_batch={config.max_batch}, "
             f"max_wait_ms={config.max_wait_ms}, "
-            f"queue_limit={config.queue_limit})"
+            f"queue_limit={config.queue_limit}, "
+            f"executor={config.executor})"
         )
         try:
             await server.serve_forever()
@@ -486,7 +503,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=32,
                    help="queries per batched engine call")
     p.add_argument("--workers", type=int, default=1,
-                   help="threads for the coalesced scan / segment fan-out")
+                   help="scan shards (threads or processes)")
+    p.add_argument("--executor", choices=list(EXECUTOR_STRATEGIES),
+                   default="auto",
+                   help="scan execution strategy: threads shard inside "
+                        "the GIL, processes attach the store zero-copy "
+                        "and scan in parallel, auto picks by index size")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("detect", help="detect copies in a candidate video")
@@ -497,7 +519,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=32,
                    help="queries per batched engine call")
     p.add_argument("--workers", type=int, default=1,
-                   help="threads for the coalesced scan / segment fan-out")
+                   help="scan shards (threads or processes)")
+    p.add_argument("--executor", choices=list(EXECUTOR_STRATEGIES),
+                   default="auto",
+                   help="scan execution strategy (see `query --help`)")
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser(
@@ -527,7 +552,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-limit", type=int, default=1024,
                    help="queued fingerprints before requests are shed")
     p.add_argument("--workers", type=int, default=1,
-                   help="threads for the coalesced scan / segment fan-out")
+                   help="scan shards (threads or processes)")
+    p.add_argument("--executor", choices=list(EXECUTOR_STRATEGIES),
+                   default="auto",
+                   help="scan execution strategy (see `query --help`); "
+                        "the scan pool is warmed before the socket opens")
     p.set_defaults(func=_cmd_serve, batch_size=None)
 
     p = sub.add_parser(

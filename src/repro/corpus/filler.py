@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..index.kernels import clip_round_u8
 from ..index.store import FingerprintStore
 from ..rng import SeedLike, resolve_rng
 
@@ -61,10 +62,14 @@ def resample_fingerprints(
     if count == 0:
         return FingerprintStore.empty(pool.ndims)
     rows = gen.integers(0, len(pool), size=count)
-    fps = pool.fingerprints[rows].astype(np.float64)
+    fps = pool.fingerprints[rows]
     if jitter_sigma > 0:
-        fps = fps + gen.normal(0.0, jitter_sigma, fps.shape)
-    fps = np.clip(np.round(fps), 0, 255).astype(np.uint8)
+        # One float buffer (the jitter), rounded/clipped in place by the
+        # integer-domain kernel epilogue — not a float64 copy of the pool
+        # rows plus another for the sum.  Values are unchanged: uint8 +
+        # float64 upcasts exactly, and round/clip of exact integers is
+        # the identity.
+        fps = clip_round_u8(fps + gen.normal(0.0, jitter_sigma, fps.shape))
 
     block = np.arange(count) // rows_per_id
     ids = (id_base + block).astype(np.uint32)

@@ -25,6 +25,12 @@ from .fig56_alpha_sweep import Fig56Result, run_fig56
 from .fig7_scaling import Fig7Result, run_fig7
 from .fig8_dbsize_abacus import Fig8Result, run_fig8
 from .fig9_alpha_abacus import Fig9Result, run_fig9
+from .parallel_scan import (
+    ParallelScanBenchResult,
+    ParallelScanSuiteResult,
+    run_parallel_scan,
+    run_parallel_scan_suite,
+)
 from .segmented_ingest import SegmentedIngestResult, run_segmented_ingest
 from .serve_bench import ServeBenchResult, run_serve_bench
 from .table1_severity import Table1Result, paper_transform_ladder, run_table1
@@ -42,6 +48,8 @@ __all__ = [
     "Fig7Result",
     "Fig8Result",
     "Fig9Result",
+    "ParallelScanBenchResult",
+    "ParallelScanSuiteResult",
     "SegmentedIngestResult",
     "Series",
     "ServeBenchResult",
@@ -61,6 +69,8 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_parallel_scan",
+    "run_parallel_scan_suite",
     "run_segmented_ingest",
     "run_serve_bench",
     "run_table1",

@@ -1,0 +1,343 @@
+"""Process-parallel scan — escaping the GIL on the coalesced gather.
+
+The batched engine's thread sharding (:mod:`repro.index.batch`) is
+bounded by the GIL: numpy releases it inside a fancy-index gather, but
+the per-query demux, refinement and result assembly serialize.  The
+process pool (:mod:`repro.index.parallel`) moves the gather into scan
+worker processes that attach the store zero-copy (mmap of the on-disk
+layout, or one shared-memory block for in-RAM stores) and write into a
+per-call shared arena — no fingerprint bytes cross a pipe, ever.
+
+This experiment times the same deterministic workload under the three
+strategies and **verifies bit-identity** between all of them:
+
+* **serial** — the batched engine, one gather shard (``workers=1``);
+* **threads** — the engine's thread sharding (``executor="threads"``);
+* **processes** — the zero-copy process pool (``executor="processes"``).
+
+Each row scale is measured separately (the process pool only pays for
+itself once the scan volume escapes the GIL-bound regime — the reason
+``executor="auto"`` keeps small indexes on threads).  Results serialise
+to ``BENCH_parallel_scan.json`` (schema versioned below) including
+``cpu_count``, so CI readers can tell a 1-core container's numbers from
+a real parallel run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..corpus.builder import build_reference_corpus
+from ..corpus.filler import scale_store
+from ..distortion.model import NormalDistortionModel
+from ..index.batch import BatchQueryExecutor
+from ..index.parallel import shared_memory_available
+from ..index.s3 import S3Index
+from ..rng import SeedLike, resolve_rng
+from .common import format_table
+
+SCHEMA_VERSION = 1
+
+STRATEGIES = ("serial", "threads", "processes")
+
+
+@dataclass
+class ParallelScanBenchResult:
+    """One row scale's timings under the three executor strategies."""
+
+    db_rows: int
+    num_queries: int
+    batch_size: int
+    workers: int
+    alpha: float
+    depth: int
+    sigma: float
+    ndims: int
+    serial_seconds: float
+    threads_seconds: float
+    processes_seconds: Optional[float]
+    pool_build_seconds: Optional[float]
+    bit_identical_results: bool
+    fingerprint_bytes_serialized: Optional[int]
+    rows_gathered: Optional[int]
+    tasks: Optional[int]
+    worker_deaths: Optional[int]
+
+    @property
+    def processes_available(self) -> bool:
+        return self.processes_seconds is not None
+
+    @property
+    def threads_speedup(self) -> float:
+        """Threads over the serial single-shard engine."""
+        return self.serial_seconds / max(self.threads_seconds, 1e-9)
+
+    @property
+    def processes_speedup(self) -> Optional[float]:
+        """Processes over the serial single-shard engine."""
+        if self.processes_seconds is None:
+            return None
+        return self.serial_seconds / max(self.processes_seconds, 1e-9)
+
+    @property
+    def processes_over_threads(self) -> Optional[float]:
+        """The GIL-escape factor: process pool over the thread shards."""
+        if self.processes_seconds is None:
+            return None
+        return self.threads_seconds / max(self.processes_seconds, 1e-9)
+
+    def render(self) -> str:
+        per_q = 1e3 / max(self.num_queries, 1)
+        rows = [
+            ("serial (1 shard)", self.serial_seconds,
+             self.serial_seconds * per_q, "1.00x"),
+            (f"threads (workers={self.workers})", self.threads_seconds,
+             self.threads_seconds * per_q, f"{self.threads_speedup:.2f}x"),
+        ]
+        if self.processes_seconds is not None:
+            rows.append((
+                f"processes (workers={self.workers})",
+                self.processes_seconds, self.processes_seconds * per_q,
+                f"{self.processes_speedup:.2f}x",
+            ))
+        table = format_table(
+            ["strategy", "total s", "ms/query", "speedup"],
+            rows,
+            title=(
+                f"Executor strategies — {self.num_queries} queries against "
+                f"{self.db_rows} fingerprints (alpha={self.alpha}, "
+                f"depth={self.depth})"
+            ),
+        )
+        lines = [table]
+        if self.processes_seconds is None:
+            lines.append(
+                "processes: unavailable (no shared memory on this host)"
+            )
+        else:
+            lines.append(
+                f"processes over threads: {self.processes_over_threads:.2f}x"
+                f" — zero-copy transport: "
+                f"{self.fingerprint_bytes_serialized} fingerprint bytes "
+                f"serialized across {self.tasks} tasks "
+                f"({self.rows_gathered} rows gathered in shared arenas)"
+            )
+        lines.append(
+            f"bit-identical across strategies: {self.bit_identical_results}"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "config": {
+                "db_rows": self.db_rows,
+                "num_queries": self.num_queries,
+                "batch_size": self.batch_size,
+                "workers": self.workers,
+                "alpha": self.alpha,
+                "depth": self.depth,
+                "sigma": self.sigma,
+                "ndims": self.ndims,
+            },
+            "timing": {
+                "serial_seconds": self.serial_seconds,
+                "threads_seconds": self.threads_seconds,
+                "processes_seconds": self.processes_seconds,
+                "pool_build_seconds": self.pool_build_seconds,
+                "threads_speedup": self.threads_speedup,
+                "processes_speedup": self.processes_speedup,
+                "processes_over_threads": self.processes_over_threads,
+            },
+            "transport": {
+                "available": self.processes_available,
+                "fingerprint_bytes_serialized":
+                    self.fingerprint_bytes_serialized,
+                "rows_gathered": self.rows_gathered,
+                "tasks": self.tasks,
+                "worker_deaths": self.worker_deaths,
+            },
+            "equivalence": {
+                "bit_identical_results": self.bit_identical_results,
+            },
+        }
+
+
+@dataclass
+class ParallelScanSuiteResult:
+    """The full sweep: one :class:`ParallelScanBenchResult` per row scale."""
+
+    cpu_count: Optional[int]
+    scales: list[ParallelScanBenchResult] = field(default_factory=list)
+
+    @property
+    def bit_identical_results(self) -> bool:
+        return all(s.bit_identical_results for s in self.scales)
+
+    def render(self) -> str:
+        parts = [s.render() for s in self.scales]
+        parts.append(f"cpu_count: {self.cpu_count}")
+        return "\n\n".join(parts)
+
+    def to_json(self) -> dict:
+        """The machine-readable record (see docs/parallel-execution.md)."""
+        return {
+            "benchmark": "parallel_scan",
+            "schema_version": SCHEMA_VERSION,
+            "cpu_count": self.cpu_count,
+            "scales": [s.to_json() for s in self.scales],
+        }
+
+    def write_json(self, path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+
+def _result_key(result) -> tuple:
+    return (
+        result.rows.tobytes(),
+        result.ids.tobytes(),
+        result.timecodes.tobytes(),
+        result.fingerprints.tobytes(),
+    )
+
+
+def _timed_run(index, queries, alpha, batch_size, executor_kwargs):
+    """Deterministic batched run: cache reset per batch, like the engine
+    bench — every strategy repeats the exact same cold-start searches."""
+    with BatchQueryExecutor(
+        index, alpha, batch_size=batch_size, **executor_kwargs
+    ) as executor:
+        build_seconds = None
+        if executor_kwargs.get("executor") == "processes":
+            t0 = time.perf_counter()
+            executor.warm()
+            build_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        results = []
+        for start in range(0, queries.shape[0], batch_size):
+            index.reset_threshold_cache()
+            results.extend(
+                executor.query_batch(queries[start:start + batch_size])
+            )
+        elapsed = time.perf_counter() - t0
+        stats = executor.pool_stats()
+    return results, elapsed, build_seconds, stats
+
+
+def run_parallel_scan(
+    db_rows: int = 50_000,
+    num_queries: int = 256,
+    batch_size: int = 64,
+    workers: int = 4,
+    alpha: float = 0.8,
+    sigma: float = 10.0,
+    seed: SeedLike = 0,
+    parallel_gather_min_rows: Optional[int] = None,
+) -> ParallelScanBenchResult:
+    """Benchmark one row scale under serial / threads / processes.
+
+    Builds a *db_rows* synthetic corpus, simulates a candidate clip of
+    referenced key-frames under the distortion model, runs the same
+    deterministic workload under each strategy and verifies all three
+    produce bit-identical results.
+    """
+    rng = resolve_rng(seed)
+    corpus = build_reference_corpus(8, 120, seed=rng)
+    store = scale_store(corpus.store, db_rows, rng=rng)
+    model = NormalDistortionModel(store.ndims, sigma)
+    index = S3Index(store, model=model)
+
+    base_rows = np.arange(num_queries) % len(corpus.store)
+    queries = np.clip(
+        corpus.store.fingerprints[base_rows].astype(np.float64)
+        + model.sample(num_queries, rng=rng),
+        0.0, 255.0,
+    )
+
+    common = dict(parallel_gather_min_rows=parallel_gather_min_rows)
+    serial_results, serial_seconds, _, _ = _timed_run(
+        index, queries, alpha, batch_size,
+        dict(workers=1, executor="threads", **common),
+    )
+    thread_results, threads_seconds, _, _ = _timed_run(
+        index, queries, alpha, batch_size,
+        dict(workers=workers, executor="threads", **common),
+    )
+    if shared_memory_available():
+        proc_results, processes_seconds, pool_build, pool_stats = _timed_run(
+            index, queries, alpha, batch_size,
+            dict(workers=workers, executor="processes", **common),
+        )
+    else:  # pragma: no cover - host without /dev/shm
+        proc_results, processes_seconds, pool_build, pool_stats = (
+            None, None, None, None
+        )
+
+    serial_keys = [_result_key(r) for r in serial_results]
+    bit_identical = serial_keys == [_result_key(r) for r in thread_results]
+    if proc_results is not None:
+        bit_identical = bit_identical and serial_keys == [
+            _result_key(r) for r in proc_results
+        ]
+    pool_stats = pool_stats or {}
+
+    return ParallelScanBenchResult(
+        db_rows=len(store),
+        num_queries=num_queries,
+        batch_size=batch_size,
+        workers=workers,
+        alpha=alpha,
+        depth=index.depth,
+        sigma=sigma,
+        ndims=store.ndims,
+        serial_seconds=serial_seconds,
+        threads_seconds=threads_seconds,
+        processes_seconds=processes_seconds,
+        pool_build_seconds=pool_build,
+        bit_identical_results=bit_identical,
+        fingerprint_bytes_serialized=pool_stats.get(
+            "fingerprint_bytes_serialized"
+        ),
+        rows_gathered=pool_stats.get("rows_gathered"),
+        tasks=pool_stats.get("tasks"),
+        worker_deaths=pool_stats.get("worker_deaths"),
+    )
+
+
+def run_parallel_scan_suite(
+    row_scales: Sequence[int] = (50_000, 500_000),
+    num_queries: int = 256,
+    batch_size: int = 64,
+    workers: int = 4,
+    alpha: float = 0.8,
+    sigma: float = 10.0,
+    seed: SeedLike = 0,
+    parallel_gather_min_rows: Optional[int] = None,
+    json_path: Optional[Path] = None,
+) -> ParallelScanSuiteResult:
+    """Run :func:`run_parallel_scan` at each scale and serialise the sweep."""
+    suite = ParallelScanSuiteResult(cpu_count=os.cpu_count())
+    for db_rows in row_scales:
+        suite.scales.append(
+            run_parallel_scan(
+                db_rows=db_rows,
+                num_queries=num_queries,
+                batch_size=batch_size,
+                workers=workers,
+                alpha=alpha,
+                sigma=sigma,
+                seed=seed,
+                parallel_gather_min_rows=parallel_gather_min_rows,
+            )
+        )
+    if json_path is not None:
+        suite.write_json(json_path)
+    return suite

@@ -29,7 +29,9 @@ Per-query results are **bit-identical** to the sequential
 
 from __future__ import annotations
 
+import os
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -39,6 +41,13 @@ import numpy as np
 from ..distortion.model import IndependentDistortionModel
 from ..errors import ConfigurationError
 from .filtering import statistical_blocks_batch_cached
+from .parallel import (
+    MONOLITHIC_STORE,
+    ParallelScanError,
+    ProcessScanPool,
+    can_process_scan,
+    segment_store_name,
+)
 from .s3 import QueryStats, S3Index, SearchResult
 from .store import FingerprintStore
 from .table import HilbertLayout
@@ -53,6 +62,14 @@ RowRange = tuple[int, int]
 #: :class:`BatchQueryExecutor`'s ``parallel_gather_min_rows`` (the
 #: serving layer's batcher exposes it as a config knob).
 PARALLEL_GATHER_MIN_ROWS = 4096
+
+#: Executor strategies accepted by :class:`BatchQueryExecutor`.
+EXECUTOR_STRATEGIES = ("auto", "threads", "processes")
+
+#: Index size below which ``executor="auto"`` stays on threads: a
+#: process pool's startup and per-call arena round-trips only pay for
+#: themselves once the scan volume escapes the GIL-bound regime.
+PROCESS_EXECUTOR_MIN_ROWS = 100_000
 
 
 @dataclass
@@ -174,23 +191,20 @@ def _gather_columns(
     return store.ids[rows], store.timecodes[rows], store.fingerprints[rows]
 
 
-def _scan_coalesced(
+def _demux_union(
     layout: HilbertLayout,
-    store: FingerprintStore,
     per_query_ranges: Sequence[list[RowRange]],
-    workers: int = 1,
-    min_rows: Optional[int] = None,
-) -> tuple[list[tuple], int, int]:
-    """Scan the union of all queries' sections once and demultiplex.
+    union: list[RowRange],
+    u_ids: np.ndarray,
+    u_tcs: np.ndarray,
+    u_fps: np.ndarray,
+) -> list[tuple]:
+    """Split union columns back into per-query ``(rows, ids, tcs, fps)``.
 
-    Returns ``(per_query, union_sections, unique_rows)`` where each
-    ``per_query`` entry is ``(rows, ids, timecodes, fingerprints)`` —
-    exactly the columns the sequential ``_scan_blocks`` would have
-    gathered for that query alone, in the same (curve) order.
+    Fancy indexing copies, so the returned arrays never alias the union
+    buffers — required when those buffers live in a shared-memory arena
+    that is released right after the demux.
     """
-    union = coalesce_ranges(per_query_ranges)
-    u_rows = layout.gather_rows(union)
-    u_ids, u_tcs, u_fps = _gather_columns(store, u_rows, workers, min_rows)
     if union:
         u_starts = np.array([s for s, _ in union], dtype=np.int64)
         lengths = np.array([e - s for s, e in union], dtype=np.int64)
@@ -205,14 +219,52 @@ def _scan_coalesced(
             # its rows map to positions by offsetting within that range.
             k = np.searchsorted(u_starts, rows_q, side="right") - 1
             pos = offsets[k] + (rows_q - u_starts[k])
-            per_query.append(
-                (rows_q, u_ids[pos], u_tcs[pos], u_fps[pos])
-            )
         else:
-            per_query.append(
-                (rows_q, u_ids[:0], u_tcs[:0], u_fps[:0])
+            pos = np.empty(0, dtype=np.int64)
+        per_query.append((rows_q, u_ids[pos], u_tcs[pos], u_fps[pos]))
+    return per_query
+
+
+def _scan_coalesced(
+    layout: HilbertLayout,
+    store: FingerprintStore,
+    per_query_ranges: Sequence[list[RowRange]],
+    workers: int = 1,
+    min_rows: Optional[int] = None,
+    pool: Optional[ProcessScanPool] = None,
+    store_name: str = MONOLITHIC_STORE,
+) -> tuple[list[tuple], int, int]:
+    """Scan the union of all queries' sections once and demultiplex.
+
+    Returns ``(per_query, union_sections, unique_rows)`` where each
+    ``per_query`` entry is ``(rows, ids, timecodes, fingerprints)`` —
+    exactly the columns the sequential ``_scan_blocks`` would have
+    gathered for that query alone, in the same (curve) order.
+
+    With *pool*, the union gather runs sharded across the scan worker
+    processes into a shared-memory arena (no fingerprint bytes cross a
+    pipe); the demux copies out of the arena, so results are plain
+    arrays either way, byte-for-byte identical.
+    """
+    union = coalesce_ranges(per_query_ranges)
+    total = sum(e - s for s, e in union)
+    threshold = PARALLEL_GATHER_MIN_ROWS if min_rows is None else min_rows
+    if pool is not None and total >= max(threshold, 1):
+        with pool.scan_union(store_name, union) as arena:
+            u_ids, u_tcs, u_fps = arena.columns(0)
+            per_query = _demux_union(
+                layout, per_query_ranges, union, u_ids, u_tcs, u_fps
             )
-    return per_query, len(union), int(u_rows.size)
+            del u_ids, u_tcs, u_fps
+    else:
+        u_rows = layout.gather_rows(union)
+        u_ids, u_tcs, u_fps = _gather_columns(
+            store, u_rows, workers, min_rows
+        )
+        per_query = _demux_union(
+            layout, per_query_ranges, union, u_ids, u_tcs, u_fps
+        )
+    return per_query, len(union), total
 
 
 # ----------------------------------------------------------------------
@@ -237,12 +289,15 @@ def query_batch_monolithic(
     depth: Optional[int] = None,
     workers: int = 1,
     parallel_gather_min_rows: Optional[int] = None,
+    pool: Optional[ProcessScanPool] = None,
 ) -> tuple[list[SearchResult], BatchQueryStats]:
     """Answer a batch of statistical queries against a monolithic index.
 
     Per-query results are bit-identical to ``index.statistical_query``
     called per query from the same warm-start cache state.  Per-query
     timing fields carry an equal share of the batch's filter/scan time.
+    With *pool*, the coalesced gather runs on the process pool instead
+    of threads (same results, see :mod:`repro.index.parallel`).
     """
     queries = _check_batch(queries, index.ndims)
     resolved = index._resolve_model(model)
@@ -262,7 +317,7 @@ def query_batch_monolithic(
     per_ranges = [index.row_ranges(sel) for sel in selections]
     scans, union_sections, unique_rows = _scan_coalesced(
         index.layout, index.store, per_ranges, workers,
-        parallel_gather_min_rows,
+        parallel_gather_min_rows, pool=pool,
     )
     t2 = time.perf_counter()
 
@@ -303,6 +358,7 @@ def query_batch_segmented(
     depth: Optional[int] = None,
     workers: int = 1,
     parallel_gather_min_rows: Optional[int] = None,
+    pool: Optional[ProcessScanPool] = None,
 ) -> tuple[list[SearchResult], BatchQueryStats]:
     """Answer a batch of statistical queries against a segmented index.
 
@@ -313,6 +369,11 @@ def query_batch_segmented(
     segments in manifest order, then the memtable — so per-query results
     are bit-identical to ``index.statistical_query`` from the same
     warm-start cache state.
+
+    With *pool*, every sealed segment's union gather is submitted in a
+    single :meth:`~repro.index.parallel.ProcessScanPool.scan_stores`
+    call with per-worker segment affinity; the memtable (small, mutable)
+    is always scanned in-process.
     """
     from .segmented.lsm import SegmentedQueryStats
 
@@ -340,9 +401,36 @@ def query_batch_segmented(
         return per_ranges, scans, sections, unique
 
     segments = index._segments
-    if workers > 1 and len(segments) > 1:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            seg_scans = list(pool.map(scan_segment, segments))
+    if pool is not None and segments:
+        # One pool call covers every sealed segment: each segment's
+        # coalesced union is one work item, routed to the worker that
+        # owns that segment's store attachment.
+        seg_ranges = [
+            [seg.index.row_ranges(sel) for sel in selections]
+            for seg in segments
+        ]
+        seg_unions = [coalesce_ranges(ranges) for ranges in seg_ranges]
+        with pool.scan_stores([
+            (segment_store_name(seg.meta.name), union)
+            for seg, union in zip(segments, seg_unions)
+        ]) as arena:
+            seg_scans = []
+            for i, (seg, per_ranges, union) in enumerate(
+                zip(segments, seg_ranges, seg_unions)
+            ):
+                u_ids, u_tcs, u_fps = arena.columns(i)
+                scans = _demux_union(
+                    seg.index.layout, per_ranges, union,
+                    u_ids, u_tcs, u_fps,
+                )
+                del u_ids, u_tcs, u_fps
+                seg_scans.append((
+                    per_ranges, scans, len(union),
+                    sum(e - s for s, e in union),
+                ))
+    elif workers > 1 and len(segments) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as thread_pool:
+            seg_scans = list(thread_pool.map(scan_segment, segments))
     else:
         seg_scans = [scan_segment(seg) for seg in segments]
 
@@ -435,13 +523,24 @@ class BatchQueryExecutor:
         overhead and coalesce more aggressively but delay the warm-start
         cache update (it happens once per batch).
     workers:
-        Thread count for the coalesced gather (monolithic) or the
-        per-segment fan-out (segmented).  Results are identical for any
-        value; 1 disables threading.
+        Shard count for the coalesced gather (monolithic) or the
+        per-segment fan-out (segmented) — threads or processes depending
+        on *executor*.  Results are identical for any value; 1 disables
+        threading (but an explicit ``executor="processes"`` still runs
+        a one-worker pool).
     parallel_gather_min_rows:
         Override of :data:`PARALLEL_GATHER_MIN_ROWS`, the row count
         below which the gather is never sharded.  ``None`` keeps the
         module default.
+    executor:
+        ``"threads"`` keeps the GIL-bound thread sharding.
+        ``"processes"`` runs gathers on a
+        :class:`~repro.index.parallel.ProcessScanPool` (zero-copy
+        attach, no fingerprint bytes on pipes).  ``"auto"`` (default)
+        picks processes when ``workers > 1``, the index holds at least
+        :data:`PROCESS_EXECUTOR_MIN_ROWS` rows and zero-copy backing is
+        available — and falls back to threads cleanly whenever the pool
+        cannot be built or dies mid-flight.
     """
 
     def __init__(
@@ -453,6 +552,7 @@ class BatchQueryExecutor:
         batch_size: int = 32,
         workers: int = 1,
         parallel_gather_min_rows: Optional[int] = None,
+        executor: str = "auto",
     ):
         if batch_size < 1:
             raise ConfigurationError(
@@ -466,6 +566,20 @@ class BatchQueryExecutor:
                 "parallel_gather_min_rows must be >= 0, got "
                 f"{parallel_gather_min_rows}"
             )
+        if executor not in EXECUTOR_STRATEGIES:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTOR_STRATEGIES!r}, "
+                f"got {executor!r}"
+            )
+        cpus = os.cpu_count()
+        if cpus is not None and workers > cpus:
+            warnings.warn(
+                f"workers={workers} exceeds os.cpu_count()={cpus}; "
+                "scan shards will contend for cores instead of using "
+                "more of them",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.index = index
         self.alpha = alpha
         self.model = model
@@ -473,20 +587,139 @@ class BatchQueryExecutor:
         self.batch_size = batch_size
         self.workers = workers
         self.parallel_gather_min_rows = parallel_gather_min_rows
+        self.executor = executor
         self.stats = BatchQueryStats()
+        self._segmented = hasattr(index, "_fan_out")
         self._engine = (
-            query_batch_segmented
-            if hasattr(index, "_fan_out")
+            query_batch_segmented if self._segmented
             else query_batch_monolithic
         )
+        self._pool: Optional[ProcessScanPool] = None
+        self._pool_key: Optional[tuple] = None
+        self._pool_failed = False
 
+    # ------------------------------------------------------------------
+    # process-pool lifecycle
+    # ------------------------------------------------------------------
+    def _pool_stores(self) -> dict[str, FingerprintStore]:
+        """Current ``name -> store`` mapping the pool must cover."""
+        if self._segmented:
+            return {
+                segment_store_name(seg.meta.name): seg.index.store
+                for seg in self.index._segments
+            }
+        return {MONOLITHIC_STORE: self.index.store}
+
+    def resolve_executor(self) -> str:
+        """The strategy the next batch will use (``threads``/``processes``)."""
+        if self.executor == "threads" or self._pool_failed:
+            return "threads"
+        if self.executor == "processes":
+            return "processes"
+        if self.workers < 2 or len(self.index) < PROCESS_EXECUTOR_MIN_ROWS:
+            return "threads"
+        if not can_process_scan(list(self._pool_stores().values())):
+            return "threads"
+        return "processes"
+
+    def _ensure_pool(self) -> Optional[ProcessScanPool]:
+        """Build (or rebuild, after segment turnover) the scan pool.
+
+        Returns ``None`` — and remembers the failure — when the pool
+        cannot be built, so callers silently keep the thread path.
+        """
+        stores = self._pool_stores()
+        if not stores:
+            return None
+        key = tuple(sorted(stores))
+        if self._pool is not None and self._pool_key == key:
+            return self._pool
+        self._teardown_pool()
+        try:
+            self._pool = ProcessScanPool(stores, self.workers)
+            self._pool_key = key
+        except Exception as exc:
+            self._pool_failed = True
+            if self.executor == "processes":
+                raise
+            warnings.warn(
+                f"process scan pool unavailable ({exc}); "
+                "falling back to threads",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        return self._pool
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_key = None
+
+    def warm(self) -> str:
+        """Pre-build the scan pool (serve startup); returns the strategy."""
+        strategy = self.resolve_executor()
+        if strategy == "processes":
+            pool = self._ensure_pool()
+            if pool is None:
+                return "threads"
+            pool.ping()
+        return strategy
+
+    def pool_stats(self) -> Optional[dict]:
+        """Snapshot of the live pool's transport counters, if any."""
+        if self._pool is None:
+            return None
+        return self._pool.stats.snapshot()
+
+    def close(self) -> None:
+        """Release the process pool (no-op on the thread path)."""
+        self._teardown_pool()
+
+    def __enter__(self) -> "BatchQueryExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self._teardown_pool()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
     def query_batch(self, queries: np.ndarray) -> list[SearchResult]:
         """Run one engine call over *queries* (no chunking)."""
-        results, batch = self._engine(
-            self.index, queries, self.alpha,
-            model=self.model, depth=self.depth, workers=self.workers,
-            parallel_gather_min_rows=self.parallel_gather_min_rows,
-        )
+        pool = None
+        if self.resolve_executor() == "processes":
+            pool = self._ensure_pool()
+        try:
+            results, batch = self._engine(
+                self.index, queries, self.alpha,
+                model=self.model, depth=self.depth, workers=self.workers,
+                parallel_gather_min_rows=self.parallel_gather_min_rows,
+                pool=pool,
+            )
+        except ParallelScanError as exc:
+            # The pool could not finish the batch (workers kept dying,
+            # shared memory vanished, ...).  The batch is retried on the
+            # thread path — the caller sees a result, never the error.
+            warnings.warn(
+                f"process scan pool failed ({exc}); "
+                "retrying batch on threads",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._teardown_pool()
+            self._pool_failed = True
+            results, batch = self._engine(
+                self.index, queries, self.alpha,
+                model=self.model, depth=self.depth, workers=self.workers,
+                parallel_gather_min_rows=self.parallel_gather_min_rows,
+                pool=None,
+            )
         self.stats.merge(batch)
         return results
 

@@ -1,0 +1,707 @@
+"""Process-parallel zero-copy scan execution.
+
+The refinement scan dominates query cost at scale (paper Fig. 7/8), and
+Python threads cannot parallelise it: numpy's fancy gather holds the
+GIL, so the thread-sharded scan of :mod:`repro.index.batch` tops out
+well below the hardware.  This module escapes the GIL with a pool of
+**scan worker processes** built around one invariant:
+
+    **no fingerprint byte ever crosses a pipe.**
+
+* Workers attach every store **once at startup** through the zero-copy
+  handle layer (:class:`~repro.index.store.StoreHandle`): file-backed
+  stores are ``np.memmap``-ed, in-RAM stores are copied once into POSIX
+  shared memory (:meth:`~repro.index.store.FingerprintStore.to_shared`)
+  and attached by name.
+* A work item is metadata only — ``(store name, row ranges, arena
+  offset)`` — a few hundred bytes.  The transport layer *measures* every
+  payload it pickles and counts any array/bytes content it finds in
+  :attr:`PoolStats.fingerprint_bytes_serialized`; the benchmark gate
+  asserts that counter stays **zero**.
+* Gather output lands in a per-call shared-memory **arena**: each worker
+  memcpy's its contiguous store slices into its reserved arena rows, and
+  the parent demultiplexes per-query results straight out of the arena
+  views.  Results cross the pipe as ``(task id, row count)``.
+
+Failure handling: a killed or crashed worker is detected by liveness
+polling while results are awaited; the pool respawns it (the replacement
+re-attaches the same handles) and resubmits the dead worker's in-flight
+items — arena writes are idempotent, so duplicated execution is
+harmless.  A pool that cannot make progress raises
+:class:`ParallelScanError`, which the executor layer treats as "fall
+back to threads", never as a failed query.
+
+Determinism: workers only move bytes.  Which process copies a slice
+never changes what lands where, so results are bit-identical to the
+serial scan for any worker count (property-tested in
+``tests/index/test_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import connection
+from multiprocessing.connection import Connection
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from .store import FingerprintStore, StoreHandle, attach_shm
+
+RowRange = tuple[int, int]
+
+#: Store name used for a monolithic index's single store.
+MONOLITHIC_STORE = "store"
+
+#: Environment knobs pinned to ``1`` in worker processes so BLAS/OpenMP
+#: runtimes do not oversubscribe the cores the pool already occupies.
+WORKER_THREAD_ENV = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+_PING_TIMEOUT = 10.0
+_RESULT_POLL_SECONDS = 0.05
+_STALL_TIMEOUT = 60.0
+
+
+def segment_store_name(name: str) -> str:
+    """Pool store name of the sealed segment called *name*."""
+    return f"seg:{name}"
+
+
+class ParallelScanError(ReproError):
+    """The process pool could not complete a scan (callers fall back)."""
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory works on this host (cached probe)."""
+    global _SHM_AVAILABLE
+    if _SHM_AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=8)
+            probe.close()
+            probe.unlink()
+            _SHM_AVAILABLE = True
+        except Exception:
+            _SHM_AVAILABLE = False
+    return _SHM_AVAILABLE
+
+
+_SHM_AVAILABLE: Optional[bool] = None
+
+
+def can_process_scan(stores: Sequence[FingerprintStore]) -> bool:
+    """Whether a :class:`ProcessScanPool` can serve these stores.
+
+    True when every store already has file backing (pure mmap attach) or
+    shared memory is available to copy the in-RAM ones into.
+    """
+    if not stores:
+        return False
+    if all(
+        s.shared_handle is not None and s.shared_handle.kind == "file"
+        for s in stores
+    ):
+        return True
+    return shared_memory_available()
+
+
+@dataclass
+class PoolStats:
+    """Transport and lifecycle counters of one :class:`ProcessScanPool`.
+
+    ``fingerprint_bytes_serialized`` counts array/buffer payload bytes
+    found in anything the pool pickled onto a pipe — the zero-copy
+    contract says it stays 0, and the benchmark gate asserts it.
+    """
+
+    workers: int = 0
+    scans: int = 0
+    tasks: int = 0
+    rows_gathered: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    fingerprint_bytes_serialized: int = 0
+    worker_deaths: int = 0
+    tasks_retried: int = 0
+    shm_stores: int = 0
+    mmap_stores: int = 0
+
+    def snapshot(self) -> dict:
+        """JSON-safe copy (the serve layer's ``stats`` payload)."""
+        return {
+            "workers": self.workers,
+            "scans": self.scans,
+            "tasks": self.tasks,
+            "rows_gathered": self.rows_gathered,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "fingerprint_bytes_serialized":
+                self.fingerprint_bytes_serialized,
+            "worker_deaths": self.worker_deaths,
+            "tasks_retried": self.tasks_retried,
+            "shm_stores": self.shm_stores,
+            "mmap_stores": self.mmap_stores,
+        }
+
+
+# ----------------------------------------------------------------------
+# Arena layout (shared between parent and workers)
+# ----------------------------------------------------------------------
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def _arena_layout(rows: int, ndims: int) -> tuple[int, int, int]:
+    """``(ids offset, timecodes offset, total bytes)`` of a scan arena.
+
+    Column blocks are 8-byte aligned so the ``uint32``/``float64`` views
+    are aligned regardless of the fingerprint block's size.
+    """
+    ids_off = _align8(rows * ndims)
+    tcs_off = _align8(ids_off + rows * 4)
+    return ids_off, tcs_off, tcs_off + rows * 8
+
+
+def _arena_views(
+    buf, rows: int, ndims: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ids_off, tcs_off, _ = _arena_layout(rows, ndims)
+    fps = np.ndarray((rows, ndims), dtype=np.uint8, buffer=buf, offset=0)
+    ids = np.ndarray((rows,), dtype=np.uint32, buffer=buf, offset=ids_off)
+    tcs = np.ndarray((rows,), dtype=np.float64, buffer=buf, offset=tcs_off)
+    return fps, ids, tcs
+
+
+def split_row_ranges(
+    ranges: Sequence[RowRange], parts: int
+) -> list[tuple[int, list[RowRange]]]:
+    """Split sorted disjoint *ranges* into ≤ *parts* equal-row chunks.
+
+    Returns ``(gathered-row offset, sub-ranges)`` pairs; chunk boundaries
+    may fall inside a range (the copy is contiguous either way).  The
+    concatenation of the chunks reproduces the input row-for-row, so the
+    split never affects results — only which worker copies what.
+    """
+    total = sum(e - s for s, e in ranges)
+    if total == 0:
+        return []
+    parts = max(1, min(parts, total))
+    bounds = [(i * total) // parts for i in range(parts + 1)]
+    chunks: list[tuple[int, list[RowRange]]] = []
+    for k in range(parts):
+        lo, hi = bounds[k], bounds[k + 1]
+        if lo == hi:
+            continue
+        chunk: list[RowRange] = []
+        pos = 0
+        for s, e in ranges:
+            n = e - s
+            a, b = max(lo, pos), min(hi, pos + n)
+            if a < b:
+                chunk.append((s + (a - pos), s + (b - pos)))
+            pos += n
+            if pos >= hi:
+                break
+        chunks.append((lo, chunk))
+    return chunks
+
+
+def _payload_array_bytes(obj) -> int:
+    """Bytes of array/buffer content inside a transport payload.
+
+    The zero-copy discipline: work items and results are built from
+    scalars, strings and tuples only.  Anything buffer-like that sneaks
+    in is measured and charged to the fingerprint-bytes counter so the
+    benchmark assertion catches the regression.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (tuple, list)):
+        return sum(_payload_array_bytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(
+            _payload_array_bytes(k) + _payload_array_bytes(v)
+            for k, v in obj.items()
+        )
+    return 0
+
+
+@contextmanager
+def _single_thread_env():
+    """Pin BLAS/OpenMP env knobs to 1 while spawning worker processes.
+
+    Children inherit the environment at fork/spawn time; the parent's
+    values are restored immediately after.
+    """
+    saved = {}
+    for key in WORKER_THREAD_ENV:
+        saved[key] = os.environ.get(key)
+        os.environ[key] = "1"
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_main(worker_id, handles, conn):
+    """Scan worker loop: attach stores once, then copy ranges into arenas.
+
+    The transport is this worker's private duplex pipe — no lock or
+    queue is shared with any other process, so a worker killed at any
+    instant can never wedge its siblings or its own replacement (a
+    ``multiprocessing.Queue`` reader dies holding the shared read lock).
+    """
+    for key in WORKER_THREAD_ENV:
+        os.environ.setdefault(key, "1")
+    try:
+        stores = {
+            name: FingerprintStore.open_shared(handle)
+            for name, handle in handles.items()
+        }
+    except Exception as exc:  # unattachable handle: not survivable
+        conn.send(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
+        return
+    conn.send(("ready", worker_id, os.getpid()))
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        if msg is None:
+            break
+        if msg[0] == "ping":
+            conn.send(("pong", msg[1], worker_id))
+            continue
+        _, task_id, store_name, ranges, arena_name, arena_rows, row_offset \
+            = msg
+        try:
+            store = stores[store_name]
+            shm = attach_shm(arena_name)
+            try:
+                fps, ids, tcs = _arena_views(
+                    shm.buf, arena_rows, store.ndims
+                )
+                at = row_offset
+                for s, e in ranges:
+                    n = e - s
+                    fps[at:at + n] = store.fingerprints[s:e]
+                    ids[at:at + n] = store.ids[s:e]
+                    tcs[at:at + n] = store.timecodes[s:e]
+                    at += n
+                del fps, ids, tcs
+            finally:
+                shm.close()
+            conn.send(("ok", task_id, at - row_offset))
+        except Exception as exc:
+            conn.send(("err", task_id, f"{type(exc).__name__}: {exc}"))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ScanArena:
+    """One scan call's gathered columns, living in shared memory.
+
+    ``columns(i)`` returns the ``(ids, timecodes, fingerprints)`` views
+    of logical item *i*.  The views are only valid until :meth:`close`;
+    the batch demux fancy-indexes per-query copies out of them before
+    the arena is released, so no shared page outlives the call.
+    """
+
+    def __init__(self, shm, rows: int, ndims: int,
+                 item_bounds: list[tuple[int, int]]):
+        self._shm = shm
+        self.rows = rows
+        self._bounds = item_bounds
+        fps, ids, tcs = _arena_views(shm.buf, rows, ndims)
+        self._fps, self._ids, self._tcs = fps, ids, tcs
+
+    def columns(
+        self, item: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        s, e = self._bounds[item]
+        return self._ids[s:e], self._tcs[s:e], self._fps[s:e]
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        self._fps = self._ids = self._tcs = None
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double close
+            pass
+        self._shm = None
+
+    def __enter__(self) -> "ScanArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class _Worker:
+    process: multiprocessing.process.BaseProcess
+    conn: Connection
+    respawns: int = 0
+
+
+class ProcessScanPool:
+    """A pool of scan processes with per-worker store affinity.
+
+    Parameters
+    ----------
+    stores:
+        ``name -> store`` mapping of every store the pool may be asked
+        to scan.  Stores with zero-copy backing (mmap/shm) are attached
+        as-is; in-RAM stores are copied into shared memory **once**,
+        here — never per query.
+    workers:
+        Number of scan processes.
+    context:
+        ``multiprocessing`` start method; default ``fork`` where
+        available (instant start, inherited page cache), else ``spawn``.
+    max_task_retries:
+        Resubmissions tolerated per scan call before the pool gives up
+        with :class:`ParallelScanError`.
+    """
+
+    def __init__(
+        self,
+        stores: dict[str, FingerprintStore],
+        workers: int,
+        context: Optional[str] = None,
+        max_task_retries: int = 8,
+    ):
+        if workers < 1:
+            raise ParallelScanError(f"workers must be >= 1, got {workers}")
+        if not stores:
+            raise ParallelScanError("a scan pool needs at least one store")
+        ndims = {s.ndims for s in stores.values()}
+        if len(ndims) != 1:
+            raise ParallelScanError(
+                f"stores must share one dimension, got {sorted(ndims)}"
+            )
+        self.ndims = ndims.pop()
+        self.workers = workers
+        self.stats = PoolStats(workers=workers)
+        self._max_task_retries = max_task_retries
+        self._closed = False
+        self._task_seq = 0
+        self._owned_shm: list = []
+        self._handles: dict[str, StoreHandle] = {}
+        self._store_slot: dict[str, int] = {}
+        for slot, (name, store) in enumerate(stores.items()):
+            handle = store.shared_handle
+            if handle is None:
+                shared, shm = store.to_shared()
+                self._owned_shm.append(shm)
+                handle = shared.shared_handle
+                self.stats.shm_stores += 1
+            elif handle.kind == "shm":
+                self.stats.shm_stores += 1
+            else:
+                self.stats.mmap_stores += 1
+            self._handles[name] = handle
+            self._store_slot[name] = slot
+
+        if context is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(context)
+        self._workers: list[_Worker] = []
+        try:
+            for wid in range(workers):
+                self._workers.append(self._spawn(wid))
+            self.ping()
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, worker_id: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self._handles, child_conn),
+            daemon=True,
+            name=f"s3-scan-{worker_id}",
+        )
+        with _single_thread_env():
+            process.start()
+        child_conn.close()
+        return _Worker(process=process, conn=parent_conn)
+
+    def ping(self, timeout: float = _PING_TIMEOUT) -> None:
+        """Block until every worker has attached its stores and answered."""
+        self._task_seq += 1
+        ping_id = -self._task_seq
+        for worker in self._workers:
+            self._put(worker, ("ping", ping_id))
+        awaiting = set(range(self.workers))
+        deadline = time.monotonic() + timeout
+        while awaiting:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ParallelScanError(
+                    f"scan workers {sorted(awaiting)} did not answer ping"
+                )
+            for wid, msg in self._poll(min(remaining, 0.2)):
+                if msg[0] == "fatal":
+                    raise ParallelScanError(
+                        f"scan worker {msg[1]} failed to attach stores: "
+                        f"{msg[2]}"
+                    )
+                if msg[0] == "pong" and msg[1] == ping_id:
+                    awaiting.discard(msg[2])
+
+    def close(self) -> None:
+        """Stop the workers and release every owned shared-memory block."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in self._workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+        for worker in self._workers:
+            worker.conn.close()
+        for shm in self._owned_shm:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        self._owned_shm.clear()
+
+    def __enter__(self) -> "ProcessScanPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # scanning
+    # ------------------------------------------------------------------
+    def scan_union(
+        self, store_name: str, ranges: Sequence[RowRange]
+    ) -> ScanArena:
+        """Gather the union *ranges* of one store, sharded over all workers.
+
+        Returns a single-item :class:`ScanArena` whose ``columns(0)`` is
+        exactly what the serial gather would produce, in the same order.
+        """
+        chunks = split_row_ranges(ranges, self.workers)
+        total = sum(e - s for s, e in ranges)
+        entries = [
+            (store_name, chunk, offset, wid % self.workers)
+            for wid, (offset, chunk) in enumerate(chunks)
+        ]
+        return self._execute(entries, total, [(0, total)])
+
+    def scan_stores(
+        self, items: Sequence[tuple[str, Sequence[RowRange]]]
+    ) -> ScanArena:
+        """Gather each item's ranges from its store, one task per item.
+
+        Item *i* of the returned arena corresponds to ``items[i]``.
+        Tasks are routed with **store affinity**: a given store's scans
+        always land on the same worker (slot modulo pool size), so each
+        sealed segment is read through the mapping of the process that
+        owns it and stays hot in that process's page-cache view.
+        """
+        entries = []
+        bounds = []
+        offset = 0
+        for store_name, ranges in items:
+            rows = sum(e - s for s, e in ranges)
+            bounds.append((offset, offset + rows))
+            if rows:
+                entries.append((
+                    store_name, list(ranges), offset,
+                    self._store_slot[store_name] % self.workers,
+                ))
+            offset += rows
+        return self._execute(entries, offset, bounds)
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        entries: Sequence[tuple[str, list[RowRange], int, int]],
+        total_rows: int,
+        item_bounds: list[tuple[int, int]],
+    ) -> ScanArena:
+        if self._closed:
+            raise ParallelScanError("scan pool is closed")
+        from multiprocessing import shared_memory
+
+        _, _, size = _arena_layout(total_rows, self.ndims)
+        shm = shared_memory.SharedMemory(create=True, size=max(size, 1))
+        try:
+            self._run(entries, shm.name, total_rows)
+        except BaseException:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            raise
+        self.stats.scans += 1
+        self.stats.rows_gathered += total_rows
+        return ScanArena(shm, total_rows, self.ndims, item_bounds)
+
+    def _put(self, worker: _Worker, payload) -> None:
+        encoded = pickle.dumps(payload)
+        self.stats.bytes_sent += len(encoded)
+        self.stats.fingerprint_bytes_serialized += \
+            _payload_array_bytes(payload)
+        try:
+            worker.conn.send(payload)
+        except (BrokenPipeError, OSError):
+            # Dead worker: _heal() notices on the next poll round and
+            # resubmits whatever was routed here.
+            pass
+
+    def _poll(self, timeout: float) -> list[tuple[int, tuple]]:
+        """Drain every readable worker pipe; returns ``(wid, msg)`` pairs.
+
+        A pipe at EOF (worker died) is closed here; the death itself is
+        handled by :meth:`_heal` via ``is_alive``.
+        """
+        by_conn = {
+            w.conn: wid
+            for wid, w in enumerate(self._workers)
+            if not w.conn.closed
+        }
+        messages = []
+        for conn in connection.wait(list(by_conn), timeout=timeout):
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                conn.close()
+                continue
+            self.stats.bytes_received += len(pickle.dumps(msg))
+            messages.append((by_conn[conn], msg))
+        return messages
+
+    def _run(self, entries, arena_name: str, arena_rows: int) -> None:
+        pending: dict[int, tuple[int, tuple]] = {}
+        for store_name, ranges, row_offset, wid in entries:
+            self._task_seq += 1
+            task = (
+                "gather", self._task_seq, store_name, tuple(ranges),
+                arena_name, arena_rows, row_offset,
+            )
+            self._put(self._workers[wid], task)
+            pending[self._task_seq] = (wid, task)
+            self.stats.tasks += 1
+        retries = 0
+        last_progress = time.monotonic()
+        while pending:
+            messages = self._poll(_RESULT_POLL_SECONDS)
+            if not messages:
+                resubmitted = self._heal(pending)
+                retries += resubmitted
+                if retries > self._max_task_retries:
+                    raise ParallelScanError(
+                        "scan workers keep dying; giving up after "
+                        f"{retries} resubmissions"
+                    )
+                if resubmitted:
+                    last_progress = time.monotonic()
+                elif time.monotonic() - last_progress > _STALL_TIMEOUT:
+                    raise ParallelScanError(
+                        f"scan made no progress for {_STALL_TIMEOUT:.0f}s "
+                        f"({len(pending)} tasks outstanding)"
+                    )
+                continue
+            last_progress = time.monotonic()
+            for _wid, msg in messages:
+                kind = msg[0]
+                if kind == "ok":
+                    pending.pop(msg[1], None)
+                elif kind == "err":
+                    if msg[1] in pending:
+                        raise ParallelScanError(
+                            f"scan task failed: {msg[2]}"
+                        )
+                elif kind == "fatal":
+                    raise ParallelScanError(
+                        f"scan worker {msg[1]} failed to attach stores: "
+                        f"{msg[2]}"
+                    )
+                # stale pongs/readies/oks from an aborted call: dropped
+
+    def _heal(self, pending: dict[int, tuple[int, tuple]]) -> int:
+        """Respawn dead workers; resubmit their in-flight tasks.
+
+        Returns the number of resubmissions.  Arena writes are
+        idempotent, so a task that was actually completed (its result
+        lost with the dying process's queue feeder) is safely redone.
+        """
+        resubmitted = 0
+        for wid, worker in enumerate(self._workers):
+            if worker.process.is_alive():
+                continue
+            self.stats.worker_deaths += 1
+            worker.conn.close()
+            replacement = self._spawn(wid)
+            replacement.respawns = worker.respawns + 1
+            self._workers[wid] = replacement
+            for task_id, (owner, task) in list(pending.items()):
+                if owner == wid:
+                    self._put(replacement, task)
+                    resubmitted += 1
+                    self.stats.tasks_retried += 1
+        return resubmitted
+
+    # ------------------------------------------------------------------
+    def kill_worker(self, worker_id: int = 0) -> int:
+        """Kill one worker process (fault-injection hook for tests).
+
+        Returns the killed pid.  The next scan detects the death,
+        respawns the worker and retries its items.
+        """
+        process = self._workers[worker_id].process
+        pid = process.pid
+        process.kill()
+        process.join(2.0)
+        return pid

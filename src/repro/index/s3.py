@@ -34,6 +34,7 @@ from .filtering import (
     statistical_blocks_cached,
     window_blocks,
 )
+from .kernels import range_refine, window_refine
 from .store import FingerprintStore, PathLike
 from .table import HilbertLayout
 
@@ -113,7 +114,15 @@ class S3Index:
             raise IndexError_("cannot index an empty store")
         layout = HilbertLayout.build(store.fingerprints, order, key_levels)
         self.layout = layout
-        self.store = store.take(layout.permutation)
+        if np.array_equal(
+            layout.permutation, np.arange(len(store), dtype=np.int64)
+        ):
+            # Already curve-ordered (stores written by save() / sealed
+            # segments): keep the caller's store object, preserving any
+            # zero-copy backing (mmap/shm) for process-parallel scans.
+            self.store = store
+        else:
+            self.store = store.take(layout.permutation)
         self.order = order
         self.key_levels = key_levels
         if depth is None:
@@ -261,19 +270,19 @@ class S3Index:
         selection = range_blocks(query, epsilon, self.curve, depth)
         t1 = time.perf_counter()
         result = self._scan_blocks(selection)
-        # Exact refinement: keep rows within epsilon.
+        # Exact refinement in the integer domain (repro.index.kernels):
+        # no float64 copy of the gathered rows, identical distances.
         t2 = time.perf_counter()
         if len(result):
-            q = np.asarray(query, dtype=np.float64)
-            diffs = result.fingerprints.astype(np.float64) - q
-            dist_sq = np.einsum("ij,ij->i", diffs, diffs)
-            keep = dist_sq <= float(epsilon) ** 2
+            keep, distances = range_refine(
+                result.fingerprints, query, epsilon
+            )
             result = SearchResult(
                 rows=result.rows[keep],
                 ids=result.ids[keep],
                 timecodes=result.timecodes[keep],
                 fingerprints=result.fingerprints[keep],
-                distances=np.sqrt(dist_sq[keep]),
+                distances=distances,
                 stats=result.stats,
             )
         t3 = time.perf_counter()
@@ -304,10 +313,7 @@ class S3Index:
         result = self._scan_blocks(selection)
         t2 = time.perf_counter()
         if len(result):
-            lo_arr = np.asarray(lo, dtype=np.float64)
-            hi_arr = np.asarray(hi, dtype=np.float64)
-            fp = result.fingerprints.astype(np.float64)
-            keep = np.all((fp >= lo_arr) & (fp < hi_arr), axis=1)
+            keep = window_refine(result.fingerprints, lo, hi)
             result = SearchResult(
                 rows=result.rows[keep],
                 ids=result.ids[keep],
@@ -393,11 +399,17 @@ class S3Index:
         prefix.with_suffix(".meta.json").write_text(json.dumps(meta))
 
     @classmethod
-    def load(cls, prefix: PathLike) -> "S3Index":
-        """Load an index saved by :meth:`save`."""
+    def load(cls, prefix: PathLike, mmap: bool = False) -> "S3Index":
+        """Load an index saved by :meth:`save`.
+
+        With ``mmap=True`` the store columns are memory-mapped read-only;
+        since :meth:`save` writes in curve order, the index keeps the
+        mapped store as-is (zero-copy) — the file-backed half of the
+        process-parallel scan path (see :mod:`repro.index.parallel`).
+        """
         prefix = Path(prefix)
         meta = json.loads(prefix.with_suffix(".meta.json").read_text())
-        store = FingerprintStore.load(prefix.with_suffix(".store"))
+        store = FingerprintStore.load(prefix.with_suffix(".store"), mmap=mmap)
         model = None
         if meta.get("sigma") is not None:
             model = NormalDistortionModel(store.ndims, meta["sigma"])

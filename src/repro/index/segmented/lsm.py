@@ -41,6 +41,7 @@ from ...distortion.model import IndependentDistortionModel, NormalDistortionMode
 from ...errors import ConfigurationError, IndexError_
 from ...hilbert.butz import HilbertCurve
 from ..filtering import BlockSelection, range_blocks, statistical_blocks_cached
+from ..kernels import range_refine
 from ..s3 import QueryStats, S3Index, SearchResult
 from ..store import FingerprintStore, PathLike, StoreBuilder
 from .compaction import CompactionPolicy
@@ -185,12 +186,17 @@ class SegmentedS3Index:
         policy: Optional[CompactionPolicy] = None,
         auto_compact: bool = True,
         sync: bool = True,
+        mmap: bool = False,
     ) -> "SegmentedS3Index":
         """Reopen *directory*: load segments, replay the WAL, GC orphans.
 
         *model* overrides the manifest's calibrated σ; by default a
         :class:`~repro.distortion.model.NormalDistortionModel` is rebuilt
         from the manifest, mirroring :meth:`repro.index.s3.S3Index.load`.
+        With ``mmap=True`` sealed segment stores are memory-mapped
+        instead of read into RAM — segment files are curve-ordered on
+        disk, so the mapping survives index construction and gives scan
+        worker processes zero-copy file-backed attachment.
         """
         directory = Path(directory)
         manifest = Manifest.load(directory)
@@ -199,7 +205,7 @@ class SegmentedS3Index:
         segments = []
         for meta in manifest.segments:
             path = directory / (meta.name + ".store")
-            store = FingerprintStore.load(path)
+            store = FingerprintStore.load(path, mmap=mmap)
             if len(store) != meta.count or store.ndims != manifest.ndims:
                 raise IndexError_(
                     f"segment {path} does not match its manifest entry: "
@@ -560,12 +566,9 @@ class SegmentedS3Index:
             )
             if refine is not None and rows.size:
                 q, epsilon = refine
-                diffs = fps.astype(np.float64) - q
-                dist_sq = np.einsum("ij,ij->i", diffs, diffs)
-                keep = dist_sq <= float(epsilon) ** 2
+                keep, distances = range_refine(fps, q, epsilon)
                 rows = rows[keep]
                 fps = fps[keep]
-                distances = np.sqrt(dist_sq[keep])
             elif refine is not None:
                 distances = np.empty(0, dtype=np.float64)
             part = SearchResult(

@@ -20,6 +20,7 @@ import numpy as np
 
 from ...hilbert.vectorized import encode_batch
 from ..filtering import BlockSelection
+from ..kernels import squared_distances
 from ..store import FingerprintStore, StoreBuilder
 
 
@@ -95,10 +96,7 @@ class MemTable:
         n = len(self)
         if n == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
-        fp = self._builder.fingerprints.astype(np.float64)
-        q = np.asarray(query, dtype=np.float64)
-        diffs = fp - q
-        dist_sq = np.einsum("ij,ij->i", diffs, diffs)
+        dist_sq = squared_distances(self._builder.fingerprints, query)
         keep = np.flatnonzero(dist_sq <= float(epsilon) ** 2).astype(np.int64)
         return keep, np.sqrt(dist_sq[keep])
 

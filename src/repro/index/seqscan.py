@@ -14,6 +14,7 @@ import time
 import numpy as np
 
 from ..errors import ConfigurationError, IndexError_
+from .kernels import squared_distances
 from .s3 import QueryStats, SearchResult
 from .store import FingerprintStore
 
@@ -53,8 +54,7 @@ class SequentialScanIndex:
         fp = self.store.fingerprints
         for start in range(0, len(self), self.chunk_rows):
             stop = min(start + self.chunk_rows, len(self))
-            diffs = fp[start:stop].astype(np.float64) - query
-            dist_sq = np.einsum("ij,ij->i", diffs, diffs)
+            dist_sq = squared_distances(fp[start:stop], query)
             local = np.nonzero(dist_sq <= eps_sq)[0]
             if local.size:
                 hits.append(local + start)
@@ -99,8 +99,7 @@ class SequentialScanIndex:
             raise ConfigurationError(f"k must be in [1, {len(self)}], got {k}")
 
         t0 = time.perf_counter()
-        diffs = self.store.fingerprints.astype(np.float64) - query
-        dist_sq = np.einsum("ij,ij->i", diffs, diffs)
+        dist_sq = squared_distances(self.store.fingerprints, query)
         rows = np.argpartition(dist_sq, k - 1)[:k]
         rows = rows[np.argsort(dist_sq[rows], kind="stable")]
         t1 = time.perf_counter()

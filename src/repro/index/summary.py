@@ -11,8 +11,25 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from .parallel import shared_memory_available
 from .s3 import S3Index
 from .store import PathLike, read_header
+
+
+def _executor_capabilities(mmap_backed: bool) -> dict:
+    """How a store/index can feed the process-parallel scan pool.
+
+    ``mmap`` — workers can attach the bytes straight off disk;
+    ``shm`` — the host can copy in-RAM stores into shared memory;
+    ``processes`` — at least one zero-copy attachment route exists, so
+    ``--executor processes`` (or ``auto``) can escape the GIL here.
+    """
+    shm = shared_memory_available()
+    return {
+        "mmap": bool(mmap_backed),
+        "shm": shm,
+        "processes": bool(mmap_backed) or shm,
+    }
 
 
 def store_file_summary(path: PathLike) -> dict:
@@ -25,6 +42,8 @@ def store_file_summary(path: PathLike) -> dict:
         "rows": count,
         "ndims": ndims,
         "bytes": path.stat().st_size,
+        # A save()-layout file is mmap-attachable by definition.
+        "executor": _executor_capabilities(mmap_backed=True),
     }
 
 
@@ -35,6 +54,7 @@ def index_summary(index) -> dict:
     and ``repro-s3 info --json`` both embed it verbatim.
     """
     if isinstance(index, S3Index):
+        handle = index.store.shared_handle
         return {
             "kind": "monolithic",
             "rows": len(index),
@@ -44,8 +64,14 @@ def index_summary(index) -> dict:
             "depth": index.depth,
             "sigma": getattr(index.model, "sigma", None),
             "coalesced_scans": index.supports_coalesced_scans,
+            "executor": _executor_capabilities(
+                mmap_backed=handle is not None and handle.kind == "file"
+            ),
         }
     manifest = index.manifest
+    seg_handles = [
+        seg.index.store.shared_handle for seg in index._segments
+    ]
     return {
         "kind": "segmented",
         "rows": len(index),
@@ -61,4 +87,9 @@ def index_summary(index) -> dict:
         "segments": [
             {"name": seg.name, "count": seg.count} for seg in index.segments
         ],
+        "executor": _executor_capabilities(
+            mmap_backed=bool(seg_handles) and all(
+                h is not None and h.kind == "file" for h in seg_handles
+            )
+        ),
     }

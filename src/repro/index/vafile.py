@@ -24,6 +24,7 @@ import time
 import numpy as np
 
 from ..errors import ConfigurationError, IndexError_
+from .kernels import squared_distances
 from .s3 import QueryStats, SearchResult
 from .store import FingerprintStore
 
@@ -98,8 +99,9 @@ class VAFile:
         candidates = np.nonzero(bounds <= eps_sq)[0]
         t1 = time.perf_counter()
 
-        diffs = self.store.fingerprints[candidates].astype(np.float64) - query
-        dist_sq = np.einsum("ij,ij->i", diffs, diffs)
+        dist_sq = squared_distances(
+            self.store.fingerprints[candidates], query
+        )
         keep = dist_sq <= eps_sq
         rows = candidates[keep]
         t2 = time.perf_counter()

@@ -38,7 +38,7 @@ import numpy as np
 
 from ..cbcd.voting import QueryMatches, vote
 from ..errors import ConfigurationError, ReproError
-from ..index.batch import BatchQueryExecutor
+from ..index.batch import EXECUTOR_STRATEGIES, BatchQueryExecutor
 from ..index.summary import index_summary
 from . import protocol
 from .batcher import (
@@ -62,6 +62,7 @@ class ServeConfig:
     max_wait_ms: float = 2.0
     queue_limit: int = 1024
     workers: int = 1
+    executor: str = "auto"
     max_frame: int = protocol.MAX_FRAME_BYTES
     vote_tolerance: float = 2.0
     tukey_c: float = 6.0
@@ -76,6 +77,11 @@ class ServeConfig:
         if self.workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if self.executor not in EXECUTOR_STRATEGIES:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTOR_STRATEGIES!r}, "
+                f"got {self.executor!r}"
             )
 
     def batcher_config(self) -> BatcherConfig:
@@ -107,6 +113,7 @@ class DetectionServer:
         self.stats = ServerStats()
         self._server: Optional[asyncio.AbstractServer] = None
         self._engine: Optional[ThreadPoolExecutor] = None
+        self._executor: Optional[BatchQueryExecutor] = None
         self.batcher: Optional[MicroBatcher] = None
         self._connections: set[asyncio.Task] = set()
         self._inflight = 0
@@ -135,7 +142,15 @@ class DetectionServer:
         executor = BatchQueryExecutor(
             self.index, cfg.alpha,
             batch_size=cfg.max_batch, workers=cfg.workers,
+            executor=cfg.executor,
         )
+        # Warm the scan pool before accepting traffic: workers attach
+        # every store now, so the first request never pays the spawn.
+        # (On worker death mid-flight the pool respawns and retries; if
+        # it cannot recover, the executor falls back to threads — a
+        # request sees a result either way.)
+        executor.warm()
+        self._executor = executor
         self.batcher = MicroBatcher(
             executor, self._engine, cfg.batcher_config()
         )
@@ -172,6 +187,8 @@ class DetectionServer:
             await asyncio.wait(self._connections, timeout=1.0)
         if self._engine is not None:
             self._engine.shutdown(wait=True)
+        if self._executor is not None:
+            self._executor.close()  # stops scan workers, frees shm
         if hasattr(self.index, "close"):
             self.index.close()  # closes the segmented WAL handle
         self._stopped.set()
@@ -418,11 +435,23 @@ class DetectionServer:
             "errors": dict(self.stats.errors.by_key),
             "latency": self.stats.latency.snapshot(),
             "batcher": batcher,
+            "parallel": {
+                "strategy": self.config.executor,
+                "resolved": (
+                    self._executor.resolve_executor()
+                    if self._executor else None
+                ),
+                "pool": (
+                    self._executor.pool_stats()
+                    if self._executor else None
+                ),
+            },
             "config": {
                 "alpha": self.config.alpha,
                 "max_batch": self.config.max_batch,
                 "max_wait_ms": self.config.max_wait_ms,
                 "queue_limit": self.config.queue_limit,
                 "workers": self.config.workers,
+                "executor": self.config.executor,
             },
         }

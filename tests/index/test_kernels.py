@@ -1,0 +1,181 @@
+"""Tests for the integer-domain refinement kernels (:mod:`repro.index.kernels`).
+
+The contract: the integer path is *exactly* the old float64 pipeline —
+not approximately.  Every distance, mask and rounded byte must match the
+historical computation bit for bit, for integer queries (the fast path)
+and non-integer queries (the literal fallback) alike.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.kernels import (
+    INTEGER_QUERY_LIMIT,
+    clip_round_u8,
+    is_integer_query,
+    range_refine,
+    squared_distances,
+    widen_rows,
+    window_refine,
+)
+
+NDIMS = 8
+
+
+def float_squared_distances(rows, query):
+    """The historical float64 pipeline, verbatim."""
+    diffs = rows.astype(np.float64) - np.asarray(query, dtype=np.float64)
+    return np.einsum("ij,ij->i", diffs, diffs)
+
+
+def make_rows(n, seed=0, ndims=NDIMS):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(n, ndims)).astype(np.uint8)
+
+
+# ----------------------------------------------------------------------
+class TestIsIntegerQuery:
+    def test_integer_valued_floats(self):
+        assert is_integer_query(np.array([0.0, 128.0, 255.0]))
+        assert is_integer_query(np.array([-3.0, 1e6]))
+
+    def test_fractional(self):
+        assert not is_integer_query(np.array([1.0, 2.5]))
+
+    def test_non_finite(self):
+        assert not is_integer_query(np.array([1.0, np.nan]))
+        assert not is_integer_query(np.array([np.inf, 0.0]))
+
+    def test_magnitude_limit(self):
+        assert is_integer_query(np.array([INTEGER_QUERY_LIMIT]))
+        assert not is_integer_query(np.array([INTEGER_QUERY_LIMIT * 2]))
+
+
+# ----------------------------------------------------------------------
+class TestSquaredDistances:
+    @given(
+        n=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_integer_path_bit_identical(self, n, seed):
+        rows = make_rows(n, seed)
+        rng = np.random.default_rng(seed + 1)
+        query = rng.integers(0, 256, NDIMS).astype(np.float64)
+        got = squared_distances(rows, query)
+        want = float_squared_distances(rows, query)
+        assert got.dtype == np.float64
+        assert np.array_equal(got, want)
+
+    @given(
+        n=st.integers(min_value=0, max_value=100),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fractional_query_fallback_bit_identical(self, n, seed):
+        rows = make_rows(n, seed)
+        rng = np.random.default_rng(seed + 1)
+        query = rng.uniform(0, 255, NDIMS)  # fractional w.p. 1
+        got = squared_distances(rows, query)
+        want = float_squared_distances(rows, query)
+        assert np.array_equal(got, want)
+
+    def test_negative_integer_query(self):
+        rows = make_rows(50, seed=3)
+        query = np.array([-5.0, 300.0, 0.0, 255.0, -128.0, 1.0, 2.0, 3.0])
+        assert np.array_equal(
+            squared_distances(rows, query),
+            float_squared_distances(rows, query),
+        )
+
+    def test_widened_reuse_matches(self):
+        rows = make_rows(100, seed=7)
+        widened = widen_rows(rows)
+        assert widened.dtype == np.int32
+        for qseed in range(4):
+            rng = np.random.default_rng(qseed)
+            query = rng.integers(0, 256, NDIMS).astype(np.float64)
+            assert np.array_equal(
+                squared_distances(rows, query, widened=widened),
+                squared_distances(rows, query),
+            )
+
+    def test_extreme_corners_exact(self):
+        # All-zeros vs all-255 rows against extreme queries: the largest
+        # intermediates the byte domain can produce must stay exact.
+        rows = np.vstack([
+            np.zeros((1, NDIMS), dtype=np.uint8),
+            np.full((1, NDIMS), 255, dtype=np.uint8),
+        ])
+        for query in (
+            np.zeros(NDIMS), np.full(NDIMS, 255.0),
+            np.full(NDIMS, float(1 << 20)),
+        ):
+            assert np.array_equal(
+                squared_distances(rows, query),
+                float_squared_distances(rows, query),
+            )
+
+
+# ----------------------------------------------------------------------
+class TestRangeRefine:
+    @given(
+        n=st.integers(min_value=0, max_value=150),
+        seed=st.integers(min_value=0, max_value=2**16),
+        epsilon=st.floats(min_value=0.0, max_value=400.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_float_pipeline(self, n, seed, epsilon):
+        rows = make_rows(n, seed)
+        rng = np.random.default_rng(seed + 1)
+        query = rng.integers(0, 256, NDIMS).astype(np.float64)
+        keep, dists = range_refine(rows, query, epsilon)
+        want_sq = float_squared_distances(rows, query)
+        want_keep = want_sq <= epsilon**2
+        assert np.array_equal(keep, want_keep)
+        assert np.array_equal(dists, np.sqrt(want_sq[want_keep]))
+
+
+# ----------------------------------------------------------------------
+class TestWindowRefine:
+    @given(
+        n=st.integers(min_value=0, max_value=150),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_float_cast_path(self, n, seed):
+        rows = make_rows(n, seed)
+        rng = np.random.default_rng(seed + 1)
+        center = rng.uniform(0, 255, NDIMS)
+        half = rng.uniform(0, 64, NDIMS)
+        lo, hi = center - half, center + half
+        got = window_refine(rows, lo, hi)
+        floats = rows.astype(np.float64)
+        want = np.all((floats >= lo) & (floats < hi), axis=1)
+        assert np.array_equal(got, want)
+
+    def test_boundary_half_open(self):
+        rows = np.array([[10], [11], [20], [21]], dtype=np.uint8)
+        mask = window_refine(rows, np.array([10.0]), np.array([20.0]))
+        assert mask.tolist() == [True, True, False, False]
+
+
+# ----------------------------------------------------------------------
+class TestClipRoundU8:
+    @given(
+        n=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_copying_pipeline(self, n, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-40, 300, size=(n, NDIMS))
+        want = np.clip(np.round(values), 0, 255).astype(np.uint8)
+        got = clip_round_u8(values.copy())
+        assert got.dtype == np.uint8
+        assert np.array_equal(got, want)
+
+    def test_half_to_even(self):
+        values = np.array([0.5, 1.5, 2.5, 254.5, 255.5, -0.5])
+        assert clip_round_u8(values).tolist() == [0, 2, 2, 254, 255, 0]
