@@ -1,0 +1,106 @@
+"""Segment-sketch pre-filter — skip rate and admissibility at scale.
+
+Acceptance gate for the pre-filter tier: on a 10^6-row archive sealed
+into 64 temporally clustered segments, statistical queries at the
+paper-default alpha must skip at least 50% of the (query, segment)
+scan fan-out using only the always-resident sketches, while returning
+results bit-identical to a pre-filter-off run — on both the batched
+statistical path and the solo ε-range path.  The run also refreshes
+``BENCH_prefilter.json`` at the repo root with one record per corpus
+scale (10^5 and 10^6 rows by default; pass ``--rows N`` repeatedly to
+sweep other scales up to 10^7), the machine-readable skip-rate/latency
+trajectory later PRs regress against (schema in ``docs/prefilter.md``).
+
+``python benchmarks/bench_prefilter.py --smoke`` runs a scaled-down
+archive without pytest-benchmark — the CI smoke gate: the skip rate
+must be nonzero and results must not diverge.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_prefilter_skip_rate(benchmark, capsys):
+    from conftest import run_and_report
+
+    from repro.experiments import run_prefilter, write_prefilter_json
+
+    runs = []
+
+    def _suite():
+        runs.append(run_prefilter(
+            db_rows=100_000, num_segments=64, num_queries=64,
+            alpha=0.8, seed=0,
+        ))
+        runs.append(run_prefilter(
+            db_rows=1_000_000, num_segments=64, num_queries=64,
+            alpha=0.8, seed=0,
+        ))
+        write_prefilter_json(runs, REPO_ROOT / "BENCH_prefilter.json")
+        return runs[-1]
+
+    result = run_and_report(benchmark, capsys, _suite)
+    # Admissibility: skipping is invisible in the answers.
+    assert all(r.bit_identical for r in runs)
+    assert all(r.range_bit_identical for r in runs)
+    # Acceptance: >= 50% of the per-(query, segment) scan fan-out is
+    # proved empty by the resident sketches at the 10^6-row scale.
+    assert result.num_segments >= 64
+    assert result.segment_skip_rate >= 0.5
+    assert result.range_segment_skip_rate >= 0.5
+
+
+def _smoke() -> int:
+    """Tiny-archive CI gate: must skip, must not diverge."""
+    from repro.experiments import run_prefilter
+
+    result = run_prefilter(
+        db_rows=24_000, num_segments=16, num_queries=32,
+        alpha=0.8, seed=0,
+    )
+    print(result.render())
+    failures = []
+    if not result.bit_identical:
+        failures.append(
+            "statistical results diverge between prefilter on and off"
+        )
+    if not result.range_bit_identical:
+        failures.append("range results diverge between prefilter on and off")
+    if result.segments_skipped == 0:
+        failures.append("pre-filter skipped nothing on a clustered archive")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _sweep(rows_list) -> int:
+    """Record a custom scale sweep into BENCH_prefilter.json."""
+    from repro.experiments import run_prefilter, write_prefilter_json
+
+    runs = []
+    for rows in rows_list:
+        result = run_prefilter(
+            db_rows=rows, num_segments=64, num_queries=64,
+            alpha=0.8, seed=0,
+        )
+        print(result.render())
+        print()
+        runs.append(result)
+    path = write_prefilter_json(runs, REPO_ROOT / "BENCH_prefilter.json")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--smoke" in argv:
+        raise SystemExit(_smoke())
+    if "--rows" in argv:
+        rows = [
+            int(argv[i + 1]) for i, a in enumerate(argv) if a == "--rows"
+        ]
+        raise SystemExit(_sweep(rows))
+    print(__doc__)
+    raise SystemExit(2)

@@ -17,7 +17,8 @@ import numpy as np
 from ..distortion.model import IndependentDistortionModel
 from ..errors import ConfigurationError, ExtractionError
 from ..fingerprint.extractor import ExtractorConfig, FingerprintExtractor
-from ..index.batch import EXECUTOR_STRATEGIES, BatchQueryExecutor
+from ..index.batch import BatchQueryExecutor
+from ..index.options import QueryOptions, warn_deprecated_kwargs
 from ..index.s3 import S3Index
 from ..video.synthetic import VideoClip
 from .voting import QueryMatches, Vote, vote
@@ -41,38 +42,60 @@ class Detection:
 
 @dataclass
 class DetectorConfig:
-    """Decision-layer parameters."""
+    """Decision-layer parameters.
+
+    Engine tuning (batching, sharding, executor, prefilter mode) lives
+    in ``options``, the unified
+    :class:`~repro.index.options.QueryOptions`.  The flat
+    ``batch_size``/``workers``/``executor`` fields are the deprecated
+    spelling: they still work (with a ``DeprecationWarning``) and are
+    folded into ``options``; passing both raises.  After construction
+    the flat fields always mirror the effective options, so existing
+    reads keep working.
+    """
 
     alpha: float = 0.8
     vote_tolerance: float = 2.0
     tukey_c: float = 6.0
     decision_threshold: int = 5
     min_matches: int = 2
-    batch_size: int = 32
-    workers: int = 1
-    executor: str = "auto"
+    batch_size: Optional[int] = None
+    workers: Optional[int] = None
+    executor: Optional[str] = None
     extractor: ExtractorConfig = field(default_factory=ExtractorConfig)
+    options: Optional[QueryOptions] = None
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.alpha < 1.0:
-            raise ConfigurationError(f"alpha must be in (0, 1), got {self.alpha}")
         if self.decision_threshold < 1:
             raise ConfigurationError(
                 f"decision_threshold must be >= 1, got {self.decision_threshold}"
             )
-        if self.batch_size < 1:
-            raise ConfigurationError(
-                f"batch_size must be >= 1, got {self.batch_size}"
+        legacy = {
+            name: value
+            for name in ("batch_size", "workers", "executor")
+            if (value := getattr(self, name)) is not None
+        }
+        if self.options is not None:
+            if legacy:
+                raise ConfigurationError(
+                    "DetectorConfig: pass either options= or the legacy "
+                    f"keyword(s) {sorted(legacy)}, not both"
+                )
+            self.alpha = self.options.alpha
+        else:
+            if legacy:
+                warn_deprecated_kwargs("DetectorConfig", legacy)
+            self.options = QueryOptions(
+                alpha=self.alpha,
+                batch_size=legacy.get("batch_size", 32),
+                workers=legacy.get("workers", 1),
+                executor=legacy.get("executor", "auto"),
             )
-        if self.workers < 1:
-            raise ConfigurationError(
-                f"workers must be >= 1, got {self.workers}"
-            )
-        if self.executor not in EXECUTOR_STRATEGIES:
-            raise ConfigurationError(
-                f"executor must be one of {EXECUTOR_STRATEGIES!r}, "
-                f"got {self.executor!r}"
-            )
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {self.alpha}")
+        self.batch_size = self.options.batch_size
+        self.workers = self.options.workers
+        self.executor = self.options.executor
 
 
 @dataclass
@@ -129,9 +152,7 @@ class CopyDetector:
         rows_scanned = 0
         search_seconds = 0.0
         with BatchQueryExecutor(
-            self.index, cfg.alpha, model=self.model,
-            batch_size=cfg.batch_size, workers=cfg.workers,
-            executor=cfg.executor,
+            self.index, model=self.model, options=cfg.options,
         ) as executor:
             for result, tc in zip(
                 executor.query_all(fingerprints.astype(np.float64)),

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 from ..errors import ConfigurationError, ExtractionError
 from ..fingerprint.extractor import ExtractorConfig, FingerprintExtractor
 from ..index.batch import BatchQueryExecutor
+from ..index.options import QueryOptions, warn_deprecated_kwargs
 from ..index.s3 import S3Index
 from ..video.synthetic import VideoClip
 from .detector import Detection
@@ -44,7 +45,17 @@ from .voting import QueryMatches, vote
 
 @dataclass
 class MonitorConfig:
-    """Knobs of the continuous monitor."""
+    """Knobs of the continuous monitor.
+
+    Engine tuning (batching, sharding, executor, prefilter mode) lives
+    in ``options``, the unified
+    :class:`~repro.index.options.QueryOptions` — historically the
+    monitor carried its own ``batch_size``/``workers`` copies (and never
+    grew an ``executor`` knob at all, a drift the unified options
+    removes).  The flat fields remain as deprecated shims: they warn,
+    are folded into ``options``, and mirror the effective values after
+    construction; passing both raises.
+    """
 
     alpha: float = 0.8
     window_frames: int = 80
@@ -58,11 +69,34 @@ class MonitorConfig:
     ingest_new: bool = False
     ingest_video_id: int = 1_000_000
     ingest_match_threshold: int = 0
-    batch_size: int = 32
-    workers: int = 1
+    batch_size: Optional[int] = None
+    workers: Optional[int] = None
     extractor: ExtractorConfig = field(default_factory=ExtractorConfig)
+    options: Optional[QueryOptions] = None
 
     def __post_init__(self) -> None:
+        legacy = {
+            name: value
+            for name in ("batch_size", "workers")
+            if (value := getattr(self, name)) is not None
+        }
+        if self.options is not None:
+            if legacy:
+                raise ConfigurationError(
+                    "MonitorConfig: pass either options= or the legacy "
+                    f"keyword(s) {sorted(legacy)}, not both"
+                )
+            self.alpha = self.options.alpha
+        else:
+            if legacy:
+                warn_deprecated_kwargs("MonitorConfig", legacy)
+            self.options = QueryOptions(
+                alpha=self.alpha,
+                batch_size=legacy.get("batch_size", 32),
+                workers=legacy.get("workers", 1),
+            )
+        self.batch_size = self.options.batch_size
+        self.workers = self.options.workers
         if not 0.0 < self.alpha < 1.0:
             raise ConfigurationError(f"alpha must be in (0, 1), got {self.alpha}")
         if self.window_frames < 8:
@@ -86,14 +120,6 @@ class MonitorConfig:
             raise ConfigurationError(
                 "ingest_match_threshold must be >= 0, got "
                 f"{self.ingest_match_threshold}"
-            )
-        if self.batch_size < 1:
-            raise ConfigurationError(
-                f"batch_size must be >= 1, got {self.batch_size}"
-            )
-        if self.workers < 1:
-            raise ConfigurationError(
-                f"workers must be >= 1, got {self.workers}"
             )
 
 
@@ -220,10 +246,7 @@ class StreamMonitor:
             return []
 
         self.index.reset_threshold_cache()
-        executor = BatchQueryExecutor(
-            self.index, cfg.alpha,
-            batch_size=cfg.batch_size, workers=cfg.workers,
-        )
+        executor = BatchQueryExecutor(self.index, options=cfg.options)
         results = executor.query_all(
             extraction.store.fingerprints.astype(np.float64)
         )

@@ -48,7 +48,8 @@ from .cbcd.detector import CopyDetector, DetectorConfig
 from .distortion.model import NormalDistortionModel
 from .errors import ConfigurationError, ReproError
 from .fingerprint.extractor import FingerprintExtractor
-from .index.batch import EXECUTOR_STRATEGIES, BatchQueryExecutor
+from .index.batch import BatchQueryExecutor
+from .index.options import EXECUTOR_STRATEGIES, PREFILTER_MODES, QueryOptions
 from .index.s3 import S3Index
 from .index.segmented import CompactionPolicy, Manifest, SegmentedS3Index
 from .index.store import FingerprintStore, read_header
@@ -82,6 +83,26 @@ def _validate_common_args(args: argparse.Namespace) -> None:
         raise ConfigurationError(
             f"--alpha must be in (0, 1], got {alpha}"
         )
+
+
+def _query_options(args: argparse.Namespace) -> QueryOptions:
+    """The unified :class:`QueryOptions` a subcommand's flags describe.
+
+    Built directly (rather than through the per-class legacy kwargs) so
+    CLI runs never trip the deprecation shims.
+    """
+    fields = {}
+    for name, attr in (
+        ("alpha", "alpha"),
+        ("batch_size", "batch_size"),
+        ("workers", "workers"),
+        ("executor", "executor"),
+        ("prefilter", "prefilter"),
+    ):
+        value = getattr(args, attr, None)
+        if value is not None:
+            fields[name] = value
+    return QueryOptions(**fields)
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -156,11 +177,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         print("error: pass --queries FILE or --from-row N", file=sys.stderr)
         return 2
-    with BatchQueryExecutor(
-        index, args.alpha,
-        batch_size=args.batch_size, workers=args.workers,
-        executor=args.executor,
-    ) as executor:
+    with BatchQueryExecutor(index, options=_query_options(args)) as executor:
         for i, result in enumerate(executor.query_all(queries)):
             stats = result.stats
             print(
@@ -179,9 +196,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     _validate_common_args(args)
     index = _load_index(args.index)
     config = DetectorConfig(
-        alpha=args.alpha, decision_threshold=args.threshold,
-        batch_size=args.batch_size, workers=args.workers,
-        executor=args.executor,
+        decision_threshold=args.threshold,
+        options=_query_options(args),
     )
     detector = CopyDetector(index, config)
     clip = _load_clip(args.video)
@@ -327,12 +343,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServeConfig(
         host=args.host,
         port=args.port,
-        alpha=args.alpha,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         queue_limit=args.queue_limit,
-        workers=args.workers,
-        executor=args.executor,
+        options=_query_options(args),
     )
 
     async def _run() -> None:
@@ -509,6 +523,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scan execution strategy: threads shard inside "
                         "the GIL, processes attach the store zero-copy "
                         "and scan in parallel, auto picks by index size")
+    p.add_argument("--prefilter", choices=list(PREFILTER_MODES),
+                   default="auto",
+                   help="segment-sketch pre-filter: skip segments the "
+                        "always-resident sketches prove empty for the "
+                        "query (admissible — results are bit-identical); "
+                        "off disables, auto/on enable")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("detect", help="detect copies in a candidate video")
@@ -523,6 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--executor", choices=list(EXECUTOR_STRATEGIES),
                    default="auto",
                    help="scan execution strategy (see `query --help`)")
+    p.add_argument("--prefilter", choices=list(PREFILTER_MODES),
+                   default="auto",
+                   help="segment-sketch pre-filter (see `query --help`)")
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser(
@@ -557,6 +580,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto",
                    help="scan execution strategy (see `query --help`); "
                         "the scan pool is warmed before the socket opens")
+    p.add_argument("--prefilter", choices=list(PREFILTER_MODES),
+                   default="auto",
+                   help="segment-sketch pre-filter (see `query --help`)")
     p.set_defaults(func=_cmd_serve, batch_size=None)
 
     p = sub.add_parser(

@@ -31,6 +31,11 @@ from .parallel_scan import (
     run_parallel_scan,
     run_parallel_scan_suite,
 )
+from .prefilter import (
+    PrefilterBenchResult,
+    run_prefilter,
+    write_prefilter_json,
+)
 from .segmented_ingest import SegmentedIngestResult, run_segmented_ingest
 from .serve_bench import ServeBenchResult, run_serve_bench
 from .table1_severity import Table1Result, paper_transform_ladder, run_table1
@@ -52,6 +57,7 @@ __all__ = [
     "ParallelScanSuiteResult",
     "SegmentedIngestResult",
     "Series",
+    "PrefilterBenchResult",
     "ServeBenchResult",
     "Table1Result",
     "build_setup",
@@ -71,9 +77,11 @@ __all__ = [
     "run_fig9",
     "run_parallel_scan",
     "run_parallel_scan_suite",
+    "run_prefilter",
     "run_segmented_ingest",
     "run_serve_bench",
     "run_table1",
     "sweep_transforms",
     "sweep_transforms_shared",
+    "write_prefilter_json",
 ]

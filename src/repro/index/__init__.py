@@ -13,7 +13,18 @@
 * :mod:`~repro.index.segmented` — the live LSM-style extension:
   WAL-backed online ingestion, sealed Hilbert segments and background
   compaction (the §V-D operational setting).
+
+Every index front-end accepts the unified
+:class:`~repro.index.options.QueryOptions` (``options=``) and satisfies
+:class:`IndexProtocol`, the minimal structural contract the detection
+and serving layers program against.  ``SeqScanIndex`` and
+``VAFileIndex`` are the protocol-era names of the two baselines
+(aliases of :class:`SequentialScanIndex` / :class:`VAFile`).
 """
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
 
 from .batch import (
     BatchQueryExecutor,
@@ -44,6 +55,12 @@ from .filtering import (
     window_blocks,
 )
 from .knn import knn_query
+from .options import (
+    EXECUTOR_STRATEGIES,
+    PREFILTER_MODES,
+    QueryOptions,
+    resolve_options,
+)
 from .pseudodisk import BatchStats, PseudoDiskSearcher, auto_batch_size
 from .s3 import QueryStats, S3Index, SearchResult
 from .segmented import (
@@ -51,12 +68,51 @@ from .segmented import (
     CompactionResult,
     SegmentedQueryStats,
     SegmentedS3Index,
+    SegmentSketch,
+    SketchConfig,
 )
 from .seqscan import SequentialScanIndex
 from .store import FingerprintStore, StoreBuilder
 from .table import HilbertLayout
 from .tuning import DepthProfile, profile_depths, tune_depth
 from .vafile import VAFile
+
+#: Protocol-era aliases of the baseline index classes.
+SeqScanIndex = SequentialScanIndex
+VAFileIndex = VAFile
+
+
+@runtime_checkable
+class IndexProtocol(Protocol):
+    """The structural contract every index front-end satisfies.
+
+    The detection and serving layers only need this much: a sized,
+    dimensioned collection answering exact ε-range queries with the
+    unified ``options=`` keyword, and declaring whether its physical
+    layout supports coalesced batched scans.  ``S3Index``,
+    ``SegmentedS3Index``, ``SeqScanIndex`` and ``VAFileIndex`` all
+    conform (checked in ``tests/index/test_options.py``); statistical
+    queries remain specific to the S³ structures, which is why they are
+    not part of the minimal protocol.
+    """
+
+    def __len__(self) -> int: ...
+
+    @property
+    def ndims(self) -> int: ...
+
+    @property
+    def supports_coalesced_scans(self) -> bool: ...
+
+    def range_query(
+        self,
+        query: np.ndarray,
+        epsilon: float,
+        *args,
+        options: "QueryOptions | None" = None,
+        **kwargs,
+    ) -> SearchResult: ...
+
 
 __all__ = [
     "BatchQueryExecutor",
@@ -67,18 +123,26 @@ __all__ = [
     "CompactionPolicy",
     "CompactionResult",
     "DepthProfile",
+    "EXECUTOR_STRATEGIES",
     "FingerprintStore",
     "HilbertLayout",
+    "IndexProtocol",
     "OccupancySummary",
+    "PREFILTER_MODES",
     "PseudoDiskSearcher",
+    "QueryOptions",
     "QueryStats",
     "S3Index",
     "SearchResult",
+    "SegmentSketch",
     "SegmentedQueryStats",
     "SegmentedS3Index",
+    "SeqScanIndex",
     "SequentialScanIndex",
+    "SketchConfig",
     "StoreBuilder",
     "VAFile",
+    "VAFileIndex",
     "auto_batch_size",
     "best_first_blocks",
     "block_occupancy",
@@ -91,6 +155,7 @@ __all__ = [
     "query_batch_monolithic",
     "query_batch_segmented",
     "range_blocks",
+    "resolve_options",
     "select_blocks_threshold",
     "select_blocks_threshold_multi",
     "statistical_blocks",

@@ -41,6 +41,7 @@ import numpy as np
 from ..distortion.model import IndependentDistortionModel
 from ..errors import ConfigurationError
 from .filtering import statistical_blocks_batch_cached
+from .options import EXECUTOR_STRATEGIES, QueryOptions, resolve_options
 from .parallel import (
     MONOLITHIC_STORE,
     ParallelScanError,
@@ -63,13 +64,16 @@ RowRange = tuple[int, int]
 #: serving layer's batcher exposes it as a config knob).
 PARALLEL_GATHER_MIN_ROWS = 4096
 
-#: Executor strategies accepted by :class:`BatchQueryExecutor`.
-EXECUTOR_STRATEGIES = ("auto", "threads", "processes")
-
 #: Index size below which ``executor="auto"`` stays on threads: a
 #: process pool's startup and per-call arena round-trips only pay for
 #: themselves once the scan volume escapes the GIL-bound regime.
 PROCESS_EXECUTOR_MIN_ROWS = 100_000
+
+#: Hosts with this many cores or fewer never auto-select processes:
+#: BENCH_parallel_scan shows the pool 0.67-0.86x *slower* than threads
+#: when workers contend for one or two cores, on top of its startup
+#: cost.  An explicit ``executor="processes"`` still overrides.
+PROCESS_EXECUTOR_MIN_CPUS = 3
 
 
 @dataclass
@@ -89,6 +93,8 @@ class BatchQueryStats:
     logical_rows: int = 0
     unique_rows: int = 0
     results: int = 0
+    segments_skipped: int = 0
+    blocks_skipped: int = 0
     filter_seconds: float = 0.0
     scan_seconds: float = 0.0
 
@@ -112,6 +118,8 @@ class BatchQueryStats:
         self.logical_rows += other.logical_rows
         self.unique_rows += other.unique_rows
         self.results += other.results
+        self.segments_skipped += other.segments_skipped
+        self.blocks_skipped += other.blocks_skipped
         self.filter_seconds += other.filter_seconds
         self.scan_seconds += other.scan_seconds
 
@@ -359,6 +367,7 @@ def query_batch_segmented(
     workers: int = 1,
     parallel_gather_min_rows: Optional[int] = None,
     pool: Optional[ProcessScanPool] = None,
+    prefilter: bool = True,
 ) -> tuple[list[SearchResult], BatchQueryStats]:
     """Answer a batch of statistical queries against a segmented index.
 
@@ -369,6 +378,14 @@ def query_batch_segmented(
     segments in manifest order, then the memtable — so per-query results
     are bit-identical to ``index.statistical_query`` from the same
     warm-start cache state.
+
+    With *prefilter* (the default), each segment's sketch drops the
+    selected blocks the segment provably holds no rows of **per query**,
+    before the per-query ranges enter :func:`coalesce_ranges` — so the
+    unions shrink, the pool/thread shards shrink with them, and a
+    (query, segment) pair whose whole selection is pruned never reaches
+    the gather at all.  The prune is admissible: dropped blocks hold no
+    rows, so the surviving ranges — and the results — are identical.
 
     With *pool*, every sealed segment's union gather is submitted in a
     single :meth:`~repro.index.parallel.ProcessScanPool.scan_stores`
@@ -392,31 +409,54 @@ def query_batch_segmented(
     )
     t1 = time.perf_counter()
 
+    def seg_query_ranges(seg):
+        """Per-query ranges of *seg*, sketch-pruned, plus skip counters."""
+        sketch = seg.sketch if prefilter else None
+        per_ranges = []
+        skipped_q = []
+        blocks_q = []
+        for sel in selections:
+            prefixes = sel.prefixes
+            dropped = 0
+            skipped = False
+            if sketch is not None and len(prefixes):
+                pruned = sketch.prune_prefixes(prefixes, sel.depth)
+                dropped = len(prefixes) - len(pruned)
+                skipped = len(pruned) == 0
+                prefixes = pruned
+            blocks_q.append(dropped)
+            skipped_q.append(skipped)
+            per_ranges.append(
+                seg.index.layout.block_row_ranges(prefixes, sel.depth)
+                if len(prefixes) else []
+            )
+        return per_ranges, skipped_q, blocks_q
+
     def scan_segment(seg):
-        per_ranges = [seg.index.row_ranges(sel) for sel in selections]
+        per_ranges, skipped_q, blocks_q = seg_query_ranges(seg)
         scans, sections, unique = _scan_coalesced(
             seg.index.layout, seg.index.store, per_ranges, workers=1,
             min_rows=parallel_gather_min_rows,
         )
-        return per_ranges, scans, sections, unique
+        return per_ranges, scans, sections, unique, skipped_q, blocks_q
 
     segments = index._segments
     if pool is not None and segments:
         # One pool call covers every sealed segment: each segment's
         # coalesced union is one work item, routed to the worker that
-        # owns that segment's store attachment.
-        seg_ranges = [
-            [seg.index.row_ranges(sel) for sel in selections]
-            for seg in segments
-        ]
+        # owns that segment's store attachment.  Pruned unions are
+        # smaller work items; a fully pruned segment's union is empty
+        # and produces no worker task at all (see scan_stores).
+        seg_pruned = [seg_query_ranges(seg) for seg in segments]
+        seg_ranges = [p[0] for p in seg_pruned]
         seg_unions = [coalesce_ranges(ranges) for ranges in seg_ranges]
         with pool.scan_stores([
             (segment_store_name(seg.meta.name), union)
             for seg, union in zip(segments, seg_unions)
         ]) as arena:
             seg_scans = []
-            for i, (seg, per_ranges, union) in enumerate(
-                zip(segments, seg_ranges, seg_unions)
+            for i, (seg, (per_ranges, skipped_q, blocks_q), union) in (
+                enumerate(zip(segments, seg_pruned, seg_unions))
             ):
                 u_ids, u_tcs, u_fps = arena.columns(i)
                 scans = _demux_union(
@@ -427,6 +467,7 @@ def query_batch_segmented(
                 seg_scans.append((
                     per_ranges, scans, len(union),
                     sum(e - s for s, e in union),
+                    skipped_q, blocks_q,
                 ))
     elif workers > 1 and len(segments) > 1:
         with ThreadPoolExecutor(max_workers=workers) as thread_pool:
@@ -451,7 +492,9 @@ def query_batch_segmented(
         )
         rows_parts, ids_parts, tcs_parts, fps_parts = [], [], [], []
         base = 0
-        for seg, (per_ranges, scans, _, _) in zip(segments, seg_scans):
+        for seg, (per_ranges, scans, _, _, skipped_q, blocks_q) in zip(
+            segments, seg_scans
+        ):
             rows_q, ids, tcs, fps = scans[qi]
             seg_stats = QueryStats(
                 blocks_selected=len(sel),
@@ -459,6 +502,8 @@ def query_batch_segmented(
                 rows_scanned=int(rows_q.size),
                 results=int(rows_q.size),
             )
+            stats.segments_skipped += int(skipped_q[qi])
+            stats.blocks_skipped += blocks_q[qi]
             rows_parts.append(rows_q + base)
             ids_parts.append(ids)
             tcs_parts.append(tcs)
@@ -498,6 +543,10 @@ def query_batch_segmented(
         sum(s[3] for s in seg_scans)
         + sum(int(r.size) for r in mem_rows)
     )
+    batch.segments_skipped = sum(
+        sum(int(f) for f in s[4]) for s in seg_scans
+    )
+    batch.blocks_skipped = sum(sum(s[5]) for s in seg_scans)
     batch.results = batch.logical_rows
     batch.filter_seconds = t1 - t0
     batch.scan_seconds = t2 - t1
@@ -537,57 +586,61 @@ class BatchQueryExecutor:
         ``"processes"`` runs gathers on a
         :class:`~repro.index.parallel.ProcessScanPool` (zero-copy
         attach, no fingerprint bytes on pipes).  ``"auto"`` (default)
-        picks processes when ``workers > 1``, the index holds at least
+        picks processes when ``workers > 1``, the host has more than
+        two cores, the index holds at least
         :data:`PROCESS_EXECUTOR_MIN_ROWS` rows and zero-copy backing is
         available — and falls back to threads cleanly whenever the pool
         cannot be built or dies mid-flight.
+
+    The tuning parameters above are the **deprecated spelling**: pass a
+    :class:`~repro.index.options.QueryOptions` via ``options=`` instead
+    (it also carries the ``prefilter`` mode of the segment-sketch
+    tier).  The old keywords keep working behind a
+    ``DeprecationWarning``; mixing them with ``options=`` raises.
     """
 
     def __init__(
         self,
         index,
-        alpha: float,
+        alpha: Optional[float] = None,
         model: Optional[IndependentDistortionModel] = None,
         depth: Optional[int] = None,
-        batch_size: int = 32,
-        workers: int = 1,
+        batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
         parallel_gather_min_rows: Optional[int] = None,
-        executor: str = "auto",
+        executor: Optional[str] = None,
+        options: Optional[QueryOptions] = None,
     ):
-        if batch_size < 1:
+        if options is None and alpha is None:
             raise ConfigurationError(
-                f"batch_size must be >= 1, got {batch_size}"
+                "BatchQueryExecutor: pass alpha= or options="
             )
-        if workers < 1:
-            raise ConfigurationError(f"workers must be >= 1, got {workers}")
-        if parallel_gather_min_rows is not None \
-                and parallel_gather_min_rows < 0:
-            raise ConfigurationError(
-                "parallel_gather_min_rows must be >= 0, got "
-                f"{parallel_gather_min_rows}"
-            )
-        if executor not in EXECUTOR_STRATEGIES:
-            raise ConfigurationError(
-                f"executor must be one of {EXECUTOR_STRATEGIES!r}, "
-                f"got {executor!r}"
-            )
+        opts = resolve_options(
+            "BatchQueryExecutor", options,
+            alpha=alpha, depth=depth,
+            batch_size=batch_size, workers=workers,
+            executor=executor,
+            parallel_gather_min_rows=parallel_gather_min_rows,
+        )
         cpus = os.cpu_count()
-        if cpus is not None and workers > cpus:
+        if cpus is not None and opts.workers > cpus:
             warnings.warn(
-                f"workers={workers} exceeds os.cpu_count()={cpus}; "
+                f"workers={opts.workers} exceeds os.cpu_count()={cpus}; "
                 "scan shards will contend for cores instead of using "
                 "more of them",
                 RuntimeWarning,
                 stacklevel=2,
             )
         self.index = index
-        self.alpha = alpha
+        self.options = opts
+        self.alpha = opts.alpha
         self.model = model
-        self.depth = depth
-        self.batch_size = batch_size
-        self.workers = workers
-        self.parallel_gather_min_rows = parallel_gather_min_rows
-        self.executor = executor
+        self.depth = opts.depth
+        self.batch_size = opts.batch_size
+        self.workers = opts.workers
+        self.parallel_gather_min_rows = opts.parallel_gather_min_rows
+        self.executor = opts.executor
+        self.prefilter = opts.prefilter
         self.stats = BatchQueryStats()
         self._segmented = hasattr(index, "_fan_out")
         self._engine = (
@@ -617,6 +670,10 @@ class BatchQueryExecutor:
         if self.executor == "processes":
             return "processes"
         if self.workers < 2 or len(self.index) < PROCESS_EXECUTOR_MIN_ROWS:
+            return "threads"
+        if (os.cpu_count() or 1) < PROCESS_EXECUTOR_MIN_CPUS:
+            # On 1-2 core hosts the pool's shards contend for the same
+            # cores and lose to threads (BENCH_parallel_scan: 0.67-0.86x).
             return "threads"
         if not can_process_scan(list(self._pool_stores().values())):
             return "threads"
@@ -695,12 +752,15 @@ class BatchQueryExecutor:
         pool = None
         if self.resolve_executor() == "processes":
             pool = self._ensure_pool()
+        kwargs = dict(
+            model=self.model, depth=self.depth, workers=self.workers,
+            parallel_gather_min_rows=self.parallel_gather_min_rows,
+        )
+        if self._segmented:
+            kwargs["prefilter"] = self.options.prefilter_enabled
         try:
             results, batch = self._engine(
-                self.index, queries, self.alpha,
-                model=self.model, depth=self.depth, workers=self.workers,
-                parallel_gather_min_rows=self.parallel_gather_min_rows,
-                pool=pool,
+                self.index, queries, self.alpha, pool=pool, **kwargs
             )
         except ParallelScanError as exc:
             # The pool could not finish the batch (workers kept dying,
@@ -715,10 +775,7 @@ class BatchQueryExecutor:
             self._teardown_pool()
             self._pool_failed = True
             results, batch = self._engine(
-                self.index, queries, self.alpha,
-                model=self.model, depth=self.depth, workers=self.workers,
-                parallel_gather_min_rows=self.parallel_gather_min_rows,
-                pool=None,
+                self.index, queries, self.alpha, pool=None, **kwargs
             )
         self.stats.merge(batch)
         return results

@@ -130,6 +130,7 @@ class PoolStats:
     workers: int = 0
     scans: int = 0
     tasks: int = 0
+    items_skipped: int = 0
     rows_gathered: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
@@ -145,6 +146,7 @@ class PoolStats:
             "workers": self.workers,
             "scans": self.scans,
             "tasks": self.tasks,
+            "items_skipped": self.items_skipped,
             "rows_gathered": self.rows_gathered,
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
@@ -559,6 +561,10 @@ class ProcessScanPool:
                     store_name, list(ranges), offset,
                     self._store_slot[store_name] % self.workers,
                 ))
+            else:
+                # Pre-filtered (or naturally empty) items never become
+                # worker tasks; the counter makes that visible upstream.
+                self.stats.items_skipped += 1
             offset += rows
         return self._execute(entries, offset, bounds)
 

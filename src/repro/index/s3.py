@@ -20,7 +20,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from .filtering import (
 from .kernels import range_refine, window_refine
 from .store import FingerprintStore, PathLike
 from .table import HilbertLayout
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .options import QueryOptions
 
 
 @dataclass
@@ -169,6 +172,16 @@ class S3Index:
     def __len__(self) -> int:
         return len(self.store)
 
+    def _options_depth(
+        self, depth: Optional[int], options: Optional["QueryOptions"]
+    ) -> int:
+        """Resolve a call's depth: explicit arg > options > index default."""
+        if depth is not None:
+            return depth
+        if options is not None and options.depth is not None:
+            return options.depth
+        return self.depth
+
     def _check_depth(self, depth: int) -> None:
         if not 1 <= depth <= self.layout.max_depth:
             raise ConfigurationError(
@@ -197,6 +210,7 @@ class S3Index:
         model: Optional[IndependentDistortionModel] = None,
         depth: Optional[int] = None,
         exact_blocks: bool = False,
+        options: Optional["QueryOptions"] = None,
     ) -> SearchResult:
         """Answer a statistical query of expectation *alpha* (paper §II).
 
@@ -208,9 +222,14 @@ class S3Index:
         With ``exact_blocks=True`` the minimal set ``B^min_α`` is computed
         by best-first search instead of the threshold iteration (slower
         filtering, minimal refinement — the ablation of §IV-A).
+
+        ``options`` (the unified :class:`~repro.index.options.QueryOptions`)
+        supplies the depth default when ``depth`` is not given; its
+        prefilter mode is a no-op here — a monolithic index has no
+        segment tier to skip.
         """
         resolved = self._resolve_model(model)
-        depth = self.depth if depth is None else depth
+        depth = self._options_depth(depth, options)
         self._check_depth(depth)
 
         t0 = time.perf_counter()
@@ -235,6 +254,7 @@ class S3Index:
         model: Optional[IndependentDistortionModel] = None,
         depth: Optional[int] = None,
         workers: int = 1,
+        options: Optional["QueryOptions"] = None,
     ) -> list[SearchResult]:
         """Answer a batch of statistical queries in one engine pass.
 
@@ -247,6 +267,8 @@ class S3Index:
         """
         from .batch import query_batch_monolithic
 
+        if options is not None:
+            depth = depth if depth is not None else options.depth
         results, _ = query_batch_monolithic(
             self, queries, alpha, model=model, depth=depth, workers=workers
         )
@@ -257,13 +279,14 @@ class S3Index:
         query: np.ndarray,
         epsilon: float,
         depth: Optional[int] = None,
+        options: Optional["QueryOptions"] = None,
     ) -> SearchResult:
         """Answer a classical spherical ε-range query (baseline of §V-A).
 
         Geometric filtering (blocks the sphere intersects) followed by an
         exact distance test during refinement.
         """
-        depth = self.depth if depth is None else depth
+        depth = self._options_depth(depth, options)
         self._check_depth(depth)
 
         t0 = time.perf_counter()

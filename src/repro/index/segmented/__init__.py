@@ -9,7 +9,7 @@ the results — byte-for-byte the same answers as a monolithic
 :class:`~repro.index.s3.S3Index` over the union of the records.
 """
 
-from .compaction import CompactionPolicy
+from .compaction import CompactionPolicy, merge_segment_stores
 from .lsm import (
     CompactionResult,
     Segment,
@@ -18,6 +18,7 @@ from .lsm import (
 )
 from .manifest import Manifest, SegmentMeta
 from .memtable import MemTable
+from .sketch import SegmentSketch, SketchConfig, sketch_filename
 from .wal import WriteAheadLog, replay
 
 __all__ = [
@@ -27,8 +28,12 @@ __all__ = [
     "MemTable",
     "Segment",
     "SegmentMeta",
+    "SegmentSketch",
     "SegmentedQueryStats",
     "SegmentedS3Index",
+    "SketchConfig",
     "WriteAheadLog",
+    "merge_segment_stores",
     "replay",
+    "sketch_filename",
 ]

@@ -17,8 +17,15 @@ segment; the policy below is **size-tiered with a segment-count cap**:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ...errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from ...distortion.model import IndependentDistortionModel
+    from ..s3 import S3Index
+    from ..store import FingerprintStore
+    from .sketch import SegmentSketch, SketchConfig
 
 
 @dataclass
@@ -55,3 +62,42 @@ class CompactionPolicy:
         k = min(k, n)
         smallest = sorted(range(n), key=lambda i: (counts[i], i))[:k]
         return sorted(smallest)
+
+
+def merge_segment_stores(
+    stores: Sequence["FingerprintStore"],
+    ndims: int,
+    *,
+    order: int,
+    key_levels: int,
+    depth: int,
+    model: Optional["IndependentDistortionModel"],
+    sketch_config: Optional["SketchConfig"] = None,
+) -> tuple["S3Index", "SegmentSketch"]:
+    """Materialise one merged segment: index + freshly built sketch.
+
+    The merged store re-sorts the concatenated rows along the Hilbert
+    curve (inside :class:`~repro.index.s3.S3Index`), so the input
+    segments' sketches are useless afterwards — the occupancy map stays
+    the union but the block bounds follow the new physical order.  The
+    sketch is therefore always rebuilt from the merged layout here, in
+    the same pass that builds the index.
+    """
+    from ..s3 import S3Index
+    from ..store import StoreBuilder
+    from .sketch import SegmentSketch
+
+    builder = StoreBuilder(ndims)
+    for store in stores:
+        builder.append_store(store)
+    index = S3Index(
+        builder.build(),
+        order=order,
+        key_levels=key_levels,
+        depth=depth,
+        model=model,
+    )
+    sketch = SegmentSketch.build(
+        index.layout, index.store.fingerprints, sketch_config
+    )
+    return index, sketch

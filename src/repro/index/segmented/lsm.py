@@ -42,9 +42,10 @@ from ...errors import ConfigurationError, IndexError_
 from ...hilbert.butz import HilbertCurve
 from ..filtering import BlockSelection, range_blocks, statistical_blocks_cached
 from ..kernels import range_refine
+from ..options import QueryOptions
 from ..s3 import QueryStats, S3Index, SearchResult
-from ..store import FingerprintStore, PathLike, StoreBuilder
-from .compaction import CompactionPolicy
+from ..store import FingerprintStore, PathLike
+from .compaction import CompactionPolicy, merge_segment_stores
 from .manifest import (
     Manifest,
     SegmentMeta,
@@ -52,24 +53,40 @@ from .manifest import (
     wal_filename,
 )
 from .memtable import MemTable
+from .sketch import SegmentSketch, SketchConfig, sketch_filename
 from .wal import WriteAheadLog, replay
 
 
 @dataclass
 class SegmentedQueryStats(QueryStats):
-    """Aggregated cost of one fan-out query, plus the per-segment split."""
+    """Aggregated cost of one fan-out query, plus the per-segment split.
+
+    ``segments_scanned`` counts every live segment the fan-out covered
+    (its historical meaning); ``segments_skipped`` counts how many of
+    those the sketch tier proved empty without touching their store, and
+    ``blocks_skipped`` the selected blocks pruned per segment before the
+    row-range lookup.
+    """
 
     segments_scanned: int = 0
+    segments_skipped: int = 0
+    blocks_skipped: int = 0
     memtable_rows_scanned: int = 0
     per_segment: list[QueryStats] = field(default_factory=list)
 
 
 @dataclass
 class Segment:
-    """One sealed, immutable segment: manifest entry + loaded index."""
+    """One sealed, immutable segment: manifest entry, index and sketch.
+
+    ``sketch`` is ``None`` only transiently (segments from directories
+    written before the sketch tier, prior to the rebuild in
+    :meth:`SegmentedS3Index.open`).
+    """
 
     meta: SegmentMeta
     index: S3Index
+    sketch: Optional[SegmentSketch] = None
 
 
 @dataclass
@@ -102,6 +119,7 @@ class SegmentedS3Index:
         flush_rows: int,
         policy: CompactionPolicy,
         auto_compact: bool,
+        sketch_config: Optional[SketchConfig] = None,
     ):
         self.directory = directory
         self.manifest = manifest
@@ -112,6 +130,7 @@ class SegmentedS3Index:
         self.flush_rows = flush_rows
         self.policy = policy
         self.auto_compact = auto_compact
+        self.sketch_config = sketch_config or SketchConfig()
         self.curve = HilbertCurve(manifest.ndims, manifest.order)
         self._threshold_cache: dict[tuple, float] = {}
 
@@ -131,6 +150,7 @@ class SegmentedS3Index:
         policy: Optional[CompactionPolicy] = None,
         auto_compact: bool = True,
         sync: bool = True,
+        sketch_config: Optional[SketchConfig] = None,
     ) -> "SegmentedS3Index":
         """Initialise a fresh segmented index in *directory*."""
         directory = Path(directory)
@@ -175,6 +195,7 @@ class SegmentedS3Index:
         return cls(
             directory, manifest, [], memtable, wal, model,
             flush_rows, policy or CompactionPolicy(), auto_compact,
+            sketch_config,
         )
 
     @classmethod
@@ -187,6 +208,7 @@ class SegmentedS3Index:
         auto_compact: bool = True,
         sync: bool = True,
         mmap: bool = False,
+        sketch_config: Optional[SketchConfig] = None,
     ) -> "SegmentedS3Index":
         """Reopen *directory*: load segments, replay the WAL, GC orphans.
 
@@ -202,7 +224,9 @@ class SegmentedS3Index:
         manifest = Manifest.load(directory)
         if model is None and manifest.sigma is not None:
             model = NormalDistortionModel(manifest.ndims, manifest.sigma)
+        sketch_config = sketch_config or SketchConfig()
         segments = []
+        manifest_dirty = False
         for meta in manifest.segments:
             path = directory / (meta.name + ".store")
             store = FingerprintStore.load(path, mmap=mmap)
@@ -212,13 +236,35 @@ class SegmentedS3Index:
                     f"{len(store)}x{store.ndims} vs "
                     f"{meta.count}x{manifest.ndims}"
                 )
-            segments.append(Segment(meta=meta, index=S3Index(
+            index = S3Index(
                 store,
                 order=manifest.order,
                 key_levels=manifest.key_levels,
                 depth=manifest.depth,
                 model=model,
-            )))
+            )
+            # Load the pre-filter sidecar; segments from before the
+            # sketch tier (or with a damaged sidecar) get theirs rebuilt
+            # and the manifest is rewritten once below.
+            sketch = None
+            sketch_path = directory / sketch_filename(meta.name)
+            if meta.sketch is not None and sketch_path.is_file():
+                try:
+                    sketch = SegmentSketch.load(
+                        sketch_path, index.layout.key_bits
+                    )
+                except IndexError_:
+                    sketch = None
+            if sketch is None:
+                sketch = SegmentSketch.build(
+                    index.layout, store.fingerprints, sketch_config
+                )
+                sketch.save(sketch_path)
+                meta.sketch = sketch.to_meta()
+                manifest_dirty = True
+            segments.append(Segment(meta=meta, index=index, sketch=sketch))
+        if manifest_dirty:
+            manifest.save(directory)
         memtable = MemTable(manifest.ndims, manifest.order, manifest.key_levels)
         wal_path = directory / manifest.wal
         if wal_path.is_file():
@@ -231,6 +277,7 @@ class SegmentedS3Index:
         return cls(
             directory, manifest, segments, memtable, wal, model,
             flush_rows, policy or CompactionPolicy(), auto_compact,
+            sketch_config,
         )
 
     def close(self) -> None:
@@ -261,7 +308,21 @@ class SegmentedS3Index:
     @property
     def segments(self) -> list[SegmentMeta]:
         """Manifest entries of the live segments (copies)."""
-        return [SegmentMeta(s.meta.name, s.meta.count) for s in self._segments]
+        return [
+            SegmentMeta(s.meta.name, s.meta.count, s.meta.sketch)
+            for s in self._segments
+        ]
+
+    def prefilter_info(self) -> dict:
+        """Resident-footprint summary of the sketch tier."""
+        sketches = [s.sketch for s in self._segments if s.sketch is not None]
+        return {
+            "segments": len(self._segments),
+            "sketches": len(sketches),
+            "depth": self.sketch_config.depth,
+            "block_rows": self.sketch_config.block_rows,
+            "resident_bytes": sum(s.nbytes() for s in sketches),
+        }
 
     @property
     def pending_rows(self) -> int:
@@ -358,6 +419,10 @@ class SegmentedS3Index:
         seg_path = self.directory / (name + ".store")
         index.store.save(seg_path)
         _fsync_file(seg_path)
+        sketch = SegmentSketch.build(
+            index.layout, index.store.fingerprints, self.sketch_config
+        )
+        sketch.save(self.directory / sketch_filename(name))
 
         new_wal_name = wal_filename(seq)
         new_wal = WriteAheadLog.create(
@@ -365,7 +430,7 @@ class SegmentedS3Index:
         )
         old_wal_path = self.directory / self.manifest.wal
 
-        meta = SegmentMeta(name=name, count=len(store))
+        meta = SegmentMeta(name=name, count=len(store), sketch=sketch.to_meta())
         self.manifest.segments.append(meta)
         self.manifest.wal = new_wal_name
         self.manifest.next_seq = seq + 1
@@ -374,7 +439,7 @@ class SegmentedS3Index:
         self._wal.close()
         self._wal = new_wal
         old_wal_path.unlink(missing_ok=True)
-        self._segments.append(Segment(meta=meta, index=index))
+        self._segments.append(Segment(meta=meta, index=index, sketch=sketch))
         self._memtable.clear()
 
         if self.auto_compact:
@@ -397,24 +462,24 @@ class SegmentedS3Index:
         if not picked:
             return None
         t0 = time.perf_counter()
-        builder = StoreBuilder(self.ndims)
-        for i in picked:
-            builder.append_store(self._segments[i].index.store)
-        merged = builder.build()
-        index = S3Index(
-            merged,
+        index, sketch = merge_segment_stores(
+            [self._segments[i].index.store for i in picked],
+            ndims=self.ndims,
             order=self.manifest.order,
             key_levels=self.manifest.key_levels,
             depth=self.manifest.depth,
             model=self.model,
+            sketch_config=self.sketch_config,
         )
+        merged = index.store
         seq = self.manifest.next_seq
         name = segment_filename(seq)
         seg_path = self.directory / (name + ".store")
         index.store.save(seg_path)
         _fsync_file(seg_path)
+        sketch.save(self.directory / sketch_filename(name))
 
-        meta = SegmentMeta(name=name, count=len(merged))
+        meta = SegmentMeta(name=name, count=len(merged), sketch=sketch.to_meta())
         picked_set = set(picked)
         old = [self._segments[i] for i in picked]
         new_segments: list[Segment] = []
@@ -422,7 +487,9 @@ class SegmentedS3Index:
         for i, seg in enumerate(self._segments):
             if i in picked_set:
                 if not inserted:
-                    new_segments.append(Segment(meta=meta, index=index))
+                    new_segments.append(
+                        Segment(meta=meta, index=index, sketch=sketch)
+                    )
                     inserted = True
                 continue
             new_segments.append(seg)
@@ -432,6 +499,9 @@ class SegmentedS3Index:
         self.manifest.save(self.directory)
         for seg in old:
             (self.directory / (seg.meta.name + ".store")).unlink(
+                missing_ok=True
+            )
+            (self.directory / sketch_filename(seg.meta.name)).unlink(
                 missing_ok=True
             )
         return CompactionResult(
@@ -450,13 +520,16 @@ class SegmentedS3Index:
         alpha: float,
         model: Optional[IndependentDistortionModel] = None,
         depth: Optional[int] = None,
+        options: Optional[QueryOptions] = None,
     ) -> SearchResult:
         """Statistical query of expectation α across segments + memtable.
 
         The block selection is computed once — it depends only on the
         query, the model and the shared curve geometry — and applied to
         every segment and to the memtable, so the merged result equals a
-        monolithic :class:`S3Index` over the same records.
+        monolithic :class:`S3Index` over the same records.  Segment
+        sketches prune provably-empty segments first (admissible — same
+        result bit for bit); ``options.prefilter="off"`` disables that.
         """
         resolved = self._resolve_model(model)
         depth = self._resolve_depth(depth)
@@ -466,7 +539,9 @@ class SegmentedS3Index:
             cache=self._threshold_cache,
         )
         t1 = time.perf_counter()
-        result = self._fan_out(selection, refine=None)
+        result = self._fan_out(
+            selection, refine=None, prefilter=self._prefilter_on(options)
+        )
         result.stats.filter_seconds = t1 - t0
         return result
 
@@ -477,6 +552,7 @@ class SegmentedS3Index:
         model: Optional[IndependentDistortionModel] = None,
         depth: Optional[int] = None,
         workers: int = 1,
+        options: Optional[QueryOptions] = None,
     ) -> list[SearchResult]:
         """Answer a batch of statistical queries in one fan-out pass.
 
@@ -491,7 +567,8 @@ class SegmentedS3Index:
         from ..batch import query_batch_segmented
 
         results, _ = query_batch_segmented(
-            self, queries, alpha, model=model, depth=depth, workers=workers
+            self, queries, alpha, model=model, depth=depth, workers=workers,
+            prefilter=self._prefilter_on(options),
         )
         return results
 
@@ -500,17 +577,30 @@ class SegmentedS3Index:
         query: np.ndarray,
         epsilon: float,
         depth: Optional[int] = None,
+        options: Optional[QueryOptions] = None,
     ) -> SearchResult:
-        """ε-range query across segments + memtable (exact refinement)."""
+        """ε-range query across segments + memtable (exact refinement).
+
+        Range queries use both sketch prunes: occupancy (skip segments
+        with no rows in the selected blocks) and the per-block min/max
+        lower bound (skip row ranges whose every block has ``lb² > ε²``
+        — rows the refinement would reject anyway).
+        """
         depth = self._resolve_depth(depth)
         t0 = time.perf_counter()
         selection = range_blocks(query, epsilon, self.curve, depth)
         t1 = time.perf_counter()
         result = self._fan_out(
-            selection, refine=(np.asarray(query, dtype=np.float64), epsilon)
+            selection,
+            refine=(np.asarray(query, dtype=np.float64), epsilon),
+            prefilter=self._prefilter_on(options),
         )
         result.stats.filter_seconds = t1 - t0
         return result
+
+    @staticmethod
+    def _prefilter_on(options: Optional[QueryOptions]) -> bool:
+        return options.prefilter_enabled if options is not None else True
 
     # ------------------------------------------------------------------
     def _resolve_model(
@@ -542,19 +632,45 @@ class SegmentedS3Index:
         self,
         selection: BlockSelection,
         refine: Optional[tuple[np.ndarray, float]],
+        prefilter: bool = True,
     ) -> SearchResult:
         """Scan the selection in every segment + the memtable and merge.
 
         With *refine* set (``(query, epsilon)``), an exact distance test
         is applied to each part — the ε-range refinement — and distances
-        are reported.
+        are reported.  With *prefilter* (the default), each segment's
+        sketch first drops the selected blocks the segment provably holds
+        no rows of; a segment whose whole selection is dropped is skipped
+        without touching its store or mmap.  Both prunes are admissible,
+        so the merged result is bit-identical either way.
         """
         stats = SegmentedQueryStats()
         parts: list[SearchResult] = []
         base = 0
         for seg in self._segments:
             t0 = time.perf_counter()
-            ranges = seg.index.row_ranges(selection)
+            prefixes = selection.prefixes
+            sketch = seg.sketch if prefilter else None
+            if sketch is not None and len(prefixes):
+                pruned = sketch.prune_prefixes(prefixes, selection.depth)
+                stats.blocks_skipped += len(prefixes) - len(pruned)
+                if len(pruned) == 0:
+                    stats.segments_skipped += 1
+                    seg_stats = QueryStats(blocks_selected=len(selection))
+                    seg_stats.refine_seconds = time.perf_counter() - t0
+                    parts.append(_empty_part(self.ndims, refine, seg_stats))
+                    stats.per_segment.append(seg_stats)
+                    base += seg.meta.count
+                    continue
+                prefixes = pruned
+            ranges = seg.index.layout.block_row_ranges(
+                prefixes, selection.depth
+            )
+            if sketch is not None and refine is not None and ranges:
+                kept = sketch.prune_ranges(ranges, refine[0], refine[1])
+                if not kept:
+                    stats.segments_skipped += 1
+                ranges = kept
             rows = seg.index.layout.gather_rows(ranges)
             store = seg.index.store
             fps = store.fingerprints[rows]
@@ -642,6 +758,24 @@ class SegmentedS3Index:
         return merged
 
 
+def _empty_part(
+    ndims: int,
+    refine: Optional[tuple[np.ndarray, float]],
+    stats: QueryStats,
+) -> SearchResult:
+    """The zero-row part of a sketch-skipped segment (store untouched)."""
+    return SearchResult(
+        rows=np.empty(0, dtype=np.int64),
+        ids=np.empty(0, dtype=np.uint32),
+        timecodes=np.empty(0, dtype=np.float64),
+        fingerprints=np.empty((0, ndims), dtype=np.uint8),
+        distances=(
+            np.empty(0, dtype=np.float64) if refine is not None else None
+        ),
+        stats=stats,
+    )
+
+
 def _fsync_file(path: Path) -> None:
     """Flush a freshly written file's contents to stable storage."""
     fd = os.open(path, os.O_RDONLY)
@@ -654,10 +788,14 @@ def _fsync_file(path: Path) -> None:
 def _collect_orphans(directory: Path, manifest: Manifest) -> None:
     """Delete files a crash left behind (not referenced by the manifest)."""
     live = {seg.name + ".store" for seg in manifest.segments}
+    live |= {sketch_filename(seg.name) for seg in manifest.segments}
     live.add(manifest.wal)
     for path in directory.iterdir():
         name = path.name
         if name.startswith("seg-") and name.endswith(".store") \
+                and name not in live:
+            path.unlink(missing_ok=True)
+        elif name.startswith("seg-") and name.endswith(".sketch") \
                 and name not in live:
             path.unlink(missing_ok=True)
         elif name.startswith("wal-") and name.endswith(".log") \

@@ -34,10 +34,17 @@ _FORMAT = 1
 
 @dataclass
 class SegmentMeta:
-    """One sealed segment: its file stem and record count."""
+    """One sealed segment: its file stem, record count and sketch.
+
+    ``sketch`` is the geometry summary of the segment's pre-filter
+    sidecar (``{"depth", "block_rows"}``, see
+    :mod:`repro.index.segmented.sketch`) or ``None`` for segments sealed
+    before the sketch tier existed — open() rebuilds those.
+    """
 
     name: str
     count: int
+    sketch: dict | None = None
 
 
 @dataclass
@@ -71,7 +78,12 @@ class Manifest:
             "next_seq": self.next_seq,
             "wal": self.wal,
             "segments": [
-                {"name": seg.name, "count": seg.count} for seg in self.segments
+                {
+                    "name": seg.name,
+                    "count": seg.count,
+                    **({"sketch": seg.sketch} if seg.sketch else {}),
+                }
+                for seg in self.segments
             ],
         }
         tmp = directory / (MANIFEST_NAME + ".tmp")
@@ -114,7 +126,11 @@ class Manifest:
                 next_seq=int(payload["next_seq"]),
                 wal=str(payload["wal"]),
                 segments=[
-                    SegmentMeta(name=str(s["name"]), count=int(s["count"]))
+                    SegmentMeta(
+                        name=str(s["name"]),
+                        count=int(s["count"]),
+                        sketch=s.get("sketch"),
+                    )
                     for s in payload["segments"]
                 ],
             )

@@ -11,12 +11,17 @@ sequential scan so that the two methods are comparable").
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING, Optional
+
 import numpy as np
 
 from ..errors import ConfigurationError, IndexError_
 from .kernels import squared_distances
 from .s3 import QueryStats, SearchResult
 from .store import FingerprintStore
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .options import QueryOptions
 
 
 class SequentialScanIndex:
@@ -37,8 +42,22 @@ class SequentialScanIndex:
     def ndims(self) -> int:
         return self.store.ndims
 
-    def range_query(self, query: np.ndarray, epsilon: float) -> SearchResult:
-        """Return every fingerprint within *epsilon* of *query* (exact)."""
+    @property
+    def supports_coalesced_scans(self) -> bool:
+        """False: every query is one full pass, nothing to coalesce."""
+        return False
+
+    def range_query(
+        self,
+        query: np.ndarray,
+        epsilon: float,
+        options: Optional["QueryOptions"] = None,
+    ) -> SearchResult:
+        """Return every fingerprint within *epsilon* of *query* (exact).
+
+        ``options`` is accepted for :class:`~repro.index.IndexProtocol`
+        uniformity; a brute-force scan has no knobs it applies to.
+        """
         query = np.asarray(query, dtype=np.float64).ravel()
         if query.size != self.ndims:
             raise ConfigurationError(

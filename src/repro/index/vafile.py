@@ -20,6 +20,7 @@ queries; its virtue is touching far fewer raw bytes than a naive scan.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -27,6 +28,9 @@ from ..errors import ConfigurationError, IndexError_
 from .kernels import squared_distances
 from .s3 import QueryStats, SearchResult
 from .store import FingerprintStore
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .options import QueryOptions
 
 
 class VAFile:
@@ -63,6 +67,11 @@ class VAFile:
     def ndims(self) -> int:
         return self.store.ndims
 
+    @property
+    def supports_coalesced_scans(self) -> bool:
+        """False: the approximation scan already touches every row."""
+        return False
+
     def approximation_bytes(self) -> int:
         """Size of the approximation table (the phase-1 scan volume)."""
         return self.approximations.nbytes
@@ -83,8 +92,17 @@ class VAFile:
         )
         return np.einsum("ij,ij->i", gap, gap)
 
-    def range_query(self, query: np.ndarray, epsilon: float) -> SearchResult:
-        """Exact ε-range query via the two-phase VA-file algorithm."""
+    def range_query(
+        self,
+        query: np.ndarray,
+        epsilon: float,
+        options: Optional["QueryOptions"] = None,
+    ) -> SearchResult:
+        """Exact ε-range query via the two-phase VA-file algorithm.
+
+        ``options`` is accepted for :class:`~repro.index.IndexProtocol`
+        uniformity; the VA-file's own pruning is its approximation scan.
+        """
         query = np.asarray(query, dtype=np.float64).ravel()
         if query.size != self.ndims:
             raise ConfigurationError(

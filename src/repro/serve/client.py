@@ -12,6 +12,12 @@ exponential-backoff retries.  Two failure classes are retried:
   when ``retry_overloaded`` is set, which is the intended reaction to
   the server's explicit backpressure signal.
 
+Requests carry the client's protocol version (``v``); if the server
+answers ``unsupported_version`` and advertises a speakable range that
+overlaps ours, the client silently negotiates down to the server's
+``max_version`` and resends — so a newer client keeps working against
+an older server without caller involvement.
+
 Backoff for attempt *k* sleeps ``min(backoff_cap, backoff * 2**k)``
 seconds.  Any other error response raises :class:`ServerError` carrying
 the server's error code.
@@ -99,6 +105,9 @@ class ServeClient:
         self.backoff_cap = backoff_cap
         self.retry_overloaded = retry_overloaded
         self.max_frame = max_frame
+        #: Version stamped on outgoing requests; lowered automatically
+        #: when a server advertises a smaller ``max_version``.
+        self.protocol_version = protocol.PROTOCOL_VERSION
         self._sock: Optional[socket.socket] = None
 
     # ------------------------------------------------------------------
@@ -146,7 +155,9 @@ class ServeClient:
                 self._sleep_backoff(attempt)
                 continue
             try:
-                protocol.send_message(sock, message)
+                protocol.send_message(
+                    sock, {**message, "v": self.protocol_version}
+                )
                 response = protocol.recv_message(sock, self.max_frame)
             except (OSError, protocol.ProtocolError) as exc:
                 self.close()
@@ -169,10 +180,33 @@ class ServeClient:
             ):
                 self._sleep_backoff(attempt)
                 continue
+            if code == protocol.ERR_VERSION and attempt < self.retries:
+                negotiated = self._negotiate_version(error)
+                if negotiated:
+                    # Resend immediately at the agreed version.  Safe
+                    # even for ingest: a version-rejected request was
+                    # never applied.
+                    continue
             raise ServerError(code, error.get("message", ""))
         raise ServiceUnavailable(
             f"{self.host}:{self.port} unreachable: {last_exc}"
         )
+
+    def _negotiate_version(self, error: dict) -> bool:
+        """Lower :attr:`protocol_version` into the server's advertised
+        range; ``False`` when no common version exists (or the frame
+        carries no usable advertisement)."""
+        max_version = error.get("max_version")
+        min_version = error.get("min_version", 1)
+        if not isinstance(max_version, int) or not isinstance(
+            min_version, int
+        ):
+            return False
+        agreed = min(self.protocol_version, max_version)
+        if agreed < max(min_version, 1) or agreed >= self.protocol_version:
+            return False
+        self.protocol_version = agreed
+        return True
 
     # ------------------------------------------------------------------
     # ops

@@ -7,10 +7,14 @@ bytes of UTF-8 JSON::
 
 Every payload is one JSON object.  Requests carry an ``op`` (one of
 ``query``, ``detect``, ``ingest``, ``stats``, ``health``) plus
-op-specific fields and an optional client-chosen ``id`` echoed back in
-the response.  Responses carry ``ok`` and either ``result`` or
-``error = {"code", "message"}``.  The full frame and field reference is
-``docs/serving.md``.
+op-specific fields, an optional client-chosen ``id`` echoed back in the
+response, and an optional protocol version ``v`` (absent means
+version 1, the pre-versioning wire format).  Responses carry ``ok``,
+the server's ``v``, and either ``result`` or
+``error = {"code", "message"}``.  A request whose ``v`` the server
+cannot speak is answered with an ``unsupported_version`` error frame
+advertising ``min_version``/``max_version``, and the client negotiates
+down.  The full frame and field reference is ``docs/serving.md``.
 
 JSON is exact for this workload: Python serialises floats with their
 shortest round-tripping repr, so float64 fingerprints and timecodes
@@ -41,12 +45,22 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 _LEN = struct.Struct("!I")
 
+#: Current wire protocol version.  Version 2 added the version field
+#: itself and the ``prefilter`` block of the ``stats`` result; the
+#: request/response shapes of the five ops are unchanged, so version-1
+#: clients interoperate (the server still answers them).
+PROTOCOL_VERSION = 2
+
+#: Oldest request version the server still accepts.
+MIN_PROTOCOL_VERSION = 1
+
 #: Error codes a response's ``error.code`` may carry.
 ERR_BAD_REQUEST = "bad_request"
 ERR_OVERLOADED = "overloaded"
 ERR_DEADLINE = "deadline_exceeded"
 ERR_SHUTTING_DOWN = "shutting_down"
 ERR_UNSUPPORTED = "unsupported"
+ERR_VERSION = "unsupported_version"
 ERR_INTERNAL = "internal"
 
 
@@ -156,16 +170,51 @@ async def write_message(writer: asyncio.StreamWriter, message: dict) -> None:
 # ----------------------------------------------------------------------
 # Message construction
 # ----------------------------------------------------------------------
+def request_version(request: dict) -> int:
+    """The protocol version a request speaks (absent ``v`` means 1)."""
+    version = request.get("v", 1)
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        raise ProtocolError(
+            f"protocol version must be a positive integer, got {version!r}"
+        )
+    return version
+
+
 def ok_response(request: dict, result: dict) -> dict:
-    return {"id": request.get("id"), "ok": True, "result": result}
+    return {
+        "id": request.get("id"),
+        "ok": True,
+        "v": PROTOCOL_VERSION,
+        "result": result,
+    }
 
 
-def error_response(request: Optional[dict], code: str, message: str) -> dict:
+def error_response(
+    request: Optional[dict],
+    code: str,
+    message: str,
+    **extra,
+) -> dict:
+    """An error frame; ``extra`` fields land inside ``error`` (e.g. the
+    ``min_version``/``max_version`` advertisement of ``ERR_VERSION``)."""
     return {
         "id": request.get("id") if request else None,
         "ok": False,
-        "error": {"code": code, "message": message},
+        "v": PROTOCOL_VERSION,
+        "error": {"code": code, "message": message, **extra},
     }
+
+
+def version_error(request: dict, version: int) -> dict:
+    """The ``unsupported_version`` frame advertising the speakable range."""
+    return error_response(
+        request,
+        ERR_VERSION,
+        f"protocol version {version} is outside the supported range "
+        f"[{MIN_PROTOCOL_VERSION}, {PROTOCOL_VERSION}]",
+        min_version=MIN_PROTOCOL_VERSION,
+        max_version=PROTOCOL_VERSION,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -38,7 +38,8 @@ import numpy as np
 
 from ..cbcd.voting import QueryMatches, vote
 from ..errors import ConfigurationError, ReproError
-from ..index.batch import EXECUTOR_STRATEGIES, BatchQueryExecutor
+from ..index.batch import BatchQueryExecutor
+from ..index.options import QueryOptions, warn_deprecated_kwargs
 from ..index.summary import index_summary
 from . import protocol
 from .batcher import (
@@ -53,7 +54,17 @@ from .metrics import Counter, LatencyWindow
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Everything the service needs beyond the index itself."""
+    """Everything the service needs beyond the index itself.
+
+    Engine tuning (sharding, executor, prefilter mode) lives in
+    ``options``, the unified
+    :class:`~repro.index.options.QueryOptions`; the flat
+    ``workers``/``executor`` fields are the deprecated spelling (they
+    warn and are folded in; passing both raises).  ``max_batch`` is the
+    service's micro-batching knob and always wins as the engine batch
+    size.  After construction ``options`` is always populated and the
+    flat fields mirror it.
+    """
 
     host: str = "127.0.0.1"
     port: int = 8765
@@ -61,28 +72,48 @@ class ServeConfig:
     max_batch: int = 32
     max_wait_ms: float = 2.0
     queue_limit: int = 1024
-    workers: int = 1
-    executor: str = "auto"
+    workers: Optional[int] = None
+    executor: Optional[str] = None
     max_frame: int = protocol.MAX_FRAME_BYTES
     vote_tolerance: float = 2.0
     tukey_c: float = 6.0
     min_matches: int = 2
     decision_threshold: int = 5
+    options: Optional[QueryOptions] = None
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.alpha <= 1.0:
-            raise ConfigurationError(
-                f"alpha must be in (0, 1], got {self.alpha}"
+        legacy = {
+            name: value
+            for name in ("workers", "executor")
+            if (value := getattr(self, name)) is not None
+        }
+        if self.options is not None:
+            if legacy:
+                raise ConfigurationError(
+                    "ServeConfig: pass either options= or the legacy "
+                    f"keyword(s) {sorted(legacy)}, not both"
+                )
+            opts = self.options
+            object.__setattr__(self, "alpha", opts.alpha)
+        else:
+            if legacy:
+                warn_deprecated_kwargs("ServeConfig", legacy)
+            if not 0.0 < self.alpha <= 1.0:
+                raise ConfigurationError(
+                    f"alpha must be in (0, 1], got {self.alpha}"
+                )
+            opts = QueryOptions(
+                alpha=self.alpha,
+                workers=legacy.get("workers", 1),
+                executor=legacy.get("executor", "auto"),
             )
-        if self.workers < 1:
-            raise ConfigurationError(
-                f"workers must be >= 1, got {self.workers}"
-            )
-        if self.executor not in EXECUTOR_STRATEGIES:
-            raise ConfigurationError(
-                f"executor must be one of {EXECUTOR_STRATEGIES!r}, "
-                f"got {self.executor!r}"
-            )
+        # The micro-batcher owns batching: its max_batch is the engine
+        # batch size, whatever the options said.
+        object.__setattr__(
+            self, "options", opts.replace(batch_size=self.max_batch)
+        )
+        object.__setattr__(self, "workers", self.options.workers)
+        object.__setattr__(self, "executor", self.options.executor)
 
     def batcher_config(self) -> BatcherConfig:
         return BatcherConfig(
@@ -139,11 +170,7 @@ class DetectionServer:
         self._engine = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-engine"
         )
-        executor = BatchQueryExecutor(
-            self.index, cfg.alpha,
-            batch_size=cfg.max_batch, workers=cfg.workers,
-            executor=cfg.executor,
-        )
+        executor = BatchQueryExecutor(self.index, options=cfg.options)
         # Warm the scan pool before accepting traffic: workers attach
         # every store now, so the first request never pays the spawn.
         # (On worker death mid-flight the pool respawns and retries; if
@@ -240,6 +267,22 @@ class DetectionServer:
     async def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
         self.stats.requests.add(key=str(op))
+        try:
+            version = protocol.request_version(request)
+        except protocol.ProtocolError as exc:
+            self.stats.errors.add(key=protocol.ERR_BAD_REQUEST)
+            return protocol.error_response(
+                request, protocol.ERR_BAD_REQUEST, str(exc)
+            )
+        if not (
+            protocol.MIN_PROTOCOL_VERSION
+            <= version
+            <= protocol.PROTOCOL_VERSION
+        ):
+            # Answer with the speakable range so the client can
+            # negotiate down instead of hanging up.
+            self.stats.errors.add(key=protocol.ERR_VERSION)
+            return protocol.version_error(request, version)
         if self._closing:
             self.stats.errors.add(key=protocol.ERR_SHUTTING_DOWN)
             return protocol.error_response(
@@ -425,7 +468,21 @@ class DetectionServer:
         batcher = self.batcher.stats.snapshot(
             self.batcher.queue_depth
         ) if self.batcher else {}
+        engine_stats = self._executor.stats if self._executor else None
+        prefilter = {
+            "mode": self.config.options.prefilter,
+            "enabled": self.config.options.prefilter_enabled,
+            "segments_skipped": (
+                engine_stats.segments_skipped if engine_stats else 0
+            ),
+            "blocks_skipped": (
+                engine_stats.blocks_skipped if engine_stats else 0
+            ),
+        }
+        if hasattr(self.index, "prefilter_info"):
+            prefilter["sketches"] = self.index.prefilter_info()
         return {
+            "protocol_version": protocol.PROTOCOL_VERSION,
             "uptime_seconds": time.time() - self.stats.started_at,
             "connections": {
                 "open": self.stats.connections_open,
@@ -435,6 +492,7 @@ class DetectionServer:
             "errors": dict(self.stats.errors.by_key),
             "latency": self.stats.latency.snapshot(),
             "batcher": batcher,
+            "prefilter": prefilter,
             "parallel": {
                 "strategy": self.config.executor,
                 "resolved": (
@@ -453,5 +511,6 @@ class DetectionServer:
                 "queue_limit": self.config.queue_limit,
                 "workers": self.config.workers,
                 "executor": self.config.executor,
+                "prefilter": self.config.options.prefilter,
             },
         }

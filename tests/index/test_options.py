@@ -1,0 +1,237 @@
+"""Tests for the unified QueryOptions API and its deprecation shims.
+
+Three contracts:
+
+* :class:`QueryOptions` validates once, at construction, with the same
+  messages the scattered per-class checks used to raise;
+* every front-end that grew ``options=`` keeps its legacy tuning kwargs
+  working behind a ``DeprecationWarning`` (and refuses ambiguous calls
+  passing both), with behaviour identical to the options spelling;
+* all four index classes satisfy :class:`repro.index.IndexProtocol`.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cbcd.detector import DetectorConfig
+from repro.cbcd.monitor import MonitorConfig
+from repro.distortion.model import NormalDistortionModel
+from repro.errors import ConfigurationError
+from repro.index import (
+    IndexProtocol,
+    QueryOptions,
+    S3Index,
+    SegmentedS3Index,
+    SeqScanIndex,
+    VAFileIndex,
+    resolve_options,
+)
+from repro.index.batch import BatchQueryExecutor
+from repro.index.store import FingerprintStore
+from repro.serve.server import ServeConfig
+
+NDIMS = 8
+SIGMA = 10.0
+
+
+def make_store(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    fp = rng.integers(0, 256, size=(n, NDIMS)).astype(np.uint8)
+    return FingerprintStore(
+        fp, rng.integers(0, 5, n).astype(np.uint32), rng.uniform(0, 100, n)
+    )
+
+
+# ----------------------------------------------------------------------
+class TestQueryOptionsValidation:
+    def test_defaults(self):
+        opts = QueryOptions()
+        assert opts.alpha == 0.8
+        assert opts.executor == "auto"
+        assert opts.prefilter == "auto"
+        assert opts.prefilter_enabled
+
+    @pytest.mark.parametrize("field,value", [
+        ("alpha", 0.0),
+        ("alpha", 1.5),
+        ("batch_size", 0),
+        ("workers", 0),
+        ("executor", "gpu"),
+        ("prefilter", "maybe"),
+        ("parallel_gather_min_rows", -1),
+        ("depth", 0),
+    ])
+    def test_rejects_out_of_domain(self, field, value):
+        with pytest.raises(ConfigurationError):
+            QueryOptions(**{field: value})
+
+    def test_replace(self):
+        opts = QueryOptions(alpha=0.5).replace(workers=4, prefilter="off")
+        assert opts.alpha == 0.5
+        assert opts.workers == 4
+        assert not opts.prefilter_enabled
+
+    def test_replace_validates(self):
+        with pytest.raises(ConfigurationError):
+            QueryOptions().replace(executor="nope")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            QueryOptions().alpha = 0.2
+
+
+class TestResolveOptions:
+    def test_options_and_legacy_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            resolve_options("API", QueryOptions(), workers=2)
+
+    def test_legacy_only_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="API"):
+            opts = resolve_options("API", None, workers=3, batch_size=16)
+        assert opts.workers == 3
+        assert opts.batch_size == 16
+
+    def test_alpha_depth_stay_first_class(self):
+        # alpha/depth are paper semantics, not engine tuning: passing
+        # them never warns, and they override the options' values.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            opts = resolve_options(
+                "API", QueryOptions(alpha=0.5), alpha=0.9, depth=6
+            )
+        assert opts.alpha == 0.9
+        assert opts.depth == 6
+
+
+# ----------------------------------------------------------------------
+class TestExecutorShims:
+    def test_legacy_kwargs_warn_but_work(self):
+        index = S3Index(
+            make_store(), model=NormalDistortionModel(NDIMS, SIGMA)
+        )
+        with pytest.warns(DeprecationWarning, match="BatchQueryExecutor"):
+            legacy = BatchQueryExecutor(index, 0.8, batch_size=16, workers=2)
+        modern = BatchQueryExecutor(
+            index, options=QueryOptions(alpha=0.8, batch_size=16, workers=2)
+        )
+        assert legacy.options == modern.options
+
+        queries = make_store(8, seed=3).fingerprints.astype(np.float64)
+        index.reset_threshold_cache()
+        a = legacy.query_batch(queries)
+        index.reset_threshold_cache()
+        b = modern.query_batch(queries)
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra.rows, rb.rows)
+            assert np.array_equal(ra.ids, rb.ids)
+
+    def test_needs_alpha_or_options(self):
+        index = S3Index(
+            make_store(), model=NormalDistortionModel(NDIMS, SIGMA)
+        )
+        with pytest.raises(ConfigurationError, match="alpha= or options="):
+            BatchQueryExecutor(index)
+
+    def test_alpha_plus_options_overrides(self):
+        index = S3Index(
+            make_store(), model=NormalDistortionModel(NDIMS, SIGMA)
+        )
+        executor = BatchQueryExecutor(
+            index, 0.9, options=QueryOptions(alpha=0.5, workers=2)
+        )
+        assert executor.alpha == 0.9
+        assert executor.workers == 2
+
+
+class TestConfigShims:
+    def test_detector_legacy_warns_and_mirrors(self):
+        with pytest.warns(DeprecationWarning, match="DetectorConfig"):
+            cfg = DetectorConfig(alpha=0.7, batch_size=16, executor="threads")
+        assert cfg.options.alpha == 0.7
+        assert cfg.options.batch_size == 16
+        assert cfg.options.executor == "threads"
+        assert cfg.batch_size == 16  # flat reads keep working
+        assert cfg.workers == 1
+
+    def test_detector_options_spelling_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cfg = DetectorConfig(
+                options=QueryOptions(alpha=0.7, workers=2, prefilter="off")
+            )
+        assert cfg.alpha == 0.7  # synced from the options
+        assert cfg.workers == 2
+
+    def test_detector_both_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            DetectorConfig(options=QueryOptions(), workers=2)
+
+    def test_detector_still_validates_alpha_domain(self):
+        # The detector's stricter alpha < 1 holds for options-carried
+        # alphas too (QueryOptions itself allows alpha == 1).
+        with pytest.raises(ConfigurationError, match="alpha"):
+            DetectorConfig(options=QueryOptions(alpha=1.0))
+
+    def test_monitor_legacy_warns_and_mirrors(self):
+        with pytest.warns(DeprecationWarning, match="MonitorConfig"):
+            cfg = MonitorConfig(batch_size=8, workers=2)
+        assert cfg.options.batch_size == 8
+        assert cfg.options.workers == 2
+        assert cfg.batch_size == 8
+
+    def test_monitor_gains_executor_via_options(self):
+        # MonitorConfig historically had no executor knob at all; the
+        # unified options close that drift.
+        cfg = MonitorConfig(options=QueryOptions(executor="threads"))
+        assert cfg.options.executor == "threads"
+
+    def test_monitor_both_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            MonitorConfig(options=QueryOptions(), batch_size=8)
+
+    def test_serve_legacy_warns_and_mirrors(self):
+        with pytest.warns(DeprecationWarning, match="ServeConfig"):
+            cfg = ServeConfig(workers=2, executor="threads")
+        assert cfg.options.workers == 2
+        assert cfg.options.executor == "threads"
+        assert cfg.workers == 2
+
+    def test_serve_max_batch_wins_engine_batch_size(self):
+        cfg = ServeConfig(
+            max_batch=64, options=QueryOptions(batch_size=8, alpha=0.6)
+        )
+        assert cfg.options.batch_size == 64
+        assert cfg.alpha == 0.6
+
+    def test_serve_both_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            ServeConfig(options=QueryOptions(), workers=2)
+
+
+# ----------------------------------------------------------------------
+class TestIndexProtocol:
+    def test_all_four_index_classes_conform(self, tmp_path):
+        store = make_store()
+        model = NormalDistortionModel(NDIMS, SIGMA)
+        segmented = SegmentedS3Index.create(
+            tmp_path / "seg", ndims=NDIMS, model=model
+        )
+        segmented.add(store.fingerprints, store.ids, store.timecodes)
+        indexes = [
+            S3Index(store, model=model),
+            segmented,
+            SeqScanIndex(store),
+            VAFileIndex(store),
+        ]
+        query = store.fingerprints[0].astype(np.float64)
+        opts = QueryOptions(prefilter="on")
+        for index in indexes:
+            assert isinstance(index, IndexProtocol), type(index).__name__
+            assert len(index) == len(store)
+            assert index.ndims == NDIMS
+            assert isinstance(index.supports_coalesced_scans, bool)
+            result = index.range_query(query, 5.0, options=opts)
+            assert len(result) >= 1  # the row itself is within any radius
+        segmented.close()

@@ -320,8 +320,24 @@ class TestExecutorResolution:
         monkeypatch.setattr(
             "repro.index.batch.PROCESS_EXECUTOR_MIN_ROWS", 100
         )
+        # Lift the core gate so the scale decision is what's under test,
+        # host-independently.
+        monkeypatch.setattr("repro.index.batch.PROCESS_EXECUTOR_MIN_CPUS", 1)
         ex = make_executor(index, executor="auto")
         assert ex.resolve_executor() == "processes"
+
+    def test_auto_never_picks_processes_on_tiny_hosts(
+        self, index, monkeypatch
+    ):
+        # BENCH_parallel_scan: the pool is 0.67-0.86x vs threads when its
+        # shards contend for 1-2 cores, so auto must stay on threads there
+        # even when every other condition favours processes.
+        monkeypatch.setattr(
+            "repro.index.batch.PROCESS_EXECUTOR_MIN_ROWS", 100
+        )
+        monkeypatch.setattr("repro.index.batch.os.cpu_count", lambda: 2)
+        ex = make_executor(index, executor="auto")
+        assert ex.resolve_executor() == "threads"
 
     def test_oversubscription_warns(self, index):
         cpus = os.cpu_count()
