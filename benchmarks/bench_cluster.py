@@ -1,0 +1,80 @@
+"""Sharded cluster under fire — scatter-gather identity and failover.
+
+Acceptance gate for the cluster subsystem: plan a sealed corpus into 2
+shards x 2 replicas, launch the real process topology (one interpreter
+per replica, supervisor-healed), and drive mixed query/ingest traffic
+through the scatter-gather router while one replica is SIGKILLed
+mid-storm.  The run must finish with **zero client-visible errors** —
+retries plus replica failover plus shard-side ingest dedupe absorb the
+kill — and the pre-storm query batch must come back bit-identical to
+the single-node engine.
+
+``python benchmarks/bench_cluster.py --smoke`` is the CI job: 2 shards
+over a 50k-row corpus, process mode, one replica killed mid-run.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_cluster_scatter_gather(benchmark, capsys):
+    from conftest import run_and_report
+
+    from repro.experiments import run_cluster_bench
+
+    result = run_and_report(
+        benchmark,
+        capsys,
+        lambda: run_cluster_bench(
+            db_rows=50_000,
+            num_shards=2,
+            replicas=2,
+            mode="process",
+            seed=0,
+            json_path=REPO_ROOT / "BENCH_cluster.json",
+        ),
+    )
+    assert result.bit_identical
+    assert result.zero_client_errors, result.request_errors
+    assert result.replica_killed
+    assert result.supervisor_restarts >= 1
+
+
+def _smoke() -> int:
+    """50k rows, 2 shards x 2 replicas, SIGKILL one replica mid-storm."""
+    from repro.experiments import run_cluster_bench
+
+    result = run_cluster_bench(
+        db_rows=50_000,
+        num_shards=2,
+        replicas=2,
+        mode="process",
+        seed=0,
+    )
+    print(result.render())
+    failures = []
+    if not result.bit_identical:
+        failures.append(
+            "routed results diverge from the single-node engine"
+        )
+    if not result.replica_killed:
+        failures.append("no replica was killed; the storm proved nothing")
+    if result.request_errors:
+        failures.append(
+            f"{len(result.request_errors)} client-visible error(s) "
+            f"during SIGKILL+heal: {result.request_errors[:3]}"
+        )
+    if result.requests_sent == 0:
+        failures.append("storm sent no requests")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        raise SystemExit(_smoke())
+    print(__doc__)
+    raise SystemExit(2)

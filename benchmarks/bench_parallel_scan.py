@@ -14,7 +14,6 @@ corpus without pytest-benchmark — the CI gate: every strategy
 bit-identical, zero fingerprint bytes on the pipes.
 """
 
-import os
 import sys
 from pathlib import Path
 
@@ -46,11 +45,10 @@ def test_parallel_scan_speedup(benchmark, capsys):
         if scale.processes_available:
             assert scale.fingerprint_bytes_serialized == 0
             assert scale.worker_deaths == 0
-    # The >= 2x GIL-escape gate needs actual cores to escape to.
-    cpus = os.cpu_count() or 1
-    big = result.scales[-1]
-    if cpus >= 4 and big.processes_available:
-        assert big.processes_over_threads >= 2.0
+    # The >= 2x GIL-escape gate needs actual cores to escape to; a
+    # skip is recorded as such in the JSON, never as a silent pass.
+    gate = result.gate_status()
+    assert gate == "passed" or gate.startswith("skipped"), gate
 
 
 def _smoke() -> int:
@@ -70,6 +68,9 @@ def _smoke() -> int:
     )
     print(result.render())
     failures = []
+    gate = result.gate_status()
+    if not (gate == "passed" or gate.startswith("skipped")):
+        failures.append(f"GIL-escape gate: {gate}")
     if not result.bit_identical_results:
         failures.append(
             "executor strategies diverge from the serial engine"

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -352,12 +353,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def _run() -> None:
         server = DetectionServer(index, config)
         await server.start()
+        if args.port_file:
+            # Atomic write: a supervisor polling the file never reads a
+            # partial port number.
+            tmp = Path(args.port_file).with_suffix(".tmp")
+            tmp.write_text(f"{server.port}\n")
+            os.replace(tmp, args.port_file)
         print(
             f"serving {args.index} on {config.host}:{server.port} "
             f"(alpha={config.alpha}, max_batch={config.max_batch}, "
             f"max_wait_ms={config.max_wait_ms}, "
             f"queue_limit={config.queue_limit}, "
-            f"executor={config.executor})"
+            f"executor={config.executor})",
+            flush=True,
         )
         try:
             await server.serve_forever()
@@ -371,6 +379,114 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _cmd_cluster_plan(args: argparse.Namespace) -> int:
+    from .cluster import plan_cluster
+
+    manifest = plan_cluster(
+        args.source,
+        args.cluster_dir,
+        num_shards=args.shards,
+        replicas=args.replicas,
+        seal=args.seal,
+    )
+    print(
+        f"planned {manifest.num_shards} shard(s) x "
+        f"{manifest.replicas_per_shard} replica(s) over "
+        f"{manifest.total_rows} rows -> {args.cluster_dir}"
+    )
+    for spec in manifest.shards:
+        print(
+            f"  shard {spec.shard}: {spec.rows} rows, "
+            f"{len(spec.segments)} segment(s), "
+            f"keys [{spec.key_lo}, {spec.key_hi})"
+        )
+    return 0
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .cluster import ClusterManifest, ClusterRouter, ClusterSupervisor
+    from .cluster.router import RouterConfig
+    from .serve.server import ServeConfig
+
+    manifest = ClusterManifest.load(args.cluster_dir)
+    supervisor = ClusterSupervisor(
+        args.cluster_dir,
+        mode=args.mode,
+        serve_config=ServeConfig(port=0, alpha=args.alpha),
+        extra_serve_args=["--alpha", str(args.alpha)],
+    )
+    config = RouterConfig(
+        host=args.host, port=args.port, alpha=args.alpha,
+        shard_timeout=args.shard_timeout,
+    )
+
+    async def _run(router: ClusterRouter) -> None:
+        await router.start()
+        print(
+            f"cluster router for {args.cluster_dir} on "
+            f"{config.host}:{router.port} "
+            f"({manifest.num_shards} shard(s) x "
+            f"{manifest.replicas_per_shard} replica(s), "
+            f"alpha={config.alpha}, mode={args.mode})",
+            flush=True,
+        )
+        try:
+            await router.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining and shutting down ...")
+            await router.stop()
+
+    supervisor.start()
+    try:
+        router = ClusterRouter(manifest, supervisor.endpoints(), config)
+        try:
+            asyncio.run(_run(router))
+        except KeyboardInterrupt:
+            pass
+    finally:
+        supervisor.stop()
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    from .cluster import ClusterManifest
+
+    manifest = ClusterManifest.load(args.cluster_dir)
+    payload = {
+        "cluster_dir": str(args.cluster_dir),
+        "source": manifest.source,
+        "shards": manifest.num_shards,
+        "replicas_per_shard": manifest.replicas_per_shard,
+        "total_rows": manifest.total_rows,
+        "key_bits": manifest.key_bits,
+        "plan": [
+            {
+                "shard": s.shard,
+                "rows": s.rows,
+                "segments": [a.name for a in s.segments],
+                "key_lo": s.key_lo,
+                "key_hi": s.key_hi,
+                "replicas": list(s.replicas),
+            }
+            for s in manifest.shards
+        ],
+    }
+    if args.port is not None:
+        from .serve.client import ServeClient
+
+        with ServeClient(host=args.host, port=args.port) as client:
+            payload["router"] = {
+                "health": client.health(),
+                "stats": client.stats(),
+            }
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -583,7 +699,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prefilter", choices=list(PREFILTER_MODES),
                    default="auto",
                    help="segment-sketch pre-filter (see `query --help`)")
+    p.add_argument("--port-file", default=None,
+                   help="write the bound port here after startup "
+                        "(atomically; used by the cluster supervisor)")
     p.set_defaults(func=_cmd_serve, batch_size=None)
+
+    p = sub.add_parser(
+        "cluster",
+        help="shard a sealed segmented index and serve it scatter-gather",
+    )
+    csub = p.add_subparsers(dest="cluster_cmd", required=True)
+
+    cp = csub.add_parser(
+        "plan",
+        help="partition a sealed segmented index into shard directories",
+    )
+    cp.add_argument("source", help="sealed segmented index directory")
+    cp.add_argument("cluster_dir", help="output cluster directory")
+    cp.add_argument("--shards", type=int, required=True,
+                    help="number of shards (<= number of segments)")
+    cp.add_argument("--replicas", type=int, default=1,
+                    help="full copies per shard (failover targets)")
+    cp.add_argument("--seal", action="store_true",
+                    help="flush unsealed rows in the source first")
+    cp.set_defaults(func=_cmd_cluster_plan)
+
+    cp = csub.add_parser(
+        "serve",
+        help="launch all shard replicas plus the scatter-gather router",
+    )
+    cp.add_argument("cluster_dir", help="planned cluster directory")
+    cp.add_argument("--host", default="127.0.0.1")
+    cp.add_argument("--port", type=int, default=8765,
+                    help="router port (0 binds an ephemeral port)")
+    cp.add_argument("--alpha", type=float, default=0.8,
+                    help="cluster-wide alpha (router and every shard)")
+    cp.add_argument("--mode", choices=["process", "thread"],
+                    default="process",
+                    help="replica isolation: one process per replica "
+                         "(production) or in-process threads (tests)")
+    cp.add_argument("--shard-timeout", type=float, default=30.0,
+                    help="per-attempt cap on one replica answering")
+    cp.set_defaults(func=_cmd_cluster_serve)
+
+    cp = csub.add_parser(
+        "status",
+        help="print the cluster plan (and live router stats with --port)",
+    )
+    cp.add_argument("cluster_dir", help="planned cluster directory")
+    cp.add_argument("--host", default="127.0.0.1")
+    cp.add_argument("--port", type=int, default=None,
+                    help="also query a running router at this port")
+    cp.set_defaults(func=_cmd_cluster_status)
 
     p = sub.add_parser(
         "request",

@@ -16,6 +16,7 @@ from .abacus import (
 )
 from .ascii_plot import render_plot
 from .batch_query import BatchQueryBenchResult, run_batch_query
+from .cluster_bench import ClusterBenchResult, run_cluster_bench
 from .common import Series, format_table
 from .fig1_distance import Fig1Result, run_fig1
 from .fig10_monitoring import Fig10Result, run_fig10
@@ -45,6 +46,7 @@ __all__ = [
     "AbacusResult",
     "AbacusSetup",
     "BatchQueryBenchResult",
+    "ClusterBenchResult",
     "Fig1Result",
     "Fig10Result",
     "Fig2Result",
@@ -67,6 +69,7 @@ __all__ = [
     "paper_transform_ladder",
     "render_plot",
     "run_batch_query",
+    "run_cluster_bench",
     "run_fig1",
     "run_fig10",
     "run_fig2",

@@ -1,0 +1,341 @@
+"""Sharded cluster — scatter-gather serving vs one node, under failure.
+
+The cluster acceptance run: plan a sealed corpus into shards, launch the
+full stack (supervisor-managed replica servers plus the scatter-gather
+router), and drive it like the deployed service would be driven:
+
+* **identity** — a query batch served through the router must come back
+  bit-identical to the single-node engine's
+  ``statistical_query_batch`` over the unsharded index;
+* **storm** — concurrent wire clients stream mixed query/ingest
+  traffic while one replica is killed outright (SIGKILL in process
+  mode); the run records every client-visible error, and the accepted
+  outcome is **none** — failover plus shard-side ingest dedupe absorb
+  the loss;
+* **bookkeeping** — per-shard fanout/skip/failover counters and
+  supervisor restarts, so a regression in routing or healing shows up
+  in the JSON (``BENCH_cluster.json``), not just in wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.plan import ClusterManifest, plan_cluster
+from ..cluster.router import ClusterRouter, RouterConfig
+from ..cluster.supervisor import ClusterSupervisor
+from ..corpus.builder import build_reference_corpus
+from ..corpus.filler import scale_store
+from ..distortion.model import NormalDistortionModel
+from ..index.segmented.lsm import SegmentedS3Index
+from ..rng import SeedLike, resolve_rng
+from ..serve.client import ServeClient
+from ..serve.runner import ServiceThread
+from ..serve.server import ServeConfig
+from .common import format_table
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class ClusterBenchResult:
+    """One cluster run: identity check, storm outcome, counters."""
+
+    db_rows: int
+    num_shards: int
+    replicas: int
+    mode: str
+    num_clients: int
+    requests_per_client: int
+    alpha: float
+    sigma: float
+    identity_queries: int
+    bit_identical: bool
+    requests_sent: int
+    request_errors: list = field(default_factory=list)
+    replica_killed: bool = False
+    supervisor_restarts: int = 0
+    shard_fanouts: list = field(default_factory=list)
+    shard_skips: list = field(default_factory=list)
+    shard_failovers: list = field(default_factory=list)
+    storm_seconds: float = 0.0
+    startup_seconds: float = 0.0
+
+    @property
+    def zero_client_errors(self) -> bool:
+        return not self.request_errors
+
+    def render(self) -> str:
+        rows = [
+            (f"shard {i}", fan, skip, fo)
+            for i, (fan, skip, fo) in enumerate(zip(
+                self.shard_fanouts, self.shard_skips,
+                self.shard_failovers,
+            ))
+        ]
+        table = format_table(
+            ["shard", "fanouts", "skips", "failovers"],
+            rows,
+            title=(
+                f"Cluster {self.num_shards} shard(s) x {self.replicas} "
+                f"replica(s) ({self.mode}) over {self.db_rows} rows"
+            ),
+        )
+        lines = [
+            table,
+            f"bit-identical to single node over {self.identity_queries} "
+            f"queries: {self.bit_identical}",
+            f"storm: {self.requests_sent} requests from "
+            f"{self.num_clients} client(s) in {self.storm_seconds:.2f}s, "
+            f"{len(self.request_errors)} client-visible error(s)"
+            + (" [replica SIGKILLed mid-storm]"
+               if self.replica_killed else ""),
+            f"supervisor restarts: {self.supervisor_restarts} "
+            f"(startup {self.startup_seconds:.1f}s)",
+        ]
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": "cluster",
+            "schema_version": SCHEMA_VERSION,
+            "config": {
+                "db_rows": self.db_rows,
+                "num_shards": self.num_shards,
+                "replicas": self.replicas,
+                "mode": self.mode,
+                "num_clients": self.num_clients,
+                "requests_per_client": self.requests_per_client,
+                "alpha": self.alpha,
+                "sigma": self.sigma,
+            },
+            "equivalence": {
+                "identity_queries": self.identity_queries,
+                "bit_identical": self.bit_identical,
+            },
+            "storm": {
+                "requests_sent": self.requests_sent,
+                "client_errors": self.request_errors,
+                "zero_client_errors": self.zero_client_errors,
+                "replica_killed": self.replica_killed,
+                "seconds": self.storm_seconds,
+            },
+            "routing": {
+                "fanouts": self.shard_fanouts,
+                "skips": self.shard_skips,
+                "failovers": self.shard_failovers,
+                "supervisor_restarts": self.supervisor_restarts,
+            },
+            "startup_seconds": self.startup_seconds,
+        }
+
+    def write_json(self, path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+
+def _build_source(directory: Path, db_rows: int, sigma: float,
+                  num_segments: int, seed) -> np.ndarray:
+    """Seal *db_rows* clustered fingerprints into *num_segments* runs."""
+    rng = resolve_rng(seed)
+    corpus = build_reference_corpus(
+        num_videos=4, frames_per_video=60, seed=rng
+    )
+    store = scale_store(corpus.store, db_rows, rng=rng)
+    chunk = max(1, (len(store) + num_segments - 1) // num_segments)
+    index = SegmentedS3Index.create(
+        directory,
+        ndims=store.ndims,
+        model=NormalDistortionModel(store.ndims, sigma),
+        flush_rows=chunk,
+        auto_compact=False,
+    )
+    for start in range(0, len(store), chunk):
+        end = start + chunk
+        index.add(
+            store.fingerprints[start:end],
+            store.ids[start:end],
+            store.timecodes[start:end],
+        )
+    index.flush()
+    index.close()
+    return np.asarray(store.fingerprints)
+
+
+def run_cluster_bench(
+    db_rows: int = 50_000,
+    num_shards: int = 2,
+    replicas: int = 2,
+    num_clients: int = 4,
+    requests_per_client: int = 9,
+    identity_queries: int = 16,
+    alpha: float = 0.8,
+    sigma: float = 10.0,
+    seed: SeedLike = 0,
+    mode: str = "process",
+    kill_replica_mid_storm: bool = True,
+    work_dir: Optional[Path] = None,
+    json_path: Optional[Path] = None,
+) -> ClusterBenchResult:
+    """Run the full cluster acceptance scenario; see the module docstring.
+
+    ``mode="process"`` (the default, and what CI runs) gives every
+    replica its own interpreter and exercises real SIGKILL healing;
+    ``mode="thread"`` is the fast in-process variant.
+    """
+    rng = resolve_rng(seed)
+    owned_tmp = work_dir is None
+    work_dir = Path(work_dir or tempfile.mkdtemp(prefix="cluster-bench-"))
+    try:
+        return _run(
+            work_dir, db_rows, num_shards, replicas, num_clients,
+            requests_per_client, identity_queries, alpha, sigma, rng,
+            mode, kill_replica_mid_storm, json_path,
+        )
+    finally:
+        if owned_tmp:
+            shutil.rmtree(work_dir, ignore_errors=True)
+
+
+def _run(
+    work_dir, db_rows, num_shards, replicas, num_clients,
+    requests_per_client, identity_queries, alpha, sigma, rng,
+    mode, kill_replica_mid_storm, json_path,
+) -> ClusterBenchResult:
+    source = work_dir / "source"
+    fingerprints = _build_source(
+        source, db_rows, sigma,
+        num_segments=max(2 * num_shards, 4), seed=rng,
+    )
+    cluster_dir = work_dir / "cluster"
+    plan_cluster(source, cluster_dir, num_shards=num_shards,
+                 replicas=replicas)
+
+    picks = rng.integers(0, fingerprints.shape[0], size=identity_queries)
+    queries = fingerprints[picks].astype(np.float64)
+    queries += rng.normal(0.0, 2.0, queries.shape)
+
+    # Single-node baseline from the same cold-cache state the serving
+    # path uses (the micro-batcher resets the cache per engine batch).
+    with SegmentedS3Index.open(
+        source, auto_compact=False, mmap=True
+    ) as index:
+        index.reset_threshold_cache()
+        baseline = index.statistical_query_batch(queries, alpha)
+
+    t0 = time.perf_counter()
+    supervisor = ClusterSupervisor(
+        cluster_dir,
+        mode=mode,
+        serve_config=ServeConfig(port=0, alpha=alpha),
+        extra_serve_args=["--alpha", str(alpha)],
+    ).start()
+    result = ClusterBenchResult(
+        db_rows=db_rows,
+        num_shards=num_shards,
+        replicas=replicas,
+        mode=mode,
+        num_clients=num_clients,
+        requests_per_client=requests_per_client,
+        alpha=alpha,
+        sigma=sigma,
+        identity_queries=identity_queries,
+        bit_identical=False,
+        requests_sent=0,
+    )
+    try:
+        router = ClusterRouter(
+            ClusterManifest.load(cluster_dir),
+            supervisor.endpoints(),
+            RouterConfig(port=0, alpha=alpha),
+        )
+        with ServiceThread(router) as thread:
+            result.startup_seconds = time.perf_counter() - t0
+            port = thread.port
+            with ServeClient(port=port, timeout=60.0) as client:
+                served = client.query(queries)
+                result.bit_identical = all(
+                    np.array_equal(b.rows, s.rows)
+                    and np.array_equal(b.ids, s.ids)
+                    and np.array_equal(b.timecodes, s.timecodes)
+                    for b, s in zip(baseline, served)
+                ) and len(baseline) == len(served)
+
+                _storm(
+                    result, port, queries, fingerprints, rng,
+                    supervisor, kill_replica_mid_storm,
+                )
+
+                stats = client.stats()["cluster"]["per_shard"]
+                result.shard_fanouts = [s["fanouts"] for s in stats]
+                result.shard_skips = [s["skips"] for s in stats]
+                result.shard_failovers = [s["failovers"] for s in stats]
+                result.supervisor_restarts = sum(
+                    h["restarts"] for h in supervisor.status()
+                )
+    finally:
+        supervisor.stop()
+    if json_path is not None:
+        result.write_json(json_path)
+    return result
+
+
+def _storm(
+    result, port, queries, fingerprints, rng, supervisor, kill_mid_storm
+) -> None:
+    """Concurrent mixed query/ingest clients racing one replica kill."""
+    ndims = fingerprints.shape[1]
+    errors: list = []
+    sent = [0] * result.num_clients
+    barrier = threading.Barrier(result.num_clients + 1)
+
+    def run_client(idx: int) -> None:
+        local = np.random.default_rng(1000 + idx)
+        with ServeClient(port=port, timeout=60.0, retries=8) as client:
+            barrier.wait()
+            for i in range(result.requests_per_client):
+                try:
+                    if i % 3 == 2:
+                        fresh = local.integers(
+                            0, 256, size=(2, ndims), dtype=np.uint8
+                        ).astype(np.float64)
+                        client.ingest(
+                            fresh,
+                            np.arange(2) + 9000 + idx,
+                            np.zeros(2),
+                        )
+                    else:
+                        client.query(queries[: 1 + (i % 4)])
+                    sent[idx] += 1
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    errors.append(f"client {idx} req {i}: {exc!r}")
+                # A small stagger keeps the storm overlapping the kill.
+                time.sleep(0.02)
+
+    threads = [
+        threading.Thread(target=run_client, args=(idx,))
+        for idx in range(result.num_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    t0 = time.perf_counter()
+    barrier.wait()
+    if kill_mid_storm:
+        time.sleep(0.3)
+        supervisor.kill_replica(0, 0)
+        result.replica_killed = True
+    for thread in threads:
+        thread.join()
+    result.storm_seconds = time.perf_counter() - t0
+    result.requests_sent = sum(sent)
+    result.request_errors = errors

@@ -43,9 +43,15 @@ from ..index.s3 import S3Index
 from ..rng import SeedLike, resolve_rng
 from .common import format_table
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 STRATEGIES = ("serial", "threads", "processes")
+
+#: The GIL-escape acceptance gate: the process pool must beat the
+#: thread shards by this factor on the largest scale — but only on
+#: hosts with enough cores for the comparison to mean anything.
+GATE_MIN_SPEEDUP = 2.0
+GATE_MIN_CORES = 4
 
 
 @dataclass
@@ -180,9 +186,36 @@ class ParallelScanSuiteResult:
     def bit_identical_results(self) -> bool:
         return all(s.bit_identical_results for s in self.scales)
 
+    def gate_status(self) -> str:
+        """Did the >=2x GIL-escape gate run, and what did it say.
+
+        Previously a small container passed the gate *silently* — the
+        JSON was indistinguishable from a real pass.  Now the record
+        says which it was: ``"passed"``, ``"failed (...)"`` or an
+        explicit ``"skipped (N cores)"`` / ``"skipped (processes
+        unavailable)"``.
+        """
+        if not self.scales:
+            return "skipped (no scales ran)"
+        big = self.scales[-1]
+        if not big.processes_available:
+            return "skipped (processes unavailable)"
+        if (self.cpu_count or 1) < GATE_MIN_CORES:
+            return f"skipped ({self.cpu_count or 1} cores)"
+        factor = big.processes_over_threads
+        if factor >= GATE_MIN_SPEEDUP:
+            return "passed"
+        return (
+            f"failed ({factor:.2f}x processes-over-threads, "
+            f"needs >= {GATE_MIN_SPEEDUP:.1f}x)"
+        )
+
     def render(self) -> str:
         parts = [s.render() for s in self.scales]
-        parts.append(f"cpu_count: {self.cpu_count}")
+        parts.append(
+            f"cpu_count: {self.cpu_count}\n"
+            f"gate: {self.gate_status()}"
+        )
         return "\n\n".join(parts)
 
     def to_json(self) -> dict:
@@ -191,6 +224,7 @@ class ParallelScanSuiteResult:
             "benchmark": "parallel_scan",
             "schema_version": SCHEMA_VERSION,
             "cpu_count": self.cpu_count,
+            "gate": self.gate_status(),
             "scales": [s.to_json() for s in self.scales],
         }
 

@@ -63,6 +63,40 @@ def sketch_filename(name: str) -> str:
     return f"{name}.sketch"
 
 
+def occupancy_keep(
+    occupied: np.ndarray,
+    occupied_depth: int,
+    prefixes: np.ndarray,
+    depth: int,
+) -> np.ndarray:
+    """Which selected *prefixes* intersect an occupancy population.
+
+    *occupied* is a sorted ``uint64`` array of populated
+    ``occupied_depth``-bit curve prefixes; *prefixes* are sorted
+    ``depth``-bit selection prefixes.  Returns a boolean keep-mask.  The
+    test is exact (not probabilistic) in both directions of the depth
+    mismatch: a deeper selection prefix is shifted down to its ancestor,
+    a shallower one is checked for any occupied descendant in its key
+    interval.  Shared by :meth:`SegmentSketch.prune_prefixes` and the
+    cluster router's shard-presence skip, so single-node and routed
+    pruning can never disagree.
+    """
+    prefixes = np.asarray(prefixes, dtype=np.uint64)
+    if prefixes.size == 0 or occupied.size == 0:
+        return np.zeros(prefixes.size, dtype=bool)
+    if depth >= occupied_depth:
+        ancestors = prefixes >> np.uint64(depth - occupied_depth)
+        pos = np.searchsorted(occupied, ancestors, side="left")
+        pos = np.minimum(pos, occupied.size - 1)
+        return occupied[pos] == ancestors
+    shift = np.uint64(occupied_depth - depth)
+    lo = np.searchsorted(occupied, prefixes << shift, side="left")
+    hi = np.searchsorted(
+        occupied, (prefixes + np.uint64(1)) << shift, side="left"
+    )
+    return lo < hi
+
+
 @dataclass(frozen=True)
 class SketchConfig:
     """Build-time geometry of segment sketches.
@@ -192,22 +226,9 @@ class SegmentSketch:
         prefixes = np.asarray(prefixes, dtype=np.uint64)
         if prefixes.size == 0 or self.rows == 0:
             return prefixes[:0]
-        if depth >= self.depth:
-            ancestors = prefixes >> np.uint64(depth - self.depth)
-            pos = np.searchsorted(self.occupied, ancestors, side="left")
-            pos = np.minimum(pos, self.occupied.size - 1)
-            keep = self.occupied[pos] == ancestors
-        else:
-            shift = np.uint64(self.depth - depth)
-            lo = np.searchsorted(
-                self.occupied, prefixes << shift, side="left"
-            )
-            hi = np.searchsorted(
-                self.occupied, (prefixes + np.uint64(1)) << shift,
-                side="left",
-            )
-            keep = lo < hi
-        return prefixes[keep]
+        return prefixes[
+            occupancy_keep(self.occupied, self.depth, prefixes, depth)
+        ]
 
     def ball_lower_bounds_sq(self, query: np.ndarray) -> np.ndarray:
         """``(B,)`` exact squared lower bounds of each block to *query*."""

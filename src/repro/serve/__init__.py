@@ -31,8 +31,14 @@ from .batcher import (
 )
 from .client import ServeClient, ServerError, ServiceUnavailable, WireResult
 from .protocol import ProtocolError
-from .runner import ServerThread
-from .server import DetectionServer, ServeConfig
+from .runner import ServerThread, ServiceThread
+from .server import (
+    DetectionServer,
+    NotReady,
+    ServeConfig,
+    SocketFrameServer,
+    WireOpError,
+)
 
 __all__ = [
     "BatcherConfig",
@@ -40,6 +46,7 @@ __all__ = [
     "DeadlineExceeded",
     "DetectionServer",
     "MicroBatcher",
+    "NotReady",
     "ProtocolError",
     "ServeClient",
     "ServeConfig",
@@ -47,6 +54,8 @@ __all__ = [
     "ServerThread",
     "ServiceClosed",
     "ServiceOverloaded",
+    "ServiceThread",
     "ServiceUnavailable",
-    "WireResult",
+    "SocketFrameServer",
+    "WireOpError",
 ]

@@ -5,12 +5,16 @@ request in flight, timeouts on every byte, and capped
 exponential-backoff retries.  Two failure classes are retried:
 
 * **transport failures** (connection refused/reset, truncated frame) —
-  the socket is reconnected and the request resent, but only for
-  idempotent ops; a broken ``ingest`` is *not* resent (the server may
-  have durably applied it before the connection died);
-* **load shedding** (``overloaded`` responses) — retried after backoff
-  when ``retry_overloaded`` is set, which is the intended reaction to
-  the server's explicit backpressure signal.
+  the socket is reconnected and the request resent.  Against protocol-3
+  servers this includes ``ingest``: every ingest carries a generated
+  ``request_id`` the server dedupes, so a frame that was applied before
+  the connection died is acknowledged, not re-applied.  Against older
+  servers (negotiated version < 3) a broken ingest is still *not*
+  resent — they would apply it twice;
+* **transient server states** (``overloaded``, ``not_ready``,
+  ``unavailable`` responses) — retried after backoff when
+  ``retry_overloaded`` is set, which is the intended reaction to the
+  server's explicit backpressure/warm-up signal.
 
 Requests carry the client's protocol version (``v``); if the server
 answers ``unsupported_version`` and advertises a speakable range that
@@ -27,8 +31,9 @@ from __future__ import annotations
 
 import socket
 import time
+import uuid
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -137,8 +142,18 @@ class ServeClient:
     def _sleep_backoff(self, attempt: int) -> None:
         time.sleep(min(self.backoff_cap, self.backoff * (2.0 ** attempt)))
 
-    def _request(self, message: dict, idempotent: bool = True) -> dict:
-        """Send one request; returns the ``result`` payload or raises."""
+    def _request(
+        self, message: dict, idempotent: Union[bool, int] = True
+    ) -> dict:
+        """Send one request; returns the ``result`` payload or raises.
+
+        *idempotent* decides whether a request already on the wire may
+        be resent after a transport failure.  An ``int`` value means
+        "idempotent iff the currently negotiated protocol version is at
+        least this" — evaluated per attempt, so an ingest that
+        negotiates down to a pre-dedupe server mid-call loses its resend
+        permission with the downgrade.
+        """
         last_exc: Optional[Exception] = None
         for attempt in range(self.retries + 1):
             try:
@@ -162,7 +177,12 @@ class ServeClient:
             except (OSError, protocol.ProtocolError) as exc:
                 self.close()
                 last_exc = exc
-                if not idempotent or attempt >= self.retries:
+                resendable = (
+                    idempotent
+                    if isinstance(idempotent, bool)
+                    else self.protocol_version >= idempotent
+                )
+                if not resendable or attempt >= self.retries:
                     raise ServiceUnavailable(
                         f"{self.host}:{self.port} failed after "
                         f"{attempt + 1} attempt(s): {exc}"
@@ -174,7 +194,7 @@ class ServeClient:
             error = response.get("error") or {}
             code = error.get("code", protocol.ERR_INTERNAL)
             if (
-                code == protocol.ERR_OVERLOADED
+                code in protocol.RETRYABLE_CODES
                 and self.retry_overloaded
                 and attempt < self.retries
             ):
@@ -256,16 +276,27 @@ class ServeClient:
         fingerprints: np.ndarray,
         ids: np.ndarray,
         timecodes: np.ndarray,
+        request_id: Optional[str] = None,
     ) -> dict:
-        """Durably add records to a segmented server (not resent on
-        transport failure — the server may have applied it already)."""
+        """Durably add records to a segmented server.
+
+        Every ingest is stamped with a ``request_id`` (generated unless
+        given), so against protocol-3 servers a transport failure is
+        safely retried: the server dedupes a replayed frame and returns
+        the original counts (with ``"deduped": true``).  Against older
+        servers the request is never resent — they would double-apply —
+        which was the only behaviour before version 3.
+        """
         message = {
             "op": "ingest",
             "fingerprints": protocol.fingerprints_to_wire(fingerprints),
             "ids": np.asarray(ids, dtype=np.int64).tolist(),
             "timecodes": np.asarray(timecodes, dtype=np.float64).tolist(),
+            "request_id": request_id or uuid.uuid4().hex,
         }
-        return self._request(message, idempotent=False)
+        return self._request(
+            message, idempotent=protocol.INGEST_DEDUPE_VERSION
+        )
 
     def stats(self) -> dict:
         return self._request({"op": "stats"})

@@ -46,22 +46,44 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 _LEN = struct.Struct("!I")
 
 #: Current wire protocol version.  Version 2 added the version field
-#: itself and the ``prefilter`` block of the ``stats`` result; the
-#: request/response shapes of the five ops are unchanged, so version-1
-#: clients interoperate (the server still answers them).
-PROTOCOL_VERSION = 2
+#: itself and the ``prefilter`` block of the ``stats`` result.  Version 3
+#: adds replay-safe ingestion and the liveness/readiness split: an
+#: ``ingest`` request may carry a client-generated ``request_id`` that
+#: the server dedupes (a replayed frame returns the original counts with
+#: ``"deduped": true``), ``health`` results carry ``live``/``ready``,
+#: and servers may answer ``not_ready`` while loading.  The
+#: request/response shapes of the five ops are otherwise unchanged, so
+#: version-1 and version-2 clients interoperate (the server still
+#: answers them; it simply never sees a ``request_id`` from them).
+PROTOCOL_VERSION = 3
 
 #: Oldest request version the server still accepts.
 MIN_PROTOCOL_VERSION = 1
+
+#: First version whose servers dedupe replayed ``ingest`` frames —
+#: clients may only resend an ingest after a transport failure when the
+#: negotiated version is at least this (older servers would apply the
+#: frame twice; they reject a v3-stamped request outright, which is what
+#: makes the gate safe).
+INGEST_DEDUPE_VERSION = 3
 
 #: Error codes a response's ``error.code`` may carry.
 ERR_BAD_REQUEST = "bad_request"
 ERR_OVERLOADED = "overloaded"
 ERR_DEADLINE = "deadline_exceeded"
 ERR_SHUTTING_DOWN = "shutting_down"
+ERR_NOT_READY = "not_ready"
+ERR_UNAVAILABLE = "unavailable"
 ERR_UNSUPPORTED = "unsupported"
 ERR_VERSION = "unsupported_version"
 ERR_INTERNAL = "internal"
+
+#: Error codes that describe a transient server state: the request was
+#: not applied and may be retried after backoff (the client does so when
+#: ``retry_overloaded`` is set; the cluster router fails over instead).
+RETRYABLE_CODES = frozenset(
+    {ERR_OVERLOADED, ERR_NOT_READY, ERR_UNAVAILABLE}
+)
 
 
 class ProtocolError(ReproError):
@@ -178,6 +200,32 @@ def request_version(request: dict) -> int:
             f"protocol version must be a positive integer, got {version!r}"
         )
     return version
+
+
+#: Upper length bound of a client-chosen ``request_id`` (a uuid4 hex is
+#: 32 characters; the bound only guards the dedupe table against abuse).
+MAX_REQUEST_ID_LEN = 128
+
+
+def request_dedupe_id(request: dict) -> Optional[str]:
+    """The replay-dedupe ``request_id`` of a request, validated.
+
+    Returns ``None`` when the field is absent (version-1/2 clients never
+    send it); raises :class:`ProtocolError` when present but unusable.
+    """
+    request_id = request.get("request_id")
+    if request_id is None:
+        return None
+    if (
+        not isinstance(request_id, str)
+        or not request_id
+        or len(request_id) > MAX_REQUEST_ID_LEN
+    ):
+        raise ProtocolError(
+            "request_id must be a non-empty string of at most "
+            f"{MAX_REQUEST_ID_LEN} characters, got {request_id!r}"
+        )
+    return request_id
 
 
 def ok_response(request: dict, result: dict) -> dict:

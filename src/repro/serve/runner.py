@@ -1,10 +1,14 @@
-"""Run a :class:`DetectionServer` on a background thread.
+"""Run a frame server on a background thread.
 
 Tests, benchmarks and notebooks want a real socket server without
-surrendering the calling thread to the event loop.  :class:`ServerThread`
-owns a private loop on a daemon thread, starts the server there, and
-exposes the bound port; exiting the context manager performs the same
-graceful drain as Ctrl-C on ``repro-s3 serve``.
+surrendering the calling thread to the event loop.  :class:`ServiceThread`
+owns a private loop on a daemon thread, starts any
+:class:`~repro.serve.server.SocketFrameServer` there (it only needs
+async ``start``/``stop``/``serve_forever``), and exposes the bound
+port; exiting the context manager performs the same graceful drain as
+Ctrl-C on ``repro-s3 serve``.  :class:`ServerThread` is the
+:class:`DetectionServer` convenience wrapper; the cluster router rides
+:class:`ServiceThread` directly.
 """
 
 from __future__ import annotations
@@ -17,15 +21,15 @@ from ..errors import ReproError
 from .server import DetectionServer, ServeConfig
 
 
-class ServerThread:
-    """A detection server running on its own event-loop thread.
+class ServiceThread:
+    """Any async frame server running on its own event-loop thread.
 
     ``port=0`` (the default for tests) binds an ephemeral port; read the
     resolved one from :attr:`port` after ``start()`` / ``__enter__``.
     """
 
-    def __init__(self, index, config: Optional[ServeConfig] = None):
-        self.server = DetectionServer(index, config)
+    def __init__(self, server):
+        self.server = server
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
@@ -40,7 +44,7 @@ class ServerThread:
     def host(self) -> str:
         return self.server.config.host
 
-    def start(self, timeout: float = 10.0) -> "ServerThread":
+    def start(self, timeout: float = 10.0) -> "ServiceThread":
         self._thread = threading.Thread(
             target=self._run, name="serve-loop", daemon=True
         )
@@ -65,7 +69,7 @@ class ServerThread:
         self._loop = None
         self._thread = None
 
-    def __enter__(self) -> "ServerThread":
+    def __enter__(self) -> "ServiceThread":
         return self.start()
 
     def __exit__(self, *exc) -> None:
@@ -85,3 +89,10 @@ class ServerThread:
             return
         self._started.set()
         await self.server.serve_forever()
+
+
+class ServerThread(ServiceThread):
+    """A :class:`DetectionServer` running on its own event-loop thread."""
+
+    def __init__(self, index, config: Optional[ServeConfig] = None):
+        super().__init__(DetectionServer(index, config))

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
@@ -50,6 +51,32 @@ from .batcher import (
     ServiceOverloaded,
 )
 from .metrics import Counter, LatencyWindow
+
+
+class NotReady(ReproError):
+    """The server is up but still loading; requests are not admitted."""
+
+
+class WireOpError(ReproError):
+    """An op failed with a specific wire error code to propagate.
+
+    Raised by op handlers (primarily the cluster router relaying an
+    upstream shard's error) when the response frame must carry a code
+    other than the blanket ``bad_request``/``internal`` mapping.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+#: Replayed ``ingest`` responses remembered per server.  4096 uuids ×
+#: a small counts dict is well under a megabyte; a replay arriving after
+#: eviction is indistinguishable from a fresh ingest, so the cap bounds
+#: memory at the cost of dedupe horizon, not correctness of the common
+#: retry (which lands within milliseconds of the original).
+INGEST_DEDUPE_CAPACITY = 4096
 
 
 @dataclass(frozen=True)
@@ -135,24 +162,33 @@ class ServerStats:
     latency: LatencyWindow = field(default_factory=LatencyWindow)
 
 
-class DetectionServer:
-    """Serve statistical queries, detection, and ingestion over sockets."""
+class SocketFrameServer:
+    """Shared asyncio core of every frame-speaking service.
 
-    def __init__(self, index, config: Optional[ServeConfig] = None):
-        self.index = index
-        self.config = config or ServeConfig()
+    Owns the accept loop, per-connection framing, the dispatch skeleton
+    (version gate, drain gate, error-to-frame mapping, latency
+    accounting) and the top-level counters.  :class:`DetectionServer`
+    and the cluster's scatter-gather router
+    (:class:`repro.cluster.router.ClusterRouter`) are both subclasses —
+    they differ only in their op handlers and lifecycle, so the wire
+    behaviour (including malformed-frame and unknown-op handling) cannot
+    drift between a shard and the router fronting it.
+
+    Subclasses provide :meth:`_op_table` and may override :meth:`_gate`
+    to reject admissible-looking requests early (the readiness gate).
+    """
+
+    def __init__(self, host: str, port: int, max_frame: int):
+        self._host = host
+        self._requested_port = port
+        self.max_frame = max_frame
         self.stats = ServerStats()
         self._server: Optional[asyncio.AbstractServer] = None
-        self._engine: Optional[ThreadPoolExecutor] = None
-        self._executor: Optional[BatchQueryExecutor] = None
-        self.batcher: Optional[MicroBatcher] = None
         self._connections: set[asyncio.Task] = set()
         self._inflight = 0
         self._closing = False
         self._stopped = asyncio.Event()
 
-    # ------------------------------------------------------------------
-    # lifecycle
     # ------------------------------------------------------------------
     @property
     def port(self) -> int:
@@ -161,47 +197,24 @@ class DetectionServer:
             raise ReproError("server is not started")
         return self._server.sockets[0].getsockname()[1]
 
-    async def start(self) -> None:
-        """Bind the listening socket and spawn the batcher drain loop."""
-        cfg = self.config
-        # One engine lane: batches and ingests serialise through a single
-        # thread, so the (not thread-safe) index is never raced.  The
-        # BatchQueryExecutor may still fan the scan out internally.
-        self._engine = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="serve-engine"
-        )
-        executor = BatchQueryExecutor(self.index, options=cfg.options)
-        # Warm the scan pool before accepting traffic: workers attach
-        # every store now, so the first request never pays the spawn.
-        # (On worker death mid-flight the pool respawns and retries; if
-        # it cannot recover, the executor falls back to threads — a
-        # request sees a result either way.)
-        executor.warm()
-        self._executor = executor
-        self.batcher = MicroBatcher(
-            executor, self._engine, cfg.batcher_config()
-        )
-        self.batcher.start()
+    async def _bind(self) -> None:
+        """Open the listening socket (requests may arrive immediately)."""
         self._server = await asyncio.start_server(
-            self._handle_connection, cfg.host, cfg.port
+            self._handle_connection, self._host, self._requested_port
         )
 
     async def serve_forever(self) -> None:
         """Block until :meth:`stop` completes (started elsewhere)."""
         await self._stopped.wait()
 
-    async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain, flush, close."""
-        if self._closing:
-            await self._stopped.wait()
-            return
-        self._closing = True
+    async def _stop_listener(self) -> None:
+        """Stop accepting, let responses flush, disconnect idle readers."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        if self.batcher is not None:
-            await self.batcher.drain_and_stop()
-        # In-flight handlers now hold resolved futures; wait until every
+
+    async def _drain_connections(self) -> None:
+        # In-flight handlers hold resolved futures; wait until every
         # response has been written (bounded), then disconnect idle
         # readers — clients keeping the connection open must not block
         # shutdown.
@@ -212,13 +225,6 @@ class DetectionServer:
             task.cancel()
         if self._connections:
             await asyncio.wait(self._connections, timeout=1.0)
-        if self._engine is not None:
-            self._engine.shutdown(wait=True)
-        if self._executor is not None:
-            self._executor.close()  # stops scan workers, frees shm
-        if hasattr(self.index, "close"):
-            self.index.close()  # closes the segmented WAL handle
-        self._stopped.set()
 
     # ------------------------------------------------------------------
     # connection handling
@@ -234,7 +240,7 @@ class DetectionServer:
             while True:
                 try:
                     request = await protocol.read_message(
-                        reader, self.config.max_frame
+                        reader, self.max_frame
                     )
                 except protocol.ProtocolError as exc:
                     # Framing is broken: answer once, drop the connection.
@@ -264,6 +270,14 @@ class DetectionServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    def _op_table(self) -> dict:
+        """Map of op name to async handler; supplied by the subclass."""
+        raise NotImplementedError
+
+    def _gate(self, op: str, request: dict) -> None:
+        """Admission hook run after the version/drain gates; raise
+        :class:`NotReady` (or any mapped error) to refuse the request."""
+
     async def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
         self.stats.requests.add(key=str(op))
@@ -289,13 +303,7 @@ class DetectionServer:
                 request, protocol.ERR_SHUTTING_DOWN,
                 "server is draining; no new requests admitted",
             )
-        handler = {
-            "query": self._op_query,
-            "detect": self._op_detect,
-            "ingest": self._op_ingest,
-            "stats": self._op_stats,
-            "health": self._op_health,
-        }.get(op)
+        handler = self._op_table().get(op)
         if handler is None:
             self.stats.errors.add(key=protocol.ERR_BAD_REQUEST)
             return protocol.error_response(
@@ -305,12 +313,21 @@ class DetectionServer:
             )
         t0 = time.perf_counter()
         try:
+            self._gate(op, request)
             result = await handler(request)
         except protocol.ProtocolError as exc:
             self.stats.errors.add(key=protocol.ERR_BAD_REQUEST)
             return protocol.error_response(
                 request, protocol.ERR_BAD_REQUEST, str(exc)
             )
+        except NotReady as exc:
+            self.stats.errors.add(key=protocol.ERR_NOT_READY)
+            return protocol.error_response(
+                request, protocol.ERR_NOT_READY, str(exc)
+            )
+        except WireOpError as exc:
+            self.stats.errors.add(key=exc.code)
+            return protocol.error_response(request, exc.code, exc.message)
         except ServiceOverloaded as exc:
             self.stats.errors.add(key=protocol.ERR_OVERLOADED)
             return protocol.error_response(
@@ -341,7 +358,7 @@ class DetectionServer:
         return protocol.ok_response(request, result)
 
     # ------------------------------------------------------------------
-    # ops
+    # shared request helpers
     # ------------------------------------------------------------------
     def _deadline(self, request: dict) -> Optional[float]:
         deadline_ms = request.get("deadline_ms")
@@ -353,6 +370,120 @@ class DetectionServer:
             )
         return asyncio.get_running_loop().time() + deadline_ms / 1e3
 
+    def base_stats(self) -> dict:
+        """The counters every frame server's ``stats`` payload shares."""
+        return {
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "uptime_seconds": time.time() - self.stats.started_at,
+            "connections": {
+                "open": self.stats.connections_open,
+                "total": self.stats.connections_total,
+            },
+            "requests": dict(self.stats.requests.by_key),
+            "errors": dict(self.stats.errors.by_key),
+            "latency": self.stats.latency.snapshot(),
+        }
+
+
+class DetectionServer(SocketFrameServer):
+    """Serve statistical queries, detection, and ingestion over sockets."""
+
+    def __init__(self, index, config: Optional[ServeConfig] = None):
+        config = config or ServeConfig()
+        super().__init__(config.host, config.port, config.max_frame)
+        self.index = index
+        self.config = config
+        self._engine: Optional[ThreadPoolExecutor] = None
+        self._executor: Optional[BatchQueryExecutor] = None
+        self.batcher: Optional[MicroBatcher] = None
+        self._ready = False
+        self.ingest_deduped = 0
+        self._ingest_seen: OrderedDict[str, dict] = OrderedDict()
+        self._ingest_inflight: dict[str, asyncio.Future] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """Whether the engine is warm and requests are admitted."""
+        return self._ready and not self._closing
+
+    async def start(self) -> None:
+        """Bind the socket, then warm the engine and flip to ready.
+
+        The listener opens *before* the (potentially slow) scan-pool
+        warm-up, so liveness/readiness probes are answerable from the
+        first moment the port exists: ``health`` reports
+        ``status="loading"`` and work ops get ``not_ready`` until the
+        warm-up finishes.  The warm-up runs off-loop, keeping the loop
+        free to answer those probes.
+        """
+        cfg = self.config
+        # One engine lane: batches and ingests serialise through a single
+        # thread, so the (not thread-safe) index is never raced.  The
+        # BatchQueryExecutor may still fan the scan out internally.
+        self._engine = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-engine"
+        )
+        executor = BatchQueryExecutor(self.index, options=cfg.options)
+        self._executor = executor
+        self.batcher = MicroBatcher(
+            executor, self._engine, cfg.batcher_config()
+        )
+        self.batcher.start()
+        await self._bind()
+        # Warm the scan pool before admitting traffic: workers attach
+        # every store now, so the first request never pays the spawn.
+        # (On worker death mid-flight the pool respawns and retries; if
+        # it cannot recover, the executor falls back to threads — a
+        # request sees a result either way.)
+        await asyncio.get_running_loop().run_in_executor(None, executor.warm)
+        self._ready = True
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, flush, close."""
+        if self._closing:
+            await self._stopped.wait()
+            return
+        self._closing = True
+        self._ready = False
+        await self._stop_listener()
+        if self.batcher is not None:
+            await self.batcher.drain_and_stop()
+        await self._drain_connections()
+        if self._engine is not None:
+            self._engine.shutdown(wait=True)
+        if self._executor is not None:
+            self._executor.close()  # stops scan workers, frees shm
+        if hasattr(self.index, "close"):
+            self.index.close()  # closes the segmented WAL handle
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # dispatch hooks
+    # ------------------------------------------------------------------
+    def _op_table(self) -> dict:
+        return {
+            "query": self._op_query,
+            "detect": self._op_detect,
+            "ingest": self._op_ingest,
+            "stats": self._op_stats,
+            "health": self._op_health,
+        }
+
+    def _gate(self, op: str, request: dict) -> None:
+        # stats/health always answer (they are the probes); work ops
+        # wait for the engine warm-up.
+        if op in ("query", "detect", "ingest") and not self._ready:
+            raise NotReady(
+                "server is loading (engine warm-up in progress); "
+                "retry after backoff or probe health for readiness"
+            )
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
     def _check_alpha(self, request: dict) -> None:
         alpha = request.get("alpha")
         if alpha is not None and alpha != self.config.alpha:
@@ -428,6 +559,11 @@ class DetectionServer:
                 "this server fronts a static (monolithic) index; "
                 "ingest needs a segmented index directory"
             ) from None
+        request_id = protocol.request_dedupe_id(request)
+        if request_id is not None:
+            replay = self._ingest_replay(request_id)
+            if replay is not None:
+                return await replay
         fingerprints = protocol.fingerprints_from_wire(
             request.get("fingerprints"), self.index.ndims
         )
@@ -439,25 +575,87 @@ class DetectionServer:
                 f"ids and timecodes must both be ({count},) aligned with "
                 f"fingerprints, got {ids.shape} and {timecodes.shape}"
             )
-        loop = asyncio.get_running_loop()
-        # Same serialised lane as the batches: writes never race a scan.
-        added = await loop.run_in_executor(
-            self._engine,
-            lambda: self.index.add(fingerprints, ids, timecodes),
-        )
-        return {
-            "added": int(added),
-            "rows": len(self.index),
-            "pending_rows": self.index.pending_rows,
-            "num_segments": self.index.num_segments,
-        }
+        future: Optional[asyncio.Future] = None
+        if request_id is not None:
+            future = asyncio.get_running_loop().create_future()
+            self._ingest_inflight[request_id] = future
+        try:
+            loop = asyncio.get_running_loop()
+            # Same serialised lane as the batches: a write never races a
+            # scan.
+            added = await loop.run_in_executor(
+                self._engine,
+                lambda: self.index.add(fingerprints, ids, timecodes),
+            )
+            result = {
+                "added": int(added),
+                "rows": len(self.index),
+                "pending_rows": self.index.pending_rows,
+                "num_segments": self.index.num_segments,
+            }
+            if request_id is not None:
+                # Remember the reply only once the write is durable, so a
+                # replayed frame can never be acknowledged ahead of it.
+                self._ingest_seen[request_id] = result
+                while len(self._ingest_seen) > INGEST_DEDUPE_CAPACITY:
+                    self._ingest_seen.popitem(last=False)
+                future.set_result(result)
+            return result
+        except BaseException as exc:
+            if future is not None and not future.done():
+                # A failed ingest is not remembered: the retry must run.
+                future.set_exception(exc)
+                future.exception()  # consumed here; replayers re-raise
+            raise
+        finally:
+            if request_id is not None:
+                self._ingest_inflight.pop(request_id, None)
+
+    def _ingest_replay(self, request_id: str):
+        """A coroutine answering a replayed ingest, or ``None`` if new.
+
+        Two layers: completed ingests are answered from the remembered
+        counts; an ingest still on the engine lane (the retry raced the
+        original, e.g. through two connections) is awaited rather than
+        re-applied.
+        """
+        seen = self._ingest_seen.get(request_id)
+        if seen is not None:
+            self._ingest_seen.move_to_end(request_id)
+
+            async def _replay_done() -> dict:
+                self.ingest_deduped += 1
+                return {**seen, "deduped": True}
+
+            return _replay_done()
+        inflight = self._ingest_inflight.get(request_id)
+        if inflight is not None:
+
+            async def _replay_inflight() -> dict:
+                result = await asyncio.shield(inflight)
+                self.ingest_deduped += 1
+                return {**result, "deduped": True}
+
+            return _replay_inflight()
+        return None
 
     async def _op_stats(self, request: dict) -> dict:
         return self.stats_snapshot()
 
     async def _op_health(self, request: dict) -> dict:
+        # Liveness vs readiness (v3): ``live`` is true whenever this
+        # handler runs at all; ``ready`` only once the engine is warm and
+        # until draining begins.  Supervisors route on ``ready``.
+        if self._closing:
+            status = "draining"
+        elif not self._ready:
+            status = "loading"
+        else:
+            status = "ok"
         return {
-            "status": "draining" if self._closing else "ok",
+            "status": status,
+            "live": True,
+            "ready": self.ready,
             "alpha": self.config.alpha,
             "index": index_summary(self.index),
         }
@@ -482,15 +680,9 @@ class DetectionServer:
         if hasattr(self.index, "prefilter_info"):
             prefilter["sketches"] = self.index.prefilter_info()
         return {
-            "protocol_version": protocol.PROTOCOL_VERSION,
-            "uptime_seconds": time.time() - self.stats.started_at,
-            "connections": {
-                "open": self.stats.connections_open,
-                "total": self.stats.connections_total,
-            },
-            "requests": dict(self.stats.requests.by_key),
-            "errors": dict(self.stats.errors.by_key),
-            "latency": self.stats.latency.snapshot(),
+            **self.base_stats(),
+            "ready": self.ready,
+            "ingest_deduped": self.ingest_deduped,
             "batcher": batcher,
             "prefilter": prefilter,
             "parallel": {

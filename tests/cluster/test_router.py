@@ -1,0 +1,317 @@
+"""Router acceptance: bit-identity to a single node, failover, ingest.
+
+The headline property, hypothesis-driven: for any query batch, the
+results a :class:`~repro.cluster.router.ClusterRouter` merges from its
+shards are **bit-identical** — rows, ids, timecodes, fingerprint bytes —
+to the same batch against one server over the unsharded index, at shard
+counts 1, 2 and 5, and still when a replica is SIGKILL-equivalently
+dropped mid-batch (thread mode: abrupt stop + failover to the second
+replica).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterManifest,
+    ClusterRouter,
+    ClusterSupervisor,
+    RouterConfig,
+    plan_cluster,
+)
+from repro.distortion.model import NormalDistortionModel
+from repro.index.segmented import SegmentedS3Index
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+    ServiceThread,
+)
+
+NDIMS = 8
+SIGMA = 10.0
+ALPHA = 0.8
+NUM_SEGMENTS = 5
+ROWS_PER_SEGMENT = 360
+TOTAL_ROWS = NUM_SEGMENTS * ROWS_PER_SEGMENT
+SHARD_COUNTS = (1, 2, 5)
+
+
+def _make_fingerprints(rows, seed=3):
+    # Clustered around a few centres so statistical queries actually
+    # match rows (uniform noise would make every result empty).
+    rng = np.random.default_rng(seed)
+    centers = rng.integers(40, 216, size=(10, NDIMS))
+    assign = rng.integers(0, 10, size=rows)
+    fp = np.clip(
+        centers[assign] + rng.normal(0, 8, (rows, NDIMS)), 0, 255
+    ).astype(np.uint8)
+    ids = rng.integers(0, 7, size=rows).astype(np.uint32)
+    tcs = rng.uniform(0, 100, rows)
+    return fp, ids, tcs
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return _make_fingerprints(TOTAL_ROWS)
+
+
+@pytest.fixture(scope="module")
+def source(tmp_path_factory, corpus):
+    directory = tmp_path_factory.mktemp("router") / "src"
+    fp, ids, tcs = corpus
+    index = SegmentedS3Index.create(
+        directory,
+        ndims=NDIMS,
+        model=NormalDistortionModel(NDIMS, SIGMA),
+        flush_rows=ROWS_PER_SEGMENT,
+        auto_compact=False,
+    )
+    for start in range(0, TOTAL_ROWS, ROWS_PER_SEGMENT):
+        end = start + ROWS_PER_SEGMENT
+        index.add(fp[start:end], ids[start:end], tcs[start:end])
+    index.flush()
+    index.close()
+    return directory
+
+
+@pytest.fixture(scope="module")
+def single_node(source):
+    """The baseline: one server over the unsharded index."""
+    index = SegmentedS3Index.open(source, auto_compact=False, mmap=True)
+    with ServerThread(index, ServeConfig(port=0, alpha=ALPHA)) as thread:
+        with ServeClient(port=thread.port, timeout=30.0) as client:
+            yield client
+
+
+@pytest.fixture(scope="module", params=SHARD_COUNTS)
+def routed(request, tmp_path_factory, source):
+    """A running cluster (thread mode) at each shard count."""
+    num_shards = request.param
+    cluster_dir = tmp_path_factory.mktemp(f"shards{num_shards}") / "c"
+    plan_cluster(source, cluster_dir, num_shards=num_shards)
+    supervisor = ClusterSupervisor(
+        cluster_dir,
+        mode="thread",
+        serve_config=ServeConfig(port=0, alpha=ALPHA),
+    ).start()
+    router = ClusterRouter(
+        ClusterManifest.load(cluster_dir),
+        supervisor.endpoints(),
+        RouterConfig(port=0, alpha=ALPHA),
+    )
+    thread = ServiceThread(router).start()
+    client = ServeClient(port=thread.port, timeout=30.0)
+    yield client
+    client.close()
+    thread.stop()
+    supervisor.stop()
+
+
+def _assert_results_equal(base, got):
+    assert len(base) == len(got)
+    for b, g in zip(base, got):
+        assert np.array_equal(b.rows, g.rows)
+        assert np.array_equal(b.ids, g.ids)
+        assert np.array_equal(b.timecodes, g.timecodes)
+        if b.fingerprints is None:
+            assert g.fingerprints is None
+        else:
+            assert np.array_equal(b.fingerprints, g.fingerprints)
+
+
+class TestBitIdentity:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        batch=st.integers(min_value=1, max_value=6),
+        jitter=st.floats(min_value=0.0, max_value=12.0),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_router_equals_single_node(
+        self, routed, single_node, corpus, seed, batch, jitter
+    ):
+        fp, _, _ = corpus
+        rng = np.random.default_rng(seed)
+        picks = rng.integers(0, TOTAL_ROWS, size=batch)
+        queries = fp[picks].astype(np.float64)
+        queries += rng.normal(0.0, jitter, queries.shape)
+        base = single_node.query(queries, include_fingerprints=True)
+        got = routed.query(queries, include_fingerprints=True)
+        _assert_results_equal(base, got)
+
+    def test_matches_inprocess_batch_api(
+        self, routed, source, corpus
+    ):
+        """Wire results equal the engine's statistical_query_batch."""
+        fp, _, _ = corpus
+        rng = np.random.default_rng(11)
+        queries = fp[rng.integers(0, TOTAL_ROWS, 8)].astype(np.float64)
+        with SegmentedS3Index.open(
+            source, auto_compact=False, mmap=True
+        ) as index:
+            index.reset_threshold_cache()
+            expected = index.statistical_query_batch(queries, ALPHA)
+        got = routed.query(queries)
+        assert len(expected) == len(got)
+        for e, g in zip(expected, got):
+            assert np.array_equal(e.rows, g.rows)
+            assert np.array_equal(e.ids, g.ids)
+            assert np.array_equal(e.timecodes, g.timecodes)
+
+    def test_detect_equals_single_node(self, routed, single_node, corpus):
+        fp, _, _ = corpus
+        rng = np.random.default_rng(5)
+        picks = rng.integers(0, TOTAL_ROWS, 12)
+        candidates = fp[picks].astype(np.float64)
+        timecodes = np.arange(12, dtype=np.float64)
+        base = single_node.detect(candidates, timecodes, threshold=1)
+        got = routed.detect(candidates, timecodes, threshold=1)
+        assert base == got
+
+    def test_health_and_stats_shape(self, routed):
+        health = routed.health()
+        assert health["live"] is True
+        assert health["ready"] is True
+        assert health["index"]["kind"] == "cluster"
+        stats = routed.stats()
+        assert stats["ready"] is True
+        per_shard = stats["cluster"]["per_shard"]
+        assert len(per_shard) == stats["cluster"]["shards"]
+        for entry in per_shard:
+            assert {"fanouts", "skips", "failovers", "latency"} <= set(entry)
+
+
+class TestFailover:
+    @pytest.fixture()
+    def replicated(self, tmp_path_factory, source):
+        """2 shards x 2 replicas, healing disabled (kills stay down)."""
+        cluster_dir = tmp_path_factory.mktemp("failover") / "c"
+        plan_cluster(source, cluster_dir, num_shards=2, replicas=2)
+        supervisor = ClusterSupervisor(
+            cluster_dir,
+            mode="thread",
+            serve_config=ServeConfig(port=0, alpha=ALPHA),
+            heal=False,
+        ).start()
+        router = ClusterRouter(
+            ClusterManifest.load(cluster_dir),
+            supervisor.endpoints(),
+            RouterConfig(port=0, alpha=ALPHA),
+        )
+        thread = ServiceThread(router).start()
+        yield supervisor, router, thread.port
+        thread.stop()
+        supervisor.stop()
+
+    def test_replica_killed_mid_batch(
+        self, replicated, single_node, corpus
+    ):
+        """Queries racing a replica kill still return identical results.
+
+        A hammer thread streams query batches while shard 0's first
+        replica is dropped; every response must be present and
+        bit-identical to the single node — the router fails over to the
+        surviving replica instead of surfacing the loss.
+        """
+        supervisor, router, port = replicated
+        fp, _, _ = corpus
+        rng = np.random.default_rng(23)
+        queries = fp[rng.integers(0, TOTAL_ROWS, 4)].astype(np.float64)
+        baseline = single_node.query(queries)
+
+        outcomes = []
+        errors = []
+        stop = threading.Event()
+
+        def hammer():
+            with ServeClient(port=port, timeout=30.0, retries=8) as c:
+                while not stop.is_set():
+                    try:
+                        outcomes.append(c.query(queries))
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        errors.append(repr(exc))
+
+        worker = threading.Thread(target=hammer)
+        worker.start()
+        try:
+            # Let a few batches through, then drop a replica mid-stream.
+            import time
+
+            time.sleep(0.3)
+            supervisor.kill_replica(0, 0)
+            time.sleep(1.0)
+        finally:
+            stop.set()
+            worker.join()
+
+        assert not errors, errors
+        assert len(outcomes) >= 2
+        for got in outcomes:
+            _assert_results_equal(baseline, got)
+        # The kill actually happened and was routed around.
+        assert not supervisor._handle(0, 0).alive
+        stats = self._stats(port)
+        failovers = sum(
+            s["failovers"] for s in stats["cluster"]["per_shard"]
+        )
+        assert failovers >= 1
+
+    @staticmethod
+    def _stats(port):
+        with ServeClient(port=port, timeout=30.0) as client:
+            return client.stats()
+
+
+class TestIngestRouting:
+    @pytest.fixture()
+    def routed_rw(self, tmp_path_factory, source):
+        cluster_dir = tmp_path_factory.mktemp("ingest") / "c"
+        plan_cluster(source, cluster_dir, num_shards=2, replicas=2)
+        supervisor = ClusterSupervisor(
+            cluster_dir,
+            mode="thread",
+            serve_config=ServeConfig(port=0, alpha=ALPHA),
+        ).start()
+        router = ClusterRouter(
+            ClusterManifest.load(cluster_dir),
+            supervisor.endpoints(),
+            RouterConfig(port=0, alpha=ALPHA),
+        )
+        thread = ServiceThread(router).start()
+        client = ServeClient(port=thread.port, timeout=30.0)
+        yield client
+        client.close()
+        thread.stop()
+        supervisor.stop()
+
+    def test_ingest_routes_dedupes_and_reads_back(self, routed_rw):
+        rng = np.random.default_rng(31)
+        new = rng.integers(0, 256, size=(6, NDIMS), dtype=np.uint8)
+        ids = (np.arange(6) + 500).astype(np.int64)
+        tcs = np.linspace(0, 5, 6)
+        first = routed_rw.ingest(
+            new.astype(np.float64), ids, tcs, request_id="ingest-once"
+        )
+        assert first["added"] == 6
+        assert sum(s["rows"] for s in first["shards"]) == 6
+        # Every owning shard acked on at least one replica.
+        assert all(s["acks"] >= 1 for s in first["shards"])
+        # Same request_id again: shard-side dedupe absorbs the replay
+        # (the router response shape is identical; no rows re-applied).
+        second = routed_rw.ingest(
+            new.astype(np.float64), ids, tcs, request_id="ingest-once"
+        )
+        assert [s["rows"] for s in second["shards"]] == [
+            s["rows"] for s in first["shards"]
+        ]
+        results = routed_rw.query(new.astype(np.float64))
+        for row_ids, result in zip(ids, results):
+            assert row_ids in result.ids
+        stats = routed_rw.stats()
+        # The written shards are now dirty: excluded from skipping.
+        assert stats["cluster"]["dirty_shards"]
+        assert stats["cluster"]["ingest_rows"] == 12
