@@ -1,0 +1,82 @@
+"""Serve-path caching — warm Zipf repeat traffic vs cache-off serving.
+
+Acceptance gate for the caching stack: on a Zipf repeat trace over a
+50k-fingerprint corpus, the cache-warm pass must clear >= 3x the
+cache-off throughput while every served answer stays bit-identical to
+a solo in-process deterministic statistical query.  The run refreshes
+``BENCH_query_cache.json`` at the repo root — the machine-readable
+perf record later PRs regress against (schema in ``docs/serving.md``).
+
+``python benchmarks/bench_query_cache.py --smoke`` replays a tiny
+trace through the cached server — the CI cache-smoke gate: results
+must not diverge and the cache must actually get hit.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_query_cache_speedup(benchmark, capsys):
+    from conftest import run_and_report
+
+    from repro.experiments import run_query_cache
+    from repro.experiments.query_cache import GATE_MIN_SPEEDUP
+
+    result = run_and_report(
+        benchmark,
+        capsys,
+        lambda: run_query_cache(
+            db_rows=50_000,
+            unique_queries=64,
+            num_queries=512,
+            num_clients=8,
+            zipf_s=1.1,
+            alpha=0.8,
+            seed=0,
+            json_path=REPO_ROOT / "BENCH_query_cache.json",
+        ),
+    )
+    # Equivalence: cached answers equal cold solo engine queries.
+    assert result.bit_identical_results
+    # The trace actually repeated and the LRU actually answered.
+    assert result.hit_rate > 0.5
+    # Acceptance: the warm pass clears the >= 3x QPS gate.
+    assert result.speedup >= GATE_MIN_SPEEDUP
+
+
+def _smoke() -> int:
+    """Tiny-trace CI gate: cached serving never diverges, cache hits."""
+    from repro.experiments import run_query_cache
+
+    result = run_query_cache(
+        db_rows=6_000,
+        unique_queries=16,
+        num_queries=96,
+        num_clients=4,
+        alpha=0.8,
+        seed=0,
+    )
+    print(result.render())
+    failures = []
+    if not result.bit_identical_results:
+        failures.append(
+            "cached results diverge from solo in-process queries"
+        )
+    if result.cache_hits == 0:
+        failures.append("the result cache was never hit")
+    if result.hit_rate <= 0.25:
+        failures.append(
+            f"hit rate {result.hit_rate:.2f} too low for a repeat trace"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        raise SystemExit(_smoke())
+    print(__doc__)
+    raise SystemExit(2)

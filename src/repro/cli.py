@@ -51,6 +51,7 @@ from .errors import ConfigurationError, ReproError
 from .fingerprint.extractor import FingerprintExtractor
 from .index.batch import BatchQueryExecutor
 from .index.options import EXECUTOR_STRATEGIES, PREFILTER_MODES, QueryOptions
+from .index.planner import PLANNER_MODES
 from .index.s3 import S3Index
 from .index.segmented import CompactionPolicy, Manifest, SegmentedS3Index
 from .index.store import FingerprintStore, read_header
@@ -79,6 +80,12 @@ def _validate_common_args(args: argparse.Namespace) -> None:
             f"--executor must be one of {', '.join(EXECUTOR_STRATEGIES)}, "
             f"got {executor!r}"
         )
+    planner = getattr(args, "planner", None)
+    if planner is not None and planner not in PLANNER_MODES:
+        raise ConfigurationError(
+            f"--planner must be one of {', '.join(PLANNER_MODES)}, "
+            f"got {planner!r}"
+        )
     alpha = getattr(args, "alpha", None)
     if alpha is not None and not 0.0 < alpha <= 1.0:
         raise ConfigurationError(
@@ -99,6 +106,7 @@ def _query_options(args: argparse.Namespace) -> QueryOptions:
         ("workers", "workers"),
         ("executor", "executor"),
         ("prefilter", "prefilter"),
+        ("planner", "planner"),
     ):
         value = getattr(args, attr, None)
         if value is not None:
@@ -341,13 +349,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # mmap: the server is long-lived, and file-backed stores let the
     # scan worker processes attach segments without copying them.
     index = _load_index(args.index, mmap=True)
+    cache_kwargs = {}
+    if args.cache_capacity is not None:
+        cache_kwargs["cache_capacity"] = args.cache_capacity
     config = ServeConfig(
         host=args.host,
         port=args.port,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         queue_limit=args.queue_limit,
+        cache=args.cache,
         options=_query_options(args),
+        **cache_kwargs,
     )
 
     async def _run() -> None:
@@ -420,9 +433,13 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         serve_config=ServeConfig(port=0, alpha=args.alpha),
         extra_serve_args=["--alpha", str(args.alpha)],
     )
+    cache_kwargs = {}
+    if args.cache_capacity is not None:
+        cache_kwargs["cache_capacity"] = args.cache_capacity
     config = RouterConfig(
         host=args.host, port=args.port, alpha=args.alpha,
-        shard_timeout=args.shard_timeout,
+        shard_timeout=args.shard_timeout, cache=args.cache,
+        **cache_kwargs,
     )
 
     async def _run(router: ClusterRouter) -> None:
@@ -645,6 +662,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "always-resident sketches prove empty for the "
                         "query (admissible — results are bit-identical); "
                         "off disables, auto/on enable")
+    p.add_argument("--planner", choices=list(PLANNER_MODES),
+                   default="auto",
+                   help="executor planning for --executor auto: measured "
+                        "uses the host's micro-calibrated cost model, "
+                        "fixed keeps the legacy row/cpu thresholds, auto "
+                        "prefers measured and falls back to fixed")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("detect", help="detect copies in a candidate video")
@@ -662,6 +685,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prefilter", choices=list(PREFILTER_MODES),
                    default="auto",
                    help="segment-sketch pre-filter (see `query --help`)")
+    p.add_argument("--planner", choices=list(PLANNER_MODES),
+                   default="auto",
+                   help="executor planning for --executor auto: measured "
+                        "uses the host's micro-calibrated cost model, "
+                        "fixed keeps the legacy row/cpu thresholds, auto "
+                        "prefers measured and falls back to fixed")
     p.set_defaults(func=_cmd_detect)
 
     p = sub.add_parser(
@@ -699,6 +728,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prefilter", choices=list(PREFILTER_MODES),
                    default="auto",
                    help="segment-sketch pre-filter (see `query --help`)")
+    p.add_argument("--planner", choices=list(PLANNER_MODES),
+                   default="auto",
+                   help="executor planning for --executor auto: measured "
+                        "uses the host's micro-calibrated cost model, "
+                        "fixed keeps the legacy row/cpu thresholds, auto "
+                        "prefers measured and falls back to fixed")
+    p.add_argument("--cache", choices=["auto", "on", "off"],
+                   default="auto",
+                   help="serve-path caching: result LRU, in-flight "
+                        "dedupe and hot-block gather cache (answers "
+                        "stay bit-identical; invalidated on ingest)")
+    p.add_argument("--cache-capacity", type=int, default=None,
+                   help="result-cache entries kept (default 4096)")
     p.add_argument("--port-file", default=None,
                    help="write the bound port here after startup "
                         "(atomically; used by the cluster supervisor)")
@@ -740,6 +782,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "(production) or in-process threads (tests)")
     cp.add_argument("--shard-timeout", type=float, default=30.0,
                     help="per-attempt cap on one replica answering")
+    cp.add_argument("--cache", choices=["auto", "on", "off"],
+                    default="auto",
+                    help="per-shard wire-result cache at the router "
+                         "(dirty shards always bypass it)")
+    cp.add_argument("--cache-capacity", type=int, default=None,
+                    help="cached results kept per shard (default 4096)")
     cp.set_defaults(func=_cmd_cluster_serve)
 
     cp = csub.add_parser(

@@ -52,6 +52,12 @@ from ..hilbert.butz import HilbertCurve
 from ..hilbert.vectorized import encode_batch
 from ..index.filtering import statistical_blocks_multi
 from ..serve import protocol
+from ..serve.cache import (
+    CACHE_MODES,
+    DEFAULT_CACHE_CAPACITY,
+    CacheStats,
+    QueryResultCache,
+)
 from ..serve.metrics import Counter, LatencyWindow
 from ..serve.server import NotReady, SocketFrameServer, WireOpError
 from .merge import ShardMap, merge_query_wires
@@ -93,6 +99,12 @@ class RouterConfig:
     tukey_c: float = 6.0
     min_matches: int = 2
     decision_threshold: int = 5
+    #: Per-shard wire-result cache: ``"auto"``/``"on"`` enable it,
+    #: ``"off"`` disables.  Dirty shards (which may mutate out of band)
+    #: always bypass it, so cached answers stay bit-identical.
+    cache: str = "auto"
+    #: Result-LRU entries kept per shard.
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
@@ -103,6 +115,18 @@ class RouterConfig:
             raise ConfigurationError(
                 f"failover_rounds must be >= 1, got {self.failover_rounds}"
             )
+        if self.cache not in CACHE_MODES:
+            raise ConfigurationError(
+                f"cache must be one of {CACHE_MODES}, got {self.cache!r}"
+            )
+        if self.cache_capacity < 1:
+            raise ConfigurationError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.cache != "off"
 
 
 class _Replica:
@@ -337,6 +361,20 @@ class ClusterRouter(SocketFrameServer):
         self._ready = False
         self.ingest_rows = 0
         self.queries_routed = Counter()
+        # Per-shard wire-result LRUs.  Shard answers over the planned
+        # (immutable) data repeat heavily under monitoring traffic; a
+        # hit skips the round trip entirely.  Dirty shards bypass the
+        # cache — their indexes can change without the router seeing an
+        # invalidation point — and a router-routed ingest clears the
+        # target shard's entries before marking it dirty.
+        self.cache_stats = CacheStats()
+        self._shard_caches: dict[int, QueryResultCache] = {
+            spec.shard: QueryResultCache(
+                config.cache_capacity, stats=self.cache_stats
+            )
+            for spec in manifest.shards
+        } if config.cache_enabled else {}
+        self._cache_epoch = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -427,6 +465,17 @@ class ClusterRouter(SocketFrameServer):
     # ------------------------------------------------------------------
     # scatter-gather query path
     # ------------------------------------------------------------------
+    def _shard_cache(self, shard: int) -> Optional[QueryResultCache]:
+        """The shard's wire cache, or ``None`` when it must be bypassed.
+
+        Dirty shards hold rows the router has no invalidation signal
+        for (out-of-band or post-plan ingests), so their answers are
+        never cached and never served from cache.
+        """
+        if shard in self._dirty:
+            return None
+        return self._shard_caches.get(shard)
+
     def _shard_query_indices(
         self, queries: np.ndarray
     ) -> list[np.ndarray]:
@@ -475,10 +524,32 @@ class ClusterRouter(SocketFrameServer):
             if indices.size == 0:
                 self.shard_stats[client.shard].skips += 1
                 return None
+            # Per-shard wire cache: answer what we can locally, send
+            # only the misses, and reassemble the full per-index result
+            # list so the merge below is oblivious to the cache.
+            cache = self._shard_cache(client.shard)
+            # Token captured before the round trip: an ingest landing
+            # while we await bumps it, so the puts below are dropped.
+            token = cache.token if cache is not None else None
+            wires: list[Optional[dict]] = [None] * int(indices.size)
+            missed = np.arange(indices.size, dtype=np.int64)
+            if cache is not None:
+                missed_pos = []
+                for pos, b in enumerate(indices):
+                    hit = cache.get(
+                        (queries[int(b)].tobytes(), include_fp)
+                    )
+                    if hit is None:
+                        missed_pos.append(pos)
+                    else:
+                        wires[pos] = hit
+                missed = np.asarray(missed_pos, dtype=np.int64)
+                if missed.size == 0:
+                    return {"results": wires}
             message = {
                 "op": "query",
                 "fingerprints": protocol.fingerprints_to_wire(
-                    queries[indices]
+                    queries[indices[missed]]
                 ),
             }
             if include_fp:
@@ -487,7 +558,19 @@ class ClusterRouter(SocketFrameServer):
                 message["deadline_ms"] = max(
                     1.0, (deadline - loop.time()) * 1e3
                 )
-            return await client.request(message, deadline)
+            result = await client.request(message, deadline)
+            for pos, wire in zip(missed, result["results"]):
+                wires[int(pos)] = wire
+                if cache is not None:
+                    cache.put(
+                        (
+                            queries[int(indices[int(pos)])].tobytes(),
+                            include_fp,
+                        ),
+                        wire,
+                        token,
+                    )
+            return {"results": wires}
 
         gathered = await asyncio.gather(*[
             _one(client, indices)
@@ -650,6 +733,12 @@ class ClusterRouter(SocketFrameServer):
             rows = np.flatnonzero(owners == client.shard)
             if rows.size == 0:
                 continue
+            # Drop the shard's cached answers (and bump its token so
+            # in-flight puts are refused) before it goes dirty.
+            cache = self._shard_caches.get(client.shard)
+            if cache is not None:
+                self._cache_epoch += 1
+                cache.invalidate(self._cache_epoch)
             self._dirty.add(client.shard)
             tasks.append(_one_shard(client, rows))
         outcomes = await asyncio.gather(*tasks)
@@ -673,6 +762,15 @@ class ClusterRouter(SocketFrameServer):
                 "queries_routed": self.queries_routed.total,
                 "ingest_rows": self.ingest_rows,
                 "dirty_shards": sorted(self._dirty),
+                "cache": {
+                    "enabled": self.config.cache_enabled,
+                    "mode": self.config.cache,
+                    "capacity_per_shard": self.config.cache_capacity,
+                    "entries": sum(
+                        len(c) for c in self._shard_caches.values()
+                    ),
+                    **self.cache_stats.snapshot(),
+                },
                 "per_shard": [
                     {
                         "shard": client.shard,

@@ -37,6 +37,7 @@ from .prefilter import (
     run_prefilter,
     write_prefilter_json,
 )
+from .query_cache import QueryCacheBenchResult, run_query_cache
 from .segmented_ingest import SegmentedIngestResult, run_segmented_ingest
 from .serve_bench import ServeBenchResult, run_serve_bench
 from .table1_severity import Table1Result, paper_transform_ladder, run_table1
@@ -60,6 +61,7 @@ __all__ = [
     "SegmentedIngestResult",
     "Series",
     "PrefilterBenchResult",
+    "QueryCacheBenchResult",
     "ServeBenchResult",
     "Table1Result",
     "build_setup",
@@ -81,6 +83,7 @@ __all__ = [
     "run_parallel_scan",
     "run_parallel_scan_suite",
     "run_prefilter",
+    "run_query_cache",
     "run_segmented_ingest",
     "run_serve_bench",
     "run_table1",

@@ -46,9 +46,9 @@ from ..distortion.model import NormalDistortionModel
 from ..index.batch import BatchQueryExecutor
 from ..index.s3 import S3Index
 from ..rng import SeedLike, resolve_rng
-from .common import format_table
+from .common import format_table, host_block
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -129,6 +129,7 @@ class BatchQueryBenchResult:
         return {
             "benchmark": "batch_query",
             "schema_version": SCHEMA_VERSION,
+            "host": host_block(),
             "config": {
                 "db_rows": self.db_rows,
                 "num_queries": self.num_queries,

@@ -41,9 +41,9 @@ from ..rng import SeedLike, resolve_rng
 from ..serve.client import ServeClient
 from ..serve.runner import ServiceThread
 from ..serve.server import ServeConfig
-from .common import format_table
+from .common import format_table, host_block
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -108,6 +108,7 @@ class ClusterBenchResult:
         return {
             "benchmark": "cluster",
             "schema_version": SCHEMA_VERSION,
+            "host": host_block(),
             "config": {
                 "db_rows": self.db_rows,
                 "num_shards": self.num_shards,

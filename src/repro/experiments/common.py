@@ -8,8 +8,38 @@ reports them in.
 
 from __future__ import annotations
 
+import os
+import platform
 from dataclasses import dataclass, field
 from typing import Sequence
+
+
+def host_block(include_calibration: bool = True) -> dict:
+    """The shared ``host`` block every ``BENCH_*.json`` record embeds.
+
+    Benchmark numbers are meaningless without the host that produced
+    them: a 1-core container's "speedup" and a 16-core bare-metal run
+    must be distinguishable from the JSON alone.  Includes the measured
+    planner calibration (see :mod:`repro.index.planner`) so readers can
+    reconstruct *why* the executor planner chose what it chose.
+    """
+    from ..index.parallel import shared_memory_available
+
+    block = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "shared_memory": shared_memory_available(),
+    }
+    if include_calibration:
+        try:
+            from ..index.planner import get_calibration
+
+            block["calibration"] = get_calibration().to_json()
+        except Exception:  # pragma: no cover - defensive
+            block["calibration"] = None
+    return block
 
 
 @dataclass

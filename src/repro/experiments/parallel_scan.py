@@ -39,11 +39,12 @@ from ..corpus.filler import scale_store
 from ..distortion.model import NormalDistortionModel
 from ..index.batch import BatchQueryExecutor
 from ..index.parallel import shared_memory_available
+from ..index.planner import choose_executor, get_calibration
 from ..index.s3 import S3Index
 from ..rng import SeedLike, resolve_rng
-from .common import format_table
+from .common import format_table, host_block
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 STRATEGIES = ("serial", "threads", "processes")
 
@@ -52,6 +53,16 @@ STRATEGIES = ("serial", "threads", "processes")
 #: hosts with enough cores for the comparison to mean anything.
 GATE_MIN_SPEEDUP = 2.0
 GATE_MIN_CORES = 4
+
+#: The measured planner must match (or beat) the fixed threshold rule
+#: within this factor at every scale.
+PLANNER_GATE_TOLERANCE = 1.05
+
+#: EMA rounds folding each strategy's measured per-batch timing into
+#: the calibration before the warmed planning decision — enough for
+#: the observed rates to dominate the cold micro-benchmarks
+#: ((1 - 0.2)^15 ~ 3.5% residual).
+_OBSERVE_ROUNDS = 15
 
 
 @dataclass
@@ -75,6 +86,9 @@ class ParallelScanBenchResult:
     rows_gathered: Optional[int]
     tasks: Optional[int]
     worker_deaths: Optional[int]
+    #: The measured-planner comparison (see :func:`_planner_comparison`);
+    #: ``None`` on records predating schema 3.
+    planner: Optional[dict] = None
 
     @property
     def processes_available(self) -> bool:
@@ -138,6 +152,15 @@ class ParallelScanBenchResult:
         lines.append(
             f"bit-identical across strategies: {self.bit_identical_results}"
         )
+        if self.planner is not None:
+            p = self.planner
+            lines.append(
+                f"planner: cold={p['cold_strategy']} "
+                f"warmed={p['warmed_strategy']} (fixed rule: "
+                f"{p['fixed_strategy']}) — planned "
+                f"{p['planned_seconds']:.3f}s vs fixed "
+                f"{p['fixed_seconds']:.3f}s"
+            )
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -172,6 +195,7 @@ class ParallelScanBenchResult:
             "equivalence": {
                 "bit_identical_results": self.bit_identical_results,
             },
+            "planner": self.planner,
         }
 
 
@@ -210,11 +234,35 @@ class ParallelScanSuiteResult:
             f"needs >= {GATE_MIN_SPEEDUP:.1f}x)"
         )
 
+    def planner_gate_status(self) -> str:
+        """Does the measured planner beat or tie the fixed rule.
+
+        At every scale the strategy the warmed planner picks must land
+        within :data:`PLANNER_GATE_TOLERANCE` of the strategy the
+        legacy fixed thresholds would have run.
+        """
+        compared = [s for s in self.scales if s.planner is not None]
+        if not compared:
+            return "skipped (no planner comparison ran)"
+        for scale in compared:
+            p = scale.planner
+            if p["planned_seconds"] > (
+                p["fixed_seconds"] * PLANNER_GATE_TOLERANCE
+            ):
+                return (
+                    f"failed ({scale.db_rows} rows: planned "
+                    f"{p['warmed_strategy']} {p['planned_seconds']:.3f}s "
+                    f"vs fixed {p['fixed_strategy']} "
+                    f"{p['fixed_seconds']:.3f}s)"
+                )
+        return "passed"
+
     def render(self) -> str:
         parts = [s.render() for s in self.scales]
         parts.append(
             f"cpu_count: {self.cpu_count}\n"
-            f"gate: {self.gate_status()}"
+            f"gate: {self.gate_status()}\n"
+            f"planner gate: {self.planner_gate_status()}"
         )
         return "\n\n".join(parts)
 
@@ -224,7 +272,9 @@ class ParallelScanSuiteResult:
             "benchmark": "parallel_scan",
             "schema_version": SCHEMA_VERSION,
             "cpu_count": self.cpu_count,
+            "host": host_block(),
             "gate": self.gate_status(),
+            "planner_gate": self.planner_gate_status(),
             "scales": [s.to_json() for s in self.scales],
         }
 
@@ -264,6 +314,70 @@ def _timed_run(index, queries, alpha, batch_size, executor_kwargs):
         elapsed = time.perf_counter() - t0
         stats = executor.pool_stats()
     return results, elapsed, build_seconds, stats
+
+
+def _planner_comparison(
+    serial_results,
+    timings: dict,
+    db_rows: int,
+    batch_size: int,
+    num_queries: int,
+    workers: int,
+    can_processes: bool,
+) -> dict:
+    """Compare the measured planner against the legacy fixed rule.
+
+    Plans twice: **cold** with the startup micro-calibration alone, and
+    **warmed** after folding each strategy's measured per-batch timing
+    back in through :meth:`Calibration.observe` — the same rolling
+    refresh the engine applies from its own serve stats.  The warmed
+    decision is the one the gate judges, against the strategy the fixed
+    row/cpu thresholds would have run; both sides are scored with the
+    timings actually measured above, so the comparison never trusts the
+    model it is auditing.
+    """
+    n_batches = max(1, -(-num_queries // batch_size))
+    rows_per_batch = int(
+        sum(r.stats.rows_scanned for r in serial_results) / n_batches
+    )
+    cpus = os.cpu_count() or 1
+    kwargs = dict(
+        workers=workers, index_rows=db_rows, can_processes=can_processes,
+    )
+    cold = choose_executor(
+        rows_per_batch, batch_size, cpus,
+        calibration=get_calibration(), **kwargs,
+    )
+    cal = get_calibration()
+    for strategy, seconds in timings.items():
+        for _ in range(_OBSERVE_ROUNDS):
+            cal = cal.observe(strategy, rows_per_batch, seconds / n_batches)
+    warmed = choose_executor(
+        rows_per_batch, batch_size, cpus, calibration=cal, **kwargs,
+    )
+    fixed = choose_executor(
+        rows_per_batch, batch_size, cpus, mode="fixed", **kwargs,
+    )
+    # "serial" was timed as workers=1 threads — same single-shard path.
+    planned_seconds = timings[warmed.strategy]
+    fixed_seconds = timings.get(
+        fixed.strategy, timings.get("threads", timings["serial"])
+    )
+    return {
+        "rows_per_batch": rows_per_batch,
+        "cold_strategy": cold.strategy,
+        "warmed_strategy": warmed.strategy,
+        "fixed_strategy": fixed.strategy,
+        "planned_seconds": planned_seconds,
+        "fixed_seconds": fixed_seconds,
+        "within_tolerance": bool(
+            planned_seconds <= fixed_seconds * PLANNER_GATE_TOLERANCE
+        ),
+        "predicted_ns": {
+            k: round(v, 1)
+            for k, v in cal.predict_ns(rows_per_batch, workers).items()
+        },
+    }
 
 
 def run_parallel_scan(
@@ -315,6 +429,16 @@ def run_parallel_scan(
             None, None, None, None
         )
 
+    timings = {
+        "serial": serial_seconds, "threads": threads_seconds,
+    }
+    if processes_seconds is not None:
+        timings["processes"] = processes_seconds
+    planner = _planner_comparison(
+        serial_results, timings, len(store), batch_size, num_queries,
+        workers, shared_memory_available(),
+    )
+
     serial_keys = [_result_key(r) for r in serial_results]
     bit_identical = serial_keys == [_result_key(r) for r in thread_results]
     if proc_results is not None:
@@ -343,6 +467,7 @@ def run_parallel_scan(
         rows_gathered=pool_stats.get("rows_gathered"),
         tasks=pool_stats.get("tasks"),
         worker_deaths=pool_stats.get("worker_deaths"),
+        planner=planner,
     )
 
 

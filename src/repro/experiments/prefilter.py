@@ -38,9 +38,9 @@ from ..index.batch import BatchQueryExecutor
 from ..index.options import QueryOptions
 from ..index.segmented import CompactionPolicy, SegmentedS3Index
 from ..rng import SeedLike, resolve_rng
-from .common import format_table
+from .common import format_table, host_block
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Fingerprint dimension of the synthetic archive (matches the paper's
 #: 20-dimensional local fingerprints).
@@ -169,6 +169,7 @@ def write_prefilter_json(
     payload = {
         "benchmark": "prefilter",
         "schema_version": SCHEMA_VERSION,
+        "host": host_block(),
         "runs": [r.to_json() for r in results],
     }
     path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -33,7 +33,7 @@ import os
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 import numpy as np
@@ -48,6 +48,14 @@ from .parallel import (
     ProcessScanPool,
     can_process_scan,
     segment_store_name,
+)
+from .planner import (
+    Calibration,
+    ExecutorPlan,
+    PlannerStats,
+    choose_executor,
+    get_calibration,
+    set_calibration,
 )
 from .s3 import QueryStats, S3Index, SearchResult
 from .store import FingerprintStore
@@ -72,8 +80,17 @@ PROCESS_EXECUTOR_MIN_ROWS = 100_000
 #: Hosts with this many cores or fewer never auto-select processes:
 #: BENCH_parallel_scan shows the pool 0.67-0.86x *slower* than threads
 #: when workers contend for one or two cores, on top of its startup
-#: cost.  An explicit ``executor="processes"`` still overrides.
+#: cost.  An explicit ``executor="processes"`` still overrides.  Unlike
+#: the row threshold this survives as a hard guard under the measured
+#: planner too — contended cores are a structural loss, not a cost
+#: trade-off.
 PROCESS_EXECUTOR_MIN_CPUS = 3
+
+#: Cold-start estimate of the fraction of the index one batch's
+#: coalesced union scans, used by the planner before the first batch
+#: has produced real per-batch row counts (the statistical query is
+#: sub-linear; a few percent is typical at laptop scale).
+COLD_SCAN_FRACTION = 0.02
 
 
 @dataclass
@@ -241,6 +258,7 @@ def _scan_coalesced(
     min_rows: Optional[int] = None,
     pool: Optional[ProcessScanPool] = None,
     store_name: str = MONOLITHIC_STORE,
+    gather_cache=None,
 ) -> tuple[list[tuple], int, int]:
     """Scan the union of all queries' sections once and demultiplex.
 
@@ -253,11 +271,26 @@ def _scan_coalesced(
     processes into a shared-memory arena (no fingerprint bytes cross a
     pipe); the demux copies out of the arena, so results are plain
     arrays either way, byte-for-byte identical.
+
+    With *gather_cache* (a :class:`~repro.serve.cache.GatherCache`),
+    recurring ``(store, union)`` gathers are answered from cached
+    column copies.  Fancy indexing copies, so cached columns are
+    byte-identical to a fresh gather of the same immutable store rows;
+    the serving layer invalidates the cache whenever the index mutates.
     """
     union = coalesce_ranges(per_query_ranges)
     total = sum(e - s for s, e in union)
     threshold = PARALLEL_GATHER_MIN_ROWS if min_rows is None else min_rows
-    if pool is not None and total >= max(threshold, 1):
+    cached = (
+        gather_cache.get(store_name, union)
+        if gather_cache is not None else None
+    )
+    if cached is not None:
+        u_ids, u_tcs, u_fps = cached
+        per_query = _demux_union(
+            layout, per_query_ranges, union, u_ids, u_tcs, u_fps
+        )
+    elif pool is not None and total >= max(threshold, 1):
         with pool.scan_union(store_name, union) as arena:
             u_ids, u_tcs, u_fps = arena.columns(0)
             per_query = _demux_union(
@@ -269,6 +302,10 @@ def _scan_coalesced(
         u_ids, u_tcs, u_fps = _gather_columns(
             store, u_rows, workers, min_rows
         )
+        if gather_cache is not None:
+            gather_cache.put(
+                store_name, union, (u_ids, u_tcs, u_fps), total
+            )
         per_query = _demux_union(
             layout, per_query_ranges, union, u_ids, u_tcs, u_fps
         )
@@ -298,6 +335,7 @@ def query_batch_monolithic(
     workers: int = 1,
     parallel_gather_min_rows: Optional[int] = None,
     pool: Optional[ProcessScanPool] = None,
+    gather_cache=None,
 ) -> tuple[list[SearchResult], BatchQueryStats]:
     """Answer a batch of statistical queries against a monolithic index.
 
@@ -325,7 +363,7 @@ def query_batch_monolithic(
     per_ranges = [index.row_ranges(sel) for sel in selections]
     scans, union_sections, unique_rows = _scan_coalesced(
         index.layout, index.store, per_ranges, workers,
-        parallel_gather_min_rows, pool=pool,
+        parallel_gather_min_rows, pool=pool, gather_cache=gather_cache,
     )
     t2 = time.perf_counter()
 
@@ -368,6 +406,7 @@ def query_batch_segmented(
     parallel_gather_min_rows: Optional[int] = None,
     pool: Optional[ProcessScanPool] = None,
     prefilter: bool = True,
+    gather_cache=None,
 ) -> tuple[list[SearchResult], BatchQueryStats]:
     """Answer a batch of statistical queries against a segmented index.
 
@@ -437,6 +476,8 @@ def query_batch_segmented(
         scans, sections, unique = _scan_coalesced(
             seg.index.layout, seg.index.store, per_ranges, workers=1,
             min_rows=parallel_gather_min_rows,
+            store_name=segment_store_name(seg.meta.name),
+            gather_cache=gather_cache,
         )
         return per_ranges, scans, sections, unique, skipped_q, blocks_q
 
@@ -586,11 +627,15 @@ class BatchQueryExecutor:
         ``"processes"`` runs gathers on a
         :class:`~repro.index.parallel.ProcessScanPool` (zero-copy
         attach, no fingerprint bytes on pipes).  ``"auto"`` (default)
-        picks processes when ``workers > 1``, the host has more than
-        two cores, the index holds at least
-        :data:`PROCESS_EXECUTOR_MIN_ROWS` rows and zero-copy backing is
-        available — and falls back to threads cleanly whenever the pool
-        cannot be built or dies mid-flight.
+        asks the measured cost-model planner
+        (:mod:`repro.index.planner`) to pick
+        ``serial``/``threads``/``processes`` per batch from calibrated
+        per-host costs — subject to the hard guards (never processes
+        below :data:`PROCESS_EXECUTOR_MIN_CPUS` cores, below two
+        workers, or without zero-copy backing), with the legacy
+        fixed-threshold rule as the ``planner="fixed"`` opt-out and
+        missing-calibration fallback — and falls back to threads
+        cleanly whenever the pool cannot be built or dies mid-flight.
 
     The tuning parameters above are the **deprecated spelling**: pass a
     :class:`~repro.index.options.QueryOptions` via ``options=`` instead
@@ -641,12 +686,18 @@ class BatchQueryExecutor:
         self.parallel_gather_min_rows = opts.parallel_gather_min_rows
         self.executor = opts.executor
         self.prefilter = opts.prefilter
+        self.planner_mode = opts.planner
         self.stats = BatchQueryStats()
+        self.planner_stats = PlannerStats()
+        #: Optional :class:`~repro.serve.cache.GatherCache` the serving
+        #: layer plugs in; ``None`` keeps every gather cold.
+        self.gather_cache = None
         self._segmented = hasattr(index, "_fan_out")
         self._engine = (
             query_batch_segmented if self._segmented
             else query_batch_monolithic
         )
+        self._calibration: Optional[Calibration] = None
         self._pool: Optional[ProcessScanPool] = None
         self._pool_key: Optional[tuple] = None
         self._pool_failed = False
@@ -663,21 +714,87 @@ class BatchQueryExecutor:
             }
         return {MONOLITHIC_STORE: self.index.store}
 
-    def resolve_executor(self) -> str:
-        """The strategy the next batch will use (``threads``/``processes``)."""
+    def planner_calibration(self) -> Optional[Calibration]:
+        """This executor's cost calibration (``None`` in fixed mode)."""
+        if self.planner_mode == "fixed":
+            return None
+        if self._calibration is None:
+            self._calibration = get_calibration()
+        return self._calibration
+
+    def _rows_estimate(self) -> int:
+        """Expected coalesced rows of the next batch.
+
+        Rolling average of past batches once any have run; before that,
+        a :data:`COLD_SCAN_FRACTION` share of the index (the planner's
+        ``observe`` loop corrects any cold-start error within a few
+        batches).
+        """
+        if self.stats.batches:
+            return max(1, round(self.stats.unique_rows / self.stats.batches))
+        return max(1, int(len(self.index) * COLD_SCAN_FRACTION))
+
+    def plan_batch(self, record: bool = False) -> ExecutorPlan:
+        """Plan the next batch's strategy (``serial|threads|processes``).
+
+        An explicit ``executor=`` setting bypasses the planner, exactly
+        as before; ``"auto"`` asks :func:`~repro.index.planner.choose_executor`
+        under the configured planner mode.  With *record*, the decision
+        is counted into :attr:`planner_stats` (one call per batch).
+        """
+        rows = self._rows_estimate()
         if self.executor == "threads" or self._pool_failed:
-            return "threads"
-        if self.executor == "processes":
-            return "processes"
-        if self.workers < 2 or len(self.index) < PROCESS_EXECUTOR_MIN_ROWS:
-            return "threads"
-        if (os.cpu_count() or 1) < PROCESS_EXECUTOR_MIN_CPUS:
-            # On 1-2 core hosts the pool's shards contend for the same
-            # cores and lose to threads (BENCH_parallel_scan: 0.67-0.86x).
-            return "threads"
-        if not can_process_scan(list(self._pool_stores().values())):
-            return "threads"
-        return "processes"
+            plan = ExecutorPlan(
+                "threads", rows, source="explicit",
+                reason=(
+                    "pool failed earlier" if self._pool_failed
+                    else "executor=threads"
+                ),
+            )
+        elif self.executor == "processes":
+            plan = ExecutorPlan(
+                "processes", rows, source="explicit",
+                reason="executor=processes",
+            )
+        else:
+            workers = self.workers
+            can = (
+                workers >= 2
+                and can_process_scan(list(self._pool_stores().values()))
+            )
+            plan = choose_executor(
+                rows, self.batch_size, os.cpu_count() or 1,
+                workers=workers,
+                index_rows=len(self.index),
+                can_processes=can,
+                calibration=self.planner_calibration(),
+                mode=self.planner_mode,
+                min_rows=PROCESS_EXECUTOR_MIN_ROWS,
+                min_cpus=PROCESS_EXECUTOR_MIN_CPUS,
+            )
+        if record:
+            self.planner_stats.record(plan)
+        return plan
+
+    def resolve_executor(self) -> str:
+        """The strategy the next batch will use (``threads``/``processes``).
+
+        The planner's ``"serial"`` maps to ``"threads"`` here — both run
+        in-process without the pool; serial just skips thread sharding.
+        """
+        plan = self.plan_batch()
+        return "processes" if plan.strategy == "processes" else "threads"
+
+    def planner_snapshot(self) -> dict:
+        """Planner block of the serve ``stats`` op / ``info --json``."""
+        cal = self._calibration
+        return {
+            "mode": self.planner_mode,
+            "executor": self.executor,
+            "rows_estimate": self._rows_estimate(),
+            "calibration": cal.to_json() if cal is not None else None,
+            **self.planner_stats.snapshot(),
+        }
 
     def _ensure_pool(self) -> Optional[ProcessScanPool]:
         """Build (or rebuild, after segment turnover) the scan pool.
@@ -749,15 +866,25 @@ class BatchQueryExecutor:
     # ------------------------------------------------------------------
     def query_batch(self, queries: np.ndarray) -> list[SearchResult]:
         """Run one engine call over *queries* (no chunking)."""
+        plan = self.plan_batch(record=True)
         pool = None
-        if self.resolve_executor() == "processes":
+        if plan.strategy == "processes":
             pool = self._ensure_pool()
+            if pool is None:
+                plan = replace(
+                    plan, strategy="threads",
+                    reason=plan.reason + "; pool unavailable",
+                )
+        executed = plan.strategy
         kwargs = dict(
-            model=self.model, depth=self.depth, workers=self.workers,
+            model=self.model, depth=self.depth,
+            workers=1 if plan.strategy == "serial" else self.workers,
             parallel_gather_min_rows=self.parallel_gather_min_rows,
         )
         if self._segmented:
             kwargs["prefilter"] = self.options.prefilter_enabled
+        if self.gather_cache is not None:
+            kwargs["gather_cache"] = self.gather_cache
         try:
             results, batch = self._engine(
                 self.index, queries, self.alpha, pool=pool, **kwargs
@@ -774,11 +901,38 @@ class BatchQueryExecutor:
             )
             self._teardown_pool()
             self._pool_failed = True
+            executed = "threads"
             results, batch = self._engine(
                 self.index, queries, self.alpha, pool=None, **kwargs
             )
         self.stats.merge(batch)
+        self._observe_batch(plan, executed, batch, pool)
         return results
+
+    def _observe_batch(
+        self,
+        plan: ExecutorPlan,
+        executed: str,
+        batch: BatchQueryStats,
+        pool: Optional[ProcessScanPool],
+    ) -> None:
+        """Fold one finished batch into the planner's rolling state."""
+        self.planner_stats.observe(plan, batch.scan_seconds)
+        if executed == "processes" and pool is not None:
+            pool.stats.planner_predicted_ns += plan.predicted_chosen_ns
+            pool.stats.planner_actual_ns += batch.scan_seconds * 1e9
+        cal = self._calibration
+        # Cached gathers don't pay the per-row cost the calibration
+        # models, so their timings must not be folded back in.
+        if cal is not None and self.gather_cache is None:
+            updated = cal.observe(
+                executed, batch.unique_rows, batch.scan_seconds
+            )
+            if updated is not cal:
+                self._calibration = updated
+                # Rolling refresh: later executors in this process plan
+                # from the traffic-corrected constants.
+                set_calibration(updated)
 
     def query_all(self, queries: np.ndarray) -> list[SearchResult]:
         """Run *queries* through the engine in ``batch_size`` chunks."""

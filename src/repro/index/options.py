@@ -26,6 +26,7 @@ from dataclasses import dataclass, replace
 from typing import Iterable, Optional
 
 from ..errors import ConfigurationError
+from .planner import PLANNER_MODES
 
 #: Executor strategies accepted by the batched engine (canonical home;
 #: re-exported by :mod:`repro.index.batch` for compatibility).
@@ -62,6 +63,12 @@ class QueryOptions:
         (``None`` keeps the module default).
     prefilter:
         Segment-sketch pre-filter mode (:data:`PREFILTER_MODES`).
+    planner:
+        How ``executor="auto"`` decides
+        (:data:`~repro.index.planner.PLANNER_MODES`): ``"auto"`` uses
+        the measured cost model with a fixed-rule fallback,
+        ``"measured"`` insists on the cost model, ``"fixed"`` keeps the
+        legacy row-threshold rule.  Ignored when *executor* is explicit.
     """
 
     alpha: float = 0.8
@@ -71,6 +78,7 @@ class QueryOptions:
     executor: str = "auto"
     parallel_gather_min_rows: Optional[int] = None
     prefilter: str = "auto"
+    planner: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
@@ -104,6 +112,11 @@ class QueryOptions:
             raise ConfigurationError(
                 f"prefilter must be one of {PREFILTER_MODES!r}, "
                 f"got {self.prefilter!r}"
+            )
+        if self.planner not in PLANNER_MODES:
+            raise ConfigurationError(
+                f"planner must be one of {PLANNER_MODES!r}, "
+                f"got {self.planner!r}"
             )
 
     # ------------------------------------------------------------------

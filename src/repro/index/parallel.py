@@ -139,6 +139,11 @@ class PoolStats:
     tasks_retried: int = 0
     shm_stores: int = 0
     mmap_stores: int = 0
+    #: Cost the execution planner predicted for the batches this pool
+    #: ran vs what they actually took (``repro.index.planner``); both
+    #: accumulate so their ratio is the pool-path prediction error.
+    planner_predicted_ns: float = 0.0
+    planner_actual_ns: float = 0.0
 
     def snapshot(self) -> dict:
         """JSON-safe copy (the serve layer's ``stats`` payload)."""
@@ -156,6 +161,8 @@ class PoolStats:
             "tasks_retried": self.tasks_retried,
             "shm_stores": self.shm_stores,
             "mmap_stores": self.mmap_stores,
+            "planner_predicted_ns": round(self.planner_predicted_ns, 1),
+            "planner_actual_ns": round(self.planner_actual_ns, 1),
         }
 
 

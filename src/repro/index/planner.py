@@ -1,0 +1,543 @@
+"""Measured cost-model execution planner for the batched engine.
+
+``BatchQueryExecutor``'s original ``"auto"`` rule was a fixed row
+threshold (``PROCESS_EXECUTOR_MIN_ROWS``), and BENCH_parallel_scan
+proved it can be *wrong* on real hardware: on a 1-core host the process
+pool runs 0.67-0.86x vs threads, and on a wide host the 100k-row cutoff
+is far too conservative.  This module replaces the guess with a
+measurement:
+
+1. **Startup micro-calibration** (:func:`measure_calibration`) — a few
+   milliseconds of in-process micro-benchmarks sampling the costs the
+   executor choice actually trades off: vectorised fancy-index gather
+   throughput (serial and thread-sharded), thread-pool dispatch
+   overhead, contiguous memcpy bandwidth (the arena copy-in/copy-out of
+   the process path), and the pickle cost of a pool work item.  The
+   result is a :class:`Calibration`.
+2. **Host-keyed sidecar** — calibrations persist to
+   ``$REPRO_PLANNER_CACHE_DIR/planner-<host>.json`` (opt-in via the
+   environment variable; nothing is written otherwise) and are reloaded
+   on the next startup when fresh (same host shape, younger than
+   :data:`CALIBRATION_TTL_SECONDS`).
+3. **Rolling refresh** — :meth:`Calibration.observe` folds measured
+   per-batch scan times from the serve path back into the model with an
+   exponential moving average, so a miscalibrated host converges onto
+   its true costs under real traffic.
+4. **Per-batch decision** (:func:`choose_executor`) — predicts the
+   nanosecond cost of ``serial``/``threads``/``processes`` for the rows
+   a batch is about to scan and picks the cheapest *admissible*
+   strategy.  The hard guards of the old rule survive as guards, not
+   costs: processes are never chosen below ``min_cpus`` cores, below
+   two workers, or without zero-copy store backing.
+
+All three strategies return bit-identical results (property-tested
+since PR 5), so the planner only ever changes *speed*, never answers.
+``mode="fixed"`` reproduces the legacy threshold rule exactly — it is
+both the explicit opt-out and the fallback when calibration is missing
+or stale.  See ``docs/planner.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import platform
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+#: Planner modes accepted by :class:`~repro.index.options.QueryOptions`.
+#: ``"auto"`` plans from the measured calibration and falls back to the
+#: fixed rule when none is available; ``"measured"`` insists on a
+#: calibration (measuring one on the spot if needed); ``"fixed"`` keeps
+#: the legacy row-threshold rule byte-for-byte.
+PLANNER_MODES = ("auto", "measured", "fixed")
+
+#: Calibration sidecar format version.
+CALIBRATION_SCHEMA = 1
+
+#: A persisted calibration older than this is re-measured.
+CALIBRATION_TTL_SECONDS = 7 * 24 * 3600.0
+
+#: Environment variable naming the sidecar directory.  Persistence is
+#: opt-in: without it, calibrations live only in the process.
+CALIBRATION_DIR_ENV = "REPRO_PLANNER_CACHE_DIR"
+
+#: EMA weight of one observed batch when folding serve-path timings
+#: back into the calibration.
+OBSERVE_EMA_WEIGHT = 0.2
+
+#: Batches scanning fewer rows than this are not folded back — their
+#: timing is dominated by per-call overhead, not per-row cost.
+OBSERVE_MIN_ROWS = 2048
+
+#: Fixed per-task floor of the process pool that in-process measurement
+#: cannot observe: the syscall + scheduler latency of one duplex-pipe
+#: round trip.  ~0.1-0.2 ms on Linux; refined by :meth:`observe` once
+#: the pool has actually run.
+PROCESS_TASK_FLOOR_NS = 150_000.0
+
+# Micro-benchmark shape: large enough to leave L1/L2 noise, small
+# enough that the whole calibration stays in the low milliseconds.
+_CAL_ROWS = 32_768
+_CAL_NDIMS = 20
+_CAL_SAMPLE = 8_192
+_CAL_REPEATS = 3
+_CAL_WORKERS = 4
+
+
+def host_key() -> str:
+    """Stable identity of the hardware a calibration belongs to."""
+    return (
+        f"{platform.node()}-{platform.machine()}"
+        f"-cpu{os.cpu_count() or 1}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Calibration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Calibration:
+    """Per-host cost constants of the three executor strategies.
+
+    All ``*_ns*`` fields are nanoseconds; per-row fields are per
+    *gathered* row of the paper's 20-byte fingerprints.
+    ``process_ns_per_row`` starts ``None`` (the process cost is then
+    composed from memcpy + sharded gather) and is filled in by
+    :meth:`observe` once real pool batches have been timed.
+    """
+
+    host: str
+    cpu_count: int
+    created_at: float
+    gather_ns_per_row: float
+    thread_gather_ns_per_row: float
+    thread_dispatch_ns: float
+    memcpy_ns_per_row: float
+    ipc_task_ns: float
+    process_ns_per_row: Optional[float] = None
+    observations: int = 0
+    source: str = "measured"
+
+    # ------------------------------------------------------------------
+    def age_seconds(self, now: Optional[float] = None) -> float:
+        return (time.time() if now is None else now) - self.created_at
+
+    def is_stale(self, now: Optional[float] = None) -> bool:
+        """Too old, or measured on a differently shaped host."""
+        return (
+            self.host != host_key()
+            or self.cpu_count != (os.cpu_count() or 1)
+            or self.age_seconds(now) > CALIBRATION_TTL_SECONDS
+            or self.age_seconds(now) < 0
+        )
+
+    # ------------------------------------------------------------------
+    def predict_ns(self, rows: int, workers: int) -> dict[str, float]:
+        """Predicted scan cost of each strategy for one batch.
+
+        ``serial`` is one fancy-index gather; ``threads`` adds the pool
+        dispatch and swaps in the sharded per-row rate; ``processes``
+        pays one IPC round trip per worker plus either the observed
+        pool per-row rate or, before any observation, the analytic
+        composition: two arena memcpys (copy-in by the workers, demux
+        copy-out) around a gather sharded across the cores left after
+        the parent's.
+        """
+        rows = max(0, int(rows))
+        serial = rows * self.gather_ns_per_row
+        threads = (
+            self.thread_dispatch_ns + rows * self.thread_gather_ns_per_row
+        )
+        if self.process_ns_per_row is not None:
+            per_row = self.process_ns_per_row
+        else:
+            useful = max(1, min(workers, max(1, self.cpu_count - 1)))
+            per_row = (
+                2.0 * self.memcpy_ns_per_row
+                + self.gather_ns_per_row / useful
+            )
+        processes = max(1, workers) * self.ipc_task_ns + rows * per_row
+        return {
+            "serial": serial, "threads": threads, "processes": processes,
+        }
+
+    def observe(
+        self, strategy: str, rows: int, seconds: float
+    ) -> "Calibration":
+        """Fold one measured batch back in; returns the updated copy.
+
+        Batches below :data:`OBSERVE_MIN_ROWS` rows (or non-positive
+        timings) are ignored — see the constant's rationale.
+        """
+        if rows < OBSERVE_MIN_ROWS or seconds <= 0.0:
+            return self
+        per_row = seconds * 1e9 / rows
+        w = OBSERVE_EMA_WEIGHT
+        changes: dict = {
+            "observations": self.observations + 1,
+            "source": "observed",
+        }
+        if strategy == "serial":
+            changes["gather_ns_per_row"] = (
+                (1 - w) * self.gather_ns_per_row + w * per_row
+            )
+        elif strategy == "threads":
+            changes["thread_gather_ns_per_row"] = (
+                (1 - w) * self.thread_gather_ns_per_row + w * per_row
+            )
+        elif strategy == "processes":
+            prev = self.process_ns_per_row
+            changes["process_ns_per_row"] = (
+                per_row if prev is None else (1 - w) * prev + w * per_row
+            )
+        else:
+            return self
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {"schema_version": CALIBRATION_SCHEMA, **asdict(self)}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Calibration":
+        if payload.get("schema_version") != CALIBRATION_SCHEMA:
+            raise ValueError(
+                f"unsupported calibration schema: "
+                f"{payload.get('schema_version')!r}"
+            )
+        fields = {k: v for k, v in payload.items() if k != "schema_version"}
+        return cls(**fields)
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Minimum wall-clock seconds of *repeats* runs of *fn*."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_calibration() -> Calibration:
+    """Run the startup micro-benchmarks (a few milliseconds total)."""
+    cpus = os.cpu_count() or 1
+    rng = np.random.default_rng(0)
+    fps = rng.integers(
+        0, 256, size=(_CAL_ROWS, _CAL_NDIMS), dtype=np.uint8
+    )
+    ids = np.arange(_CAL_ROWS, dtype=np.uint32)
+    tcs = np.linspace(0.0, _CAL_ROWS / 25.0, _CAL_ROWS)
+    sample = np.sort(
+        rng.choice(_CAL_ROWS, size=_CAL_SAMPLE, replace=False)
+    )
+
+    def gather(rows: np.ndarray):
+        return ids[rows], tcs[rows], fps[rows]
+
+    serial_s = _best_of(_CAL_REPEATS, lambda: gather(sample))
+    gather_ns = serial_s * 1e9 / _CAL_SAMPLE
+
+    workers = max(2, min(_CAL_WORKERS, cpus))
+    chunks = np.array_split(sample, workers)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        # Warm the pool's threads so dispatch measures the steady state
+        # (executors reuse threads; creation is a one-off cost).
+        list(pool.map(lambda c: None, chunks))
+        dispatch_s = _best_of(
+            _CAL_REPEATS, lambda: list(pool.map(lambda c: None, chunks))
+        )
+
+        def sharded():
+            parts = list(pool.map(gather, chunks))
+            return (
+                np.concatenate([p[0] for p in parts]),
+                np.concatenate([p[1] for p in parts]),
+                np.concatenate([p[2] for p in parts]),
+            )
+
+        threads_s = _best_of(_CAL_REPEATS, sharded)
+    thread_ns = max(0.0, threads_s - dispatch_s) * 1e9 / _CAL_SAMPLE
+
+    src = fps[sample]
+    dst = np.empty_like(src)
+    memcpy_s = _best_of(_CAL_REPEATS, lambda: np.copyto(dst, src))
+    memcpy_ns = memcpy_s * 1e9 / _CAL_SAMPLE
+
+    # One pool work item: (store name, coalesced ranges, arena offset).
+    item = ("seg:calibration", [(i * 512, i * 512 + 384)
+                                for i in range(64)], 0)
+    pickle_s = _best_of(
+        _CAL_REPEATS, lambda: pickle.loads(pickle.dumps(item))
+    )
+    ipc_ns = pickle_s * 1e9 + PROCESS_TASK_FLOOR_NS
+
+    return Calibration(
+        host=host_key(),
+        cpu_count=cpus,
+        created_at=time.time(),
+        gather_ns_per_row=max(gather_ns, 1e-3),
+        thread_gather_ns_per_row=max(thread_ns, 1e-3),
+        thread_dispatch_ns=max(dispatch_s * 1e9, 0.0),
+        memcpy_ns_per_row=max(memcpy_ns, 1e-4),
+        ipc_task_ns=ipc_ns,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sidecar persistence
+# ----------------------------------------------------------------------
+def sidecar_path(directory: Optional[str] = None) -> Optional[Path]:
+    """Sidecar file for this host, or ``None`` when persistence is off."""
+    root = (
+        directory if directory is not None
+        else os.environ.get(CALIBRATION_DIR_ENV)
+    )
+    if not root:
+        return None
+    return Path(root).expanduser() / f"planner-{host_key()}.json"
+
+
+def load_calibration(path: Path) -> Optional[Calibration]:
+    """Load a sidecar; ``None`` on missing/corrupt/stale content."""
+    try:
+        payload = json.loads(Path(path).read_text())
+        cal = Calibration.from_json(payload)
+    except (OSError, ValueError, TypeError, KeyError):
+        return None
+    if cal.is_stale():
+        return None
+    return replace(cal, source="sidecar")
+
+
+def save_calibration(cal: Calibration, path: Path) -> bool:
+    """Atomically persist *cal*; best-effort (``False`` on any OS error)."""
+    path = Path(path)
+    tmp = path.with_suffix(".tmp")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(cal.to_json(), indent=2) + "\n")
+        tmp.replace(path)
+    except OSError:
+        return False
+    return True
+
+
+_cached: Optional[Calibration] = None
+
+
+def get_calibration(refresh: bool = False) -> Calibration:
+    """The process-wide calibration: sidecar if fresh, else measured.
+
+    A freshly measured calibration is written back to the sidecar when
+    :data:`CALIBRATION_DIR_ENV` names a directory.  The result is cached
+    in-process; ``refresh=True`` forces a re-measure.
+    """
+    global _cached
+    if _cached is not None and not refresh and not _cached.is_stale():
+        return _cached
+    path = sidecar_path()
+    cal = load_calibration(path) if (path and not refresh) else None
+    if cal is None:
+        cal = measure_calibration()
+        if path is not None:
+            save_calibration(cal, path)
+    _cached = cal
+    return cal
+
+
+def set_calibration(cal: Optional[Calibration]) -> None:
+    """Replace the process-wide calibration (tests; rolling refresh)."""
+    global _cached
+    _cached = cal
+
+
+# ----------------------------------------------------------------------
+# The decision
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutorPlan:
+    """One batch's executor decision with its predicted costs."""
+
+    strategy: str  # "serial" | "threads" | "processes"
+    rows: int
+    predicted_ns: dict[str, float] = field(default_factory=dict)
+    source: str = "fixed"  # "measured" | "observed" | "fixed" | "explicit"
+    reason: str = ""
+
+    @property
+    def predicted_chosen_ns(self) -> float:
+        return self.predicted_ns.get(self.strategy, 0.0)
+
+    def to_json(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "rows": self.rows,
+            "predicted_ns": {
+                k: round(v, 1) for k, v in self.predicted_ns.items()
+            },
+            "source": self.source,
+            "reason": self.reason,
+        }
+
+
+def fixed_choice(
+    rows_to_scan: int,
+    index_rows: int,
+    workers: int,
+    cpu_count: int,
+    can_processes: bool,
+    min_rows: int,
+    min_cpus: int,
+) -> ExecutorPlan:
+    """The legacy fixed-threshold ``"auto"`` rule, as a plan.
+
+    Matches the pre-planner ``resolve_executor`` byte-for-byte:
+    processes need ``workers >= 2``, an index of at least *min_rows*
+    rows, at least *min_cpus* cores and zero-copy backing; anything
+    else thread-shards (or runs serial below two workers).
+    """
+    if workers < 2:
+        return ExecutorPlan(
+            "serial", rows_to_scan, source="fixed", reason="workers < 2"
+        )
+    if index_rows < min_rows:
+        return ExecutorPlan(
+            "threads", rows_to_scan, source="fixed",
+            reason=f"index below {min_rows} rows",
+        )
+    if cpu_count < min_cpus:
+        return ExecutorPlan(
+            "threads", rows_to_scan, source="fixed",
+            reason=f"{cpu_count} cores < {min_cpus}",
+        )
+    if not can_processes:
+        return ExecutorPlan(
+            "threads", rows_to_scan, source="fixed",
+            reason="no zero-copy store backing",
+        )
+    return ExecutorPlan(
+        "processes", rows_to_scan, source="fixed",
+        reason=f"index >= {min_rows} rows on {cpu_count} cores",
+    )
+
+
+def choose_executor(
+    rows_to_scan: int,
+    batch_size: int,
+    cpu_count: Optional[int] = None,
+    *,
+    workers: int = 1,
+    index_rows: int = 0,
+    can_processes: bool = False,
+    calibration: Optional[Calibration] = None,
+    mode: str = "auto",
+    min_rows: Optional[int] = None,
+    min_cpus: Optional[int] = None,
+) -> ExecutorPlan:
+    """Pick the cheapest admissible strategy for the next batch.
+
+    *rows_to_scan* is the expected coalesced-union size of the batch
+    (*batch_size* queries).  Admissibility guards are hard: processes
+    are never chosen with fewer than two workers, on hosts with fewer
+    than *min_cpus* cores, or without zero-copy backing — regardless of
+    what the cost model predicts.  In ``mode="fixed"``, or when
+    *calibration* is ``None``/stale under ``mode="auto"``, the legacy
+    threshold rule decides instead.
+
+    The measured decision is monotone in *rows_to_scan*: every
+    strategy's predicted cost is affine in rows, so each strategy wins
+    on one contiguous rows interval of the lower envelope.
+    """
+    from .batch import (
+        PROCESS_EXECUTOR_MIN_CPUS,
+        PROCESS_EXECUTOR_MIN_ROWS,
+    )
+
+    if min_rows is None:
+        min_rows = PROCESS_EXECUTOR_MIN_ROWS
+    if min_cpus is None:
+        min_cpus = PROCESS_EXECUTOR_MIN_CPUS
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    rows_to_scan = max(0, int(rows_to_scan))
+
+    stale = calibration is None or calibration.is_stale()
+    if mode == "fixed" or (mode == "auto" and stale):
+        plan = fixed_choice(
+            rows_to_scan, index_rows, workers, cpu_count,
+            can_processes, min_rows, min_cpus,
+        )
+        if mode != "fixed" and stale:
+            plan = replace(
+                plan, reason=f"calibration unavailable; {plan.reason}"
+            )
+        return plan
+    if calibration is None or calibration.is_stale():
+        # mode == "measured": measure on the spot rather than guess.
+        calibration = get_calibration()
+
+    predicted = calibration.predict_ns(rows_to_scan, workers)
+    candidates = ["serial"]
+    if workers >= 2:
+        candidates.append("threads")
+        if cpu_count >= min_cpus and can_processes:
+            candidates.append("processes")
+    # Ties break toward the simpler strategy (list order).
+    strategy = min(candidates, key=lambda s: (predicted[s],))
+    source = (
+        "observed" if calibration.source == "observed" else "measured"
+    )
+    return ExecutorPlan(
+        strategy, rows_to_scan, predicted_ns=predicted, source=source,
+        reason=(
+            f"cheapest of {candidates} at ~{rows_to_scan} rows/batch"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Rolling stats
+# ----------------------------------------------------------------------
+@dataclass
+class PlannerStats:
+    """Decision counters + predicted-vs-actual cost of one executor."""
+
+    plans: int = 0
+    fallbacks: int = 0
+    decisions: dict = field(default_factory=dict)
+    predicted_ns: float = 0.0
+    actual_ns: float = 0.0
+    last_plan: Optional[ExecutorPlan] = None
+
+    def record(self, plan: ExecutorPlan) -> None:
+        self.plans += 1
+        self.decisions[plan.strategy] = (
+            self.decisions.get(plan.strategy, 0) + 1
+        )
+        if plan.source == "fixed":
+            self.fallbacks += 1
+        self.last_plan = plan
+
+    def observe(self, plan: ExecutorPlan, actual_seconds: float) -> None:
+        self.predicted_ns += plan.predicted_chosen_ns
+        self.actual_ns += actual_seconds * 1e9
+
+    def snapshot(self) -> dict:
+        out = {
+            "plans": self.plans,
+            "fallbacks": self.fallbacks,
+            "decisions": dict(self.decisions),
+            "predicted_ns": round(self.predicted_ns, 1),
+            "actual_ns": round(self.actual_ns, 1),
+        }
+        if self.last_plan is not None:
+            out["last"] = self.last_plan.to_json()
+        return out

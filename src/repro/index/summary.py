@@ -9,11 +9,39 @@ the same fields for the same index.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 from .parallel import shared_memory_available
+from .planner import choose_executor, get_calibration
 from .s3 import S3Index
 from .store import PathLike, read_header
+
+
+def planner_summary(rows: int = 0) -> dict:
+    """Describe the measured cost-model planner on this host.
+
+    Reports the current calibration (measuring one on first call) and
+    the strategy the planner would pick for a cold scan over *rows*
+    index rows.  Calibration failures degrade to ``calibrated: False``
+    rather than failing the summary — ``info`` must work everywhere.
+    """
+    cpus = os.cpu_count() or 1
+    try:
+        cal = get_calibration()
+    except Exception:  # pragma: no cover - defensive
+        return {"calibrated": False, "cpu_count": cpus}
+    plan = choose_executor(
+        rows, 1, cpus, workers=cpus, index_rows=rows, can_processes=True,
+        calibration=cal,
+    )
+    return {
+        "calibrated": True,
+        "source": cal.source,
+        "cpu_count": cpus,
+        "cold_strategy": plan.strategy,
+        "calibration": cal.to_json(),
+    }
 
 
 def _executor_capabilities(mmap_backed: bool) -> dict:
@@ -67,6 +95,7 @@ def index_summary(index) -> dict:
             "executor": _executor_capabilities(
                 mmap_backed=handle is not None and handle.kind == "file"
             ),
+            "planner": planner_summary(len(index)),
         }
     manifest = index.manifest
     seg_handles = [
@@ -92,4 +121,5 @@ def index_summary(index) -> dict:
                 h is not None and h.kind == "file" for h in seg_handles
             )
         ),
+        "planner": planner_summary(len(index)),
     }

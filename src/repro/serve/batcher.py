@@ -29,6 +29,16 @@ the client can back off on, instead of unbounded buffering.  Deadlines
 propagate: a fingerprint whose request deadline passes while it is still
 queued is completed with :class:`DeadlineExceeded` and never reaches the
 engine.
+
+With a :class:`~repro.serve.cache.ServeCache` attached, admission
+consults the cache first: cached fingerprints are answered without
+queueing, a fingerprint identical to one already queued or executing
+becomes a *follower* of that leader's future (in-flight deduplication —
+single execution, fanned-out replies), and only genuinely new
+fingerprints count against ``queue_limit``.  Results are stored under
+the index token captured on the engine lane, so a batch racing an
+ingest can never populate the cache with pre-mutation answers (the
+token guard drops them).
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ import numpy as np
 from ..errors import ConfigurationError, ReproError
 from ..index.batch import BatchQueryExecutor
 from ..index.s3 import SearchResult
+from .cache import index_cache_token
 
 
 class ServiceOverloaded(ReproError):
@@ -116,11 +127,17 @@ class BatcherStats:
 
 @dataclass
 class _Pending:
-    """One queued fingerprint awaiting its batch."""
+    """One queued fingerprint awaiting its batch.
+
+    ``key`` is the fingerprint's cache key when a cache is attached
+    (``None`` otherwise); it marks this pending entry as the in-flight
+    *leader* for that key.
+    """
 
     fingerprint: np.ndarray
     future: asyncio.Future
     deadline: Optional[float] = None
+    key: Optional[tuple] = None
 
 
 _STOP = object()
@@ -146,6 +163,10 @@ class MicroBatcher:
     executor: BatchQueryExecutor
     engine: Executor
     config: BatcherConfig = field(default_factory=BatcherConfig)
+    #: Optional :class:`~repro.serve.cache.ServeCache`; when set,
+    #: admission answers repeats from the cache and dedupes identical
+    #: in-flight fingerprints (see the module docstring).
+    cache: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.stats = BatcherStats()
@@ -201,23 +222,84 @@ class MicroBatcher:
         count = fingerprints.shape[0]
         if self._closing:
             raise ServiceClosed("service is shutting down")
-        if self.queue_depth + count > self.config.queue_limit:
+        loop = asyncio.get_running_loop()
+        # Pass 1 — classify each fingerprint without side effects beyond
+        # counters: cached result, follower of an executing leader, or a
+        # genuinely new query.  Only new queries face admission control.
+        plan: list[tuple] = []
+        new_queries = count
+        if self.cache is not None:
+            cache = self.cache
+            local_leaders: set = set()
+            for i in range(count):
+                key = cache.result_key(
+                    fingerprints[i], self.executor.alpha,
+                    self.executor.depth,
+                )
+                hit = cache.results.get(key)
+                if hit is not None:
+                    plan.append(("hit", key, hit))
+                    continue
+                leader = cache.leader(key)
+                if leader is not None:
+                    cache.stats.inflight_deduped += 1
+                    plan.append(("follow", key, leader))
+                elif key in local_leaders:
+                    # Duplicate within this very request: follow the
+                    # leader this request is about to register.
+                    cache.stats.inflight_deduped += 1
+                    plan.append(("follow_local", key, None))
+                else:
+                    local_leaders.add(key)
+                    plan.append(("new", key, None))
+            new_queries = len(local_leaders)
+        else:
+            plan = [("new", None, None)] * count
+        if self.queue_depth + new_queries > self.config.queue_limit:
             self.stats.shed += count
             raise ServiceOverloaded(
                 f"queue is full ({self.queue_depth}/"
-                f"{self.config.queue_limit} queued; request adds {count})"
+                f"{self.config.queue_limit} queued; request adds "
+                f"{new_queries})"
             )
-        loop = asyncio.get_running_loop()
-        items = [
-            _Pending(fingerprints[i], loop.create_future(), deadline)
-            for i in range(count)
-        ]
+        # Pass 2 — admitted: register leaders and queue the new queries.
+        slots: list[tuple] = []
+        items: list[_Pending] = []
+        leaders: dict = {}
+        for i, (kind, key, payload) in enumerate(plan):
+            if kind == "hit":
+                slots.append(("value", payload))
+            elif kind == "follow":
+                slots.append(("future", payload))
+            elif kind == "follow_local":
+                slots.append(("future", leaders[key]))
+            else:
+                item = _Pending(
+                    fingerprints[i], loop.create_future(), deadline,
+                    key=key,
+                )
+                if self.cache is not None:
+                    self.cache.register_inflight(key, item.future)
+                    leaders[key] = item.future
+                items.append(item)
+                slots.append(("future", item.future))
         for item in items:
             self._queue.put_nowait(item)
         self.stats.max_queue_depth = max(
             self.stats.max_queue_depth, self.queue_depth
         )
-        return list(await asyncio.gather(*(item.future for item in items)))
+        # Shield shared futures: an error propagating out of this gather
+        # must not cancel a leader another request's follower awaits.
+        pending = [
+            payload for kind, payload in slots if kind == "future"
+        ]
+        awaited = iter(await asyncio.gather(
+            *(asyncio.shield(f) for f in pending)
+        ))
+        return [
+            payload if kind == "value" else next(awaited)
+            for kind, payload in slots
+        ]
 
     # ------------------------------------------------------------------
     # draining
@@ -276,10 +358,13 @@ class MicroBatcher:
             return
         queries = np.stack([item.fingerprint for item in live])
         try:
-            results = await loop.run_in_executor(
+            results, token = await loop.run_in_executor(
                 self.engine, self._call_engine, queries
             )
         except Exception as exc:  # surface engine failures per future
+            # Followers share the leader's outcome, errors included:
+            # their clients see the same failure they would have seen
+            # executing themselves, and retry identically.
             for item in live:
                 if not item.future.done():
                     item.future.set_exception(exc)
@@ -290,10 +375,22 @@ class MicroBatcher:
         for item, result in zip(live, results):
             if not item.future.done():
                 item.future.set_result(result)
+            if self.cache is not None and item.key is not None:
+                # Guarded by the token captured on the engine lane: if
+                # an ingest invalidated the cache since this batch ran,
+                # the put is dropped, never served stale.
+                self.cache.results.put(item.key, result, token)
 
-    def _call_engine(self, queries: np.ndarray) -> list[SearchResult]:
+    def _call_engine(
+        self, queries: np.ndarray
+    ) -> tuple[list[SearchResult], Optional[tuple]]:
         # Deterministic mode: a cold threshold search per batch makes
         # every served result independent of batching history — the
         # bit-identity contract of docs/serving.md.
         self.executor.index.reset_threshold_cache()
-        return self.executor.query_batch(queries)
+        results = self.executor.query_batch(queries)
+        if self.cache is None:
+            return results, None
+        # Captured on the serialised engine lane, so the token names
+        # exactly the index state this batch queried.
+        return results, index_cache_token(self.executor.index)

@@ -1,0 +1,314 @@
+"""Traffic-shaped caching for the serve path.
+
+The monitoring workload the paper targets — continuous broadcast streams
+checked against a fixed reference archive — repeats the same material
+constantly: jingles, ad breaks, channel idents.  Three cooperating
+layers exploit that repetition, all preserving the serving contract that
+every answer is **bit-identical** to a cold solo
+``statistical_query``:
+
+* :class:`QueryResultCache` — an LRU of recent per-fingerprint results
+  keyed by ``(fingerprint bytes, alpha, depth)`` and guarded by an
+  **index token** (:func:`index_cache_token`: the distortion model's
+  ``cache_token`` plus the index's row/segment shape).  Every ingest
+  changes the token and clears the cache; a result computed *before* a
+  mutation but stored *after* it is dropped by the token guard, so a
+  stale answer can never be served.
+* **In-flight deduplication** (:meth:`ServeCache.register_inflight`) —
+  identical fingerprints arriving concurrently (across any mix of
+  connections) execute once; followers await the leader's future and
+  share its outcome, including errors: a failed leader fails its
+  followers, whose clients retry exactly as if they had executed
+  themselves.
+* :class:`GatherCache` — a hot-block cache of coalesced column gathers
+  keyed by ``(store name, union ranges)``.  Even *distinct* queries over
+  recurring material select the same Hilbert-curve sections; the cache
+  replays the gathered column copies instead of re-touching the store.
+  Sealed segment stores are immutable and segment names are never
+  reused, so cached columns equal a fresh gather bit-for-bit; the cache
+  is nevertheless cleared on ingest along with the result LRU.
+
+The stack is wired by :class:`~repro.serve.server.DetectionServer`
+(``ServeConfig(cache=..., cache_capacity=...)``) and consulted by the
+micro-batcher before admission — cache hits and follower waits never
+occupy queue slots.  The cluster router keeps its own per-shard wire
+cache (see :mod:`repro.cluster.router`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .metrics import ratio
+
+#: Cache modes of :class:`~repro.serve.server.ServeConfig`.  ``"auto"``
+#: and ``"on"`` both enable the stack today (``"auto"`` may grow
+#: admission heuristics later); ``"off"`` disables every layer.
+CACHE_MODES = ("auto", "on", "off")
+
+#: Default result-LRU capacity (entries).
+DEFAULT_CACHE_CAPACITY = 4096
+
+#: Default gather-cache budget in cached rows (~32 MiB of 20-byte
+#: fingerprints plus id/timecode columns at the paper's dimensions).
+DEFAULT_GATHER_CACHE_ROWS = 1 << 20
+
+
+def index_cache_token(index) -> tuple:
+    """Identity of the index state a cached result is valid for.
+
+    Combines the distortion model's ``cache_token`` (model identity —
+    the same token that keys the warm-start threshold cache) with the
+    index's visible shape: total rows, and for segmented indexes the
+    segment count and memtable size.  Any ingest, flush or compaction
+    changes at least one component.
+    """
+    model = getattr(index, "model", None)
+    token: tuple = (
+        model.cache_token() if model is not None else None,
+        len(index),
+    )
+    if hasattr(index, "num_segments"):
+        token += (int(index.num_segments), int(index.pending_rows))
+    return token
+
+
+@dataclass
+class CacheStats:
+    """Counters of every cache layer (the serve ``stats`` block)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    stale_drops: int = 0
+    invalidations: int = 0
+    inflight_deduped: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return ratio(self.hits, self.hits + self.misses)
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "stale_drops": self.stale_drops,
+            "invalidations": self.invalidations,
+            "inflight_deduped": self.inflight_deduped,
+        }
+
+
+class QueryResultCache:
+    """Token-guarded LRU of per-fingerprint query results.
+
+    ``put`` records the token the result was computed under; a put whose
+    token no longer matches the cache's current token is dropped (the
+    index mutated between execution and store).  ``invalidate`` swaps
+    the token and clears everything.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CACHE_CAPACITY,
+        token: Optional[tuple] = None,
+        stats: Optional[CacheStats] = None,
+    ):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.token = token
+        self.stats = stats if stats is not None else CacheStats()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value, token: Optional[tuple]) -> None:
+        if token != self.token:
+            # Computed against an index state that no longer exists.
+            self.stats.stale_drops += 1
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, token: Optional[tuple]) -> None:
+        """The index mutated: adopt its new token, drop every entry."""
+        self.token = token
+        self.stats.invalidations += 1
+        self._entries.clear()
+
+
+class GatherCache:
+    """LRU of coalesced column gathers, budgeted in rows.
+
+    Keys are ``(store name, union ranges)``; values are the
+    ``(ids, timecodes, fingerprints)`` column copies of that union.
+    Oversized unions (more than a quarter of the budget) are never
+    cached — one giant scan must not evict the whole hot set.
+    """
+
+    def __init__(self, capacity_rows: int = DEFAULT_GATHER_CACHE_ROWS):
+        if capacity_rows < 0:
+            raise ConfigurationError(
+                f"gather cache rows must be >= 0, got {capacity_rows}"
+            )
+        self.capacity_rows = capacity_rows
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rows_cached = 0
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(store_name: str, union: Sequence[tuple]) -> tuple:
+        return (store_name, tuple(union))
+
+    def get(self, store_name: str, union: Sequence[tuple]):
+        key = self._key(store_name, union)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(
+        self,
+        store_name: str,
+        union: Sequence[tuple],
+        columns: tuple[np.ndarray, np.ndarray, np.ndarray],
+        rows: int,
+    ) -> None:
+        if rows > self.capacity_rows // 4:
+            return
+        key = self._key(store_name, union)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.rows_cached -= old[1]
+        self._entries[key] = (columns, rows)
+        self.rows_cached += rows
+        while self.rows_cached > self.capacity_rows and self._entries:
+            _, (_, dropped) = self._entries.popitem(last=False)
+            self.rows_cached -= dropped
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.rows_cached = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": ratio(self.hits, self.hits + self.misses),
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "rows_cached": self.rows_cached,
+            "capacity_rows": self.capacity_rows,
+        }
+
+
+class ServeCache:
+    """The server's cache facade: result LRU + in-flight table + gathers.
+
+    One instance per :class:`~repro.serve.server.DetectionServer`; the
+    in-flight table lives on the event loop (all access is from loop
+    callbacks), the result/gather layers are touched from the loop and
+    the single engine lane respectively — each layer is single-threaded
+    by construction.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CACHE_CAPACITY,
+        gather_capacity_rows: int = DEFAULT_GATHER_CACHE_ROWS,
+        token: Optional[tuple] = None,
+    ):
+        self.stats = CacheStats()
+        self.results = QueryResultCache(
+            capacity, token=token, stats=self.stats
+        )
+        self.gather = GatherCache(gather_capacity_rows)
+        self.inflight: dict[Hashable, asyncio.Future] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def result_key(
+        fingerprint: np.ndarray, alpha: float, depth
+    ) -> tuple:
+        """Cache key of one query fingerprint under fixed serve options."""
+        return (
+            np.ascontiguousarray(fingerprint).tobytes(),
+            float(alpha),
+            depth,
+        )
+
+    # ------------------------------------------------------------------
+    def leader(self, key: Hashable) -> Optional[asyncio.Future]:
+        """The in-flight future already executing *key*, if any."""
+        future = self.inflight.get(key)
+        if future is not None and not future.done():
+            return future
+        return None
+
+    def register_inflight(
+        self, key: Hashable, future: asyncio.Future
+    ) -> None:
+        """Make *future* the executing leader for *key*.
+
+        The table entry removes itself when the future completes —
+        success, error or cancellation alike — so followers can only
+        ever attach to a live execution.
+        """
+        self.inflight[key] = future
+
+        def _cleanup(fut, *, _key=key):
+            if self.inflight.get(_key) is fut:
+                del self.inflight[_key]
+
+        future.add_done_callback(_cleanup)
+
+    # ------------------------------------------------------------------
+    def invalidate(self, token: Optional[tuple]) -> None:
+        """Ingest happened: drop results and gathers, adopt the token."""
+        self.results.invalidate(token)
+        self.gather.clear()
+
+    def snapshot(self) -> dict:
+        return {
+            "enabled": True,
+            **self.stats.snapshot(),
+            "entries": len(self.results),
+            "capacity": self.results.capacity,
+            "inflight": len(self.inflight),
+            "gather": self.gather.snapshot(),
+        }

@@ -73,14 +73,22 @@ class WireResult:
     @classmethod
     def from_wire(cls, wire: dict) -> "WireResult":
         fps = wire.get("fingerprints")
+        if fps is None:
+            fingerprints = None
+        elif len(wire["rows"]):
+            fingerprints = np.asarray(fps, dtype=np.uint8).reshape(
+                len(wire["rows"]), -1
+            )
+        else:
+            # reshape(0, -1) cannot infer a width from zero elements; a
+            # zero-match query still carries fingerprints as an empty
+            # matrix so callers can index it uniformly.
+            fingerprints = np.zeros((0, 0), dtype=np.uint8)
         return cls(
             rows=np.asarray(wire["rows"], dtype=np.int64),
             ids=np.asarray(wire["ids"], dtype=np.int64),
             timecodes=np.asarray(wire["timecodes"], dtype=np.float64),
-            fingerprints=(
-                np.asarray(fps, dtype=np.uint8).reshape(len(wire["rows"]), -1)
-                if fps is not None else None
-            ),
+            fingerprints=fingerprints,
         )
 
 

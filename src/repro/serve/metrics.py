@@ -13,6 +13,15 @@ from collections import deque
 from typing import Optional
 
 
+def ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator``, 0.0 when the denominator is zero.
+
+    Rates in stats payloads (cache hit rates, shed fractions) must stay
+    total for monitoring — a quiet server reports 0.0, never NaN.
+    """
+    return numerator / denominator if denominator else 0.0
+
+
 def percentile(values: list[float], q: float) -> float:
     """Nearest-rank percentile ``q`` (in [0, 100]) of *values*.
 

@@ -50,6 +50,13 @@ from .batcher import (
     ServiceClosed,
     ServiceOverloaded,
 )
+from .cache import (
+    CACHE_MODES,
+    DEFAULT_CACHE_CAPACITY,
+    DEFAULT_GATHER_CACHE_ROWS,
+    ServeCache,
+    index_cache_token,
+)
 from .metrics import Counter, LatencyWindow
 
 
@@ -91,6 +98,12 @@ class ServeConfig:
     service's micro-batching knob and always wins as the engine batch
     size.  After construction ``options`` is always populated and the
     flat fields mirror it.
+
+    ``cache`` controls the serve-path caching stack
+    (:mod:`repro.serve.cache`): ``"auto"``/``"on"`` enable the result
+    LRU, in-flight dedupe and hot-block gather cache, ``"off"``
+    disables all three.  All modes serve bit-identical results; the
+    cache is invalidated on every ingest.
     """
 
     host: str = "127.0.0.1"
@@ -106,9 +119,26 @@ class ServeConfig:
     tukey_c: float = 6.0
     min_matches: int = 2
     decision_threshold: int = 5
+    cache: str = "auto"
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    gather_cache_rows: int = DEFAULT_GATHER_CACHE_ROWS
     options: Optional[QueryOptions] = None
 
     def __post_init__(self) -> None:
+        if self.cache not in CACHE_MODES:
+            raise ConfigurationError(
+                f"cache must be one of {CACHE_MODES!r}, "
+                f"got {self.cache!r}"
+            )
+        if self.cache_capacity < 1:
+            raise ConfigurationError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
+        if self.gather_cache_rows < 0:
+            raise ConfigurationError(
+                "gather_cache_rows must be >= 0, got "
+                f"{self.gather_cache_rows}"
+            )
         legacy = {
             name: value
             for name in ("workers", "executor")
@@ -141,6 +171,10 @@ class ServeConfig:
         )
         object.__setattr__(self, "workers", self.options.workers)
         object.__setattr__(self, "executor", self.options.executor)
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.cache != "off"
 
     def batcher_config(self) -> BatcherConfig:
         return BatcherConfig(
@@ -396,6 +430,7 @@ class DetectionServer(SocketFrameServer):
         self._engine: Optional[ThreadPoolExecutor] = None
         self._executor: Optional[BatchQueryExecutor] = None
         self.batcher: Optional[MicroBatcher] = None
+        self.cache: Optional[ServeCache] = None
         self._ready = False
         self.ingest_deduped = 0
         self._ingest_seen: OrderedDict[str, dict] = OrderedDict()
@@ -428,8 +463,15 @@ class DetectionServer(SocketFrameServer):
         )
         executor = BatchQueryExecutor(self.index, options=cfg.options)
         self._executor = executor
+        if cfg.cache_enabled:
+            self.cache = ServeCache(
+                cfg.cache_capacity, cfg.gather_cache_rows,
+                token=index_cache_token(self.index),
+            )
+            executor.gather_cache = self.cache.gather
         self.batcher = MicroBatcher(
-            executor, self._engine, cfg.batcher_config()
+            executor, self._engine, cfg.batcher_config(),
+            cache=self.cache,
         )
         self.batcher.start()
         await self._bind()
@@ -587,6 +629,11 @@ class DetectionServer(SocketFrameServer):
                 self._engine,
                 lambda: self.index.add(fingerprints, ids, timecodes),
             )
+            if self.cache is not None:
+                # Every cached result and gather predates this write;
+                # adopt the post-ingest token so in-flight batches that
+                # queried the old state cannot repopulate the cache.
+                self.cache.invalidate(index_cache_token(self.index))
             result = {
                 "added": int(added),
                 "rows": len(self.index),
@@ -679,12 +726,22 @@ class DetectionServer(SocketFrameServer):
         }
         if hasattr(self.index, "prefilter_info"):
             prefilter["sketches"] = self.index.prefilter_info()
+        cache = (
+            self.cache.snapshot() if self.cache is not None
+            else {"enabled": False}
+        )
+        cache["mode"] = self.config.cache
         return {
             **self.base_stats(),
             "ready": self.ready,
             "ingest_deduped": self.ingest_deduped,
             "batcher": batcher,
             "prefilter": prefilter,
+            "cache": cache,
+            "planner": (
+                self._executor.planner_snapshot()
+                if self._executor else None
+            ),
             "parallel": {
                 "strategy": self.config.executor,
                 "resolved": (
@@ -704,5 +761,8 @@ class DetectionServer(SocketFrameServer):
                 "workers": self.config.workers,
                 "executor": self.config.executor,
                 "prefilter": self.config.options.prefilter,
+                "planner": self.config.options.planner,
+                "cache": self.config.cache,
+                "cache_capacity": self.config.cache_capacity,
             },
         }

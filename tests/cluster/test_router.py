@@ -200,7 +200,9 @@ class TestFailover:
         router = ClusterRouter(
             ClusterManifest.load(cluster_dir),
             supervisor.endpoints(),
-            RouterConfig(port=0, alpha=ALPHA),
+            # Cache off: the hammer repeats one batch, and cached
+            # answers would never touch (or fail over) the replicas.
+            RouterConfig(port=0, alpha=ALPHA, cache="off"),
         )
         thread = ServiceThread(router).start()
         yield supervisor, router, thread.port

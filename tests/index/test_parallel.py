@@ -27,6 +27,7 @@ from repro.index.parallel import (
     shared_memory_available,
     split_row_ranges,
 )
+from repro.index.options import QueryOptions
 from repro.index.s3 import S3Index
 from repro.index.segmented import SegmentedS3Index
 from repro.index.store import FingerprintStore
@@ -317,13 +318,21 @@ class TestExecutorResolution:
 
     @needs_shm
     def test_auto_picks_processes_at_scale(self, index, monkeypatch):
+        # The fixed-threshold rule (the measured planner's fallback and
+        # the planner="fixed" opt-out) still promotes to processes at
+        # scale; the measured decision is covered in test_planner.py.
         monkeypatch.setattr(
             "repro.index.batch.PROCESS_EXECUTOR_MIN_ROWS", 100
         )
         # Lift the core gate so the scale decision is what's under test,
         # host-independently.
         monkeypatch.setattr("repro.index.batch.PROCESS_EXECUTOR_MIN_CPUS", 1)
-        ex = make_executor(index, executor="auto")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            ex = BatchQueryExecutor(index, options=QueryOptions(
+                alpha=ALPHA, workers=2, parallel_gather_min_rows=0,
+                executor="auto", planner="fixed",
+            ))
         assert ex.resolve_executor() == "processes"
 
     def test_auto_never_picks_processes_on_tiny_hosts(

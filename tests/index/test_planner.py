@@ -1,0 +1,382 @@
+"""Tests for the measured execution planner (:mod:`repro.index.planner`).
+
+The planner only ever changes *speed*, never answers (bit-identity of
+the strategies is property-tested in ``test_batch``/``test_parallel``),
+so these tests pin its decision logic: the hard admissibility guards,
+monotonicity of the measured decision in the rows estimate, exact
+equivalence of ``mode="fixed"`` with the legacy threshold rule, the
+fallback when no calibration is available, sidecar persistence, and
+the rolling EMA refresh.
+"""
+
+import dataclasses
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.index.batch import (
+    PROCESS_EXECUTOR_MIN_CPUS,
+    PROCESS_EXECUTOR_MIN_ROWS,
+    BatchQueryExecutor,
+)
+from repro.index.options import QueryOptions
+from repro.index.planner import (
+    CALIBRATION_DIR_ENV,
+    CALIBRATION_TTL_SECONDS,
+    OBSERVE_MIN_ROWS,
+    PLANNER_MODES,
+    Calibration,
+    ExecutorPlan,
+    PlannerStats,
+    choose_executor,
+    get_calibration,
+    host_key,
+    load_calibration,
+    measure_calibration,
+    save_calibration,
+    set_calibration,
+    sidecar_path,
+)
+from repro.index.s3 import S3Index
+from repro.index.store import FingerprintStore
+
+from .test_batch import NDIMS, SIGMA, make_records
+
+from repro.distortion.model import NormalDistortionModel
+
+
+def make_calibration(**overrides) -> Calibration:
+    """A synthetic fresh calibration with easily reasoned crossovers.
+
+    serial = 10 ns/row; threads = 100 us + 5 ns/row; processes =
+    workers x 1 ms + 2 ns/row — so serial wins small, threads win the
+    middle band, processes win at very large rows.
+    """
+    fields = dict(
+        host=host_key(),
+        # Must match the real host shape or is_stale() rejects it.
+        cpu_count=os.cpu_count() or 1,
+        created_at=time.time(),
+        gather_ns_per_row=10.0,
+        thread_gather_ns_per_row=5.0,
+        thread_dispatch_ns=100_000.0,
+        memcpy_ns_per_row=1.0,
+        ipc_task_ns=1_000_000.0,
+        process_ns_per_row=2.0,
+    )
+    fields.update(overrides)
+    return Calibration(**fields)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_calibration():
+    """Never leak the module singleton between tests."""
+    set_calibration(None)
+    yield
+    set_calibration(None)
+
+
+# ----------------------------------------------------------------------
+class TestCalibration:
+    def test_measure_is_fresh_and_positive(self):
+        cal = measure_calibration()
+        assert not cal.is_stale()
+        assert cal.source == "measured"
+        assert cal.gather_ns_per_row > 0
+        assert cal.thread_gather_ns_per_row > 0
+        assert cal.ipc_task_ns > 0
+
+    def test_json_round_trip(self):
+        cal = make_calibration()
+        assert Calibration.from_json(cal.to_json()) == cal
+
+    def test_from_json_rejects_unknown_schema(self):
+        payload = make_calibration().to_json()
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError):
+            Calibration.from_json(payload)
+
+    def test_stale_by_age_host_and_shape(self):
+        assert not make_calibration().is_stale()
+        old = make_calibration(
+            created_at=time.time() - CALIBRATION_TTL_SECONDS - 1
+        )
+        assert old.is_stale()
+        assert make_calibration(host="elsewhere-x86-cpu64").is_stale()
+        future = make_calibration(created_at=time.time() + 3600)
+        assert future.is_stale()
+
+    def test_predict_is_affine_in_rows(self):
+        cal = make_calibration()
+        a = cal.predict_ns(1000, workers=4)
+        b = cal.predict_ns(2000, workers=4)
+        c = cal.predict_ns(3000, workers=4)
+        for key in ("serial", "threads", "processes"):
+            assert b[key] - a[key] == pytest.approx(c[key] - b[key])
+
+
+class TestObserve:
+    def test_ema_pulls_toward_measurement(self):
+        cal = make_calibration()
+        rows = OBSERVE_MIN_ROWS
+        seconds = rows * 100.0 * 1e-9  # 100 ns/row measured
+        out = cal.observe("serial", rows, seconds)
+        assert out.gather_ns_per_row == pytest.approx(
+            0.8 * 10.0 + 0.2 * 100.0
+        )
+        assert out.observations == 1
+        assert out.source == "observed"
+
+    def test_small_batches_ignored(self):
+        cal = make_calibration()
+        assert cal.observe("serial", OBSERVE_MIN_ROWS - 1, 1.0) is cal
+        assert cal.observe("serial", OBSERVE_MIN_ROWS, 0.0) is cal
+        assert cal.observe("nonsense", OBSERVE_MIN_ROWS, 1.0) is cal
+
+    def test_processes_first_observation_replaces(self):
+        cal = make_calibration(process_ns_per_row=None)
+        rows = OBSERVE_MIN_ROWS
+        out = cal.observe("processes", rows, rows * 50.0 * 1e-9)
+        assert out.process_ns_per_row == pytest.approx(50.0)
+
+    def test_converges_under_repetition(self):
+        cal = make_calibration()
+        rows = 10 * OBSERVE_MIN_ROWS
+        for _ in range(50):
+            cal = cal.observe("threads", rows, rows * 42.0 * 1e-9)
+        assert cal.thread_gather_ns_per_row == pytest.approx(42.0, rel=1e-3)
+
+
+# ----------------------------------------------------------------------
+class TestSidecar:
+    def test_round_trip(self, tmp_path):
+        cal = make_calibration()
+        path = tmp_path / "planner.json"
+        assert save_calibration(cal, path)
+        loaded = load_calibration(path)
+        assert loaded is not None
+        assert loaded.source == "sidecar"
+        assert loaded.gather_ns_per_row == cal.gather_ns_per_row
+
+    def test_load_rejects_stale_and_corrupt(self, tmp_path):
+        path = tmp_path / "planner.json"
+        assert load_calibration(path) is None  # missing
+        path.write_text("{ not json")
+        assert load_calibration(path) is None  # corrupt
+        stale = make_calibration(
+            created_at=time.time() - CALIBRATION_TTL_SECONDS - 1
+        )
+        save_calibration(stale, path)
+        assert load_calibration(path) is None  # stale
+
+    def test_sidecar_path_is_opt_in(self, monkeypatch):
+        monkeypatch.delenv(CALIBRATION_DIR_ENV, raising=False)
+        assert sidecar_path() is None
+
+    def test_get_calibration_persists_and_reloads(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(CALIBRATION_DIR_ENV, str(tmp_path))
+        first = get_calibration()
+        path = sidecar_path()
+        assert path is not None and path.is_file()
+        # A new process (simulated by clearing the singleton) reloads
+        # the sidecar instead of re-measuring.
+        set_calibration(None)
+        second = get_calibration()
+        assert second.source == "sidecar"
+        assert second.gather_ns_per_row == pytest.approx(
+            first.gather_ns_per_row
+        )
+
+    def test_get_calibration_caches_in_process(self):
+        first = get_calibration()
+        assert get_calibration() is first
+        assert get_calibration(refresh=True) is not first
+
+
+# ----------------------------------------------------------------------
+class TestChooseExecutor:
+    def kwargs(self, **overrides):
+        base = dict(
+            workers=4,
+            index_rows=1_000_000,
+            can_processes=True,
+            calibration=make_calibration(),
+        )
+        base.update(overrides)
+        return base
+
+    def test_never_processes_below_min_cpus(self):
+        # Even with a calibration that makes processes free, <= 2 cpus
+        # (below PROCESS_EXECUTOR_MIN_CPUS) is a hard guard.
+        cal = make_calibration(ipc_task_ns=0.0, process_ns_per_row=0.0)
+        for cpus in (1, 2):
+            for rows in (0, 10_000, 10_000_000):
+                plan = choose_executor(
+                    rows, 32, cpus, **self.kwargs(calibration=cal)
+                )
+                assert plan.strategy != "processes"
+
+    def test_never_processes_without_zero_copy(self):
+        cal = make_calibration(ipc_task_ns=0.0, process_ns_per_row=0.0)
+        plan = choose_executor(
+            10_000_000, 32, 8,
+            **self.kwargs(calibration=cal, can_processes=False),
+        )
+        assert plan.strategy != "processes"
+
+    def test_single_worker_is_serial(self):
+        plan = choose_executor(10_000_000, 32, 8, **self.kwargs(workers=1))
+        assert plan.strategy == "serial"
+
+    def test_measured_decision_is_monotone_in_rows(self):
+        order = {"serial": 0, "threads": 1, "processes": 2}
+        seen = -1
+        for rows in np.geomspace(1, 50_000_000, 40).astype(int):
+            plan = choose_executor(int(rows), 32, 8, **self.kwargs())
+            assert order[plan.strategy] >= seen
+            seen = order[plan.strategy]
+
+    def test_measured_crossovers_match_the_model(self):
+        # serial vs threads cross at dispatch/(serial-thread rate):
+        # 100 us / 5 ns = 20k rows.
+        small = choose_executor(1_000, 32, 8, **self.kwargs())
+        mid = choose_executor(100_000, 32, 8, **self.kwargs())
+        big = choose_executor(50_000_000, 32, 8, **self.kwargs())
+        assert small.strategy == "serial"
+        assert mid.strategy == "threads"
+        assert big.strategy == "processes"
+        assert set(big.predicted_ns) == {"serial", "threads", "processes"}
+
+    def test_fixed_mode_reproduces_legacy_rule(self):
+        cases = [
+            # (workers, index_rows, cpus, can_proc) -> strategy
+            ((1, 10**6, 8, True), "serial"),
+            ((4, PROCESS_EXECUTOR_MIN_ROWS - 1, 8, True), "threads"),
+            ((4, 10**6, PROCESS_EXECUTOR_MIN_CPUS - 1, True), "threads"),
+            ((4, 10**6, 8, False), "threads"),
+            ((4, PROCESS_EXECUTOR_MIN_ROWS, PROCESS_EXECUTOR_MIN_CPUS,
+              True), "processes"),
+        ]
+        for (workers, index_rows, cpus, can), expected in cases:
+            plan = choose_executor(
+                5_000, 32, cpus, workers=workers, index_rows=index_rows,
+                can_processes=can, mode="fixed",
+            )
+            assert plan.strategy == expected, (workers, index_rows, cpus)
+            assert plan.source == "fixed"
+
+    def test_auto_falls_back_without_calibration(self):
+        plan = choose_executor(
+            5_000, 32, 8, workers=4, index_rows=10**6,
+            can_processes=True, calibration=None, mode="auto",
+        )
+        assert plan.source == "fixed"
+        assert plan.reason.startswith("calibration unavailable")
+
+    def test_auto_falls_back_on_stale_calibration(self):
+        stale = make_calibration(
+            created_at=time.time() - CALIBRATION_TTL_SECONDS - 1
+        )
+        plan = choose_executor(
+            5_000, 32, 8, workers=4, index_rows=10**6,
+            can_processes=True, calibration=stale, mode="auto",
+        )
+        assert plan.source == "fixed"
+
+    def test_tie_breaks_toward_simpler_strategy(self):
+        cal = make_calibration(
+            gather_ns_per_row=10.0,
+            thread_gather_ns_per_row=10.0,
+            thread_dispatch_ns=0.0,
+        )
+        plan = choose_executor(1_000, 32, 8, **self.kwargs(calibration=cal))
+        assert plan.strategy == "serial"
+
+
+# ----------------------------------------------------------------------
+class TestPlannerStats:
+    def test_record_and_snapshot(self):
+        stats = PlannerStats()
+        stats.record(ExecutorPlan("serial", 100, source="measured"))
+        stats.record(ExecutorPlan("threads", 100, source="fixed"))
+        stats.observe(
+            ExecutorPlan(
+                "serial", 100, predicted_ns={"serial": 500.0},
+                source="measured",
+            ),
+            1e-6,
+        )
+        snap = stats.snapshot()
+        assert snap["plans"] == 2
+        assert snap["fallbacks"] == 1
+        assert snap["decisions"] == {"serial": 1, "threads": 1}
+        assert snap["predicted_ns"] == pytest.approx(500.0)
+        assert snap["actual_ns"] == pytest.approx(1000.0)
+        assert snap["last"]["strategy"] == "threads"
+
+
+# ----------------------------------------------------------------------
+class TestExecutorIntegration:
+    @pytest.fixture()
+    def index(self):
+        fp, ids, tcs = make_records(600, seed=3)
+        store = FingerprintStore(fp, ids, tcs)
+        return S3Index(store, model=NormalDistortionModel(NDIMS, SIGMA))
+
+    def test_planner_mode_validation(self):
+        for mode in PLANNER_MODES:
+            QueryOptions(planner=mode)
+        with pytest.raises(ConfigurationError):
+            QueryOptions(planner="vibes")
+
+    def test_snapshot_reports_decisions(self, index):
+        queries = index.store.fingerprints[:8].astype(np.float64)
+        with BatchQueryExecutor(
+            index, options=QueryOptions(alpha=0.8)
+        ) as executor:
+            executor.query_batch(queries)
+            snap = executor.planner_snapshot()
+        assert snap["mode"] == "auto"
+        assert snap["plans"] >= 1
+        assert sum(snap["decisions"].values()) == snap["plans"]
+        assert snap["executor"] == "auto"
+
+    def test_fixed_mode_never_measures(self, index):
+        queries = index.store.fingerprints[:4].astype(np.float64)
+        with BatchQueryExecutor(
+            index, options=QueryOptions(alpha=0.8, planner="fixed")
+        ) as executor:
+            assert executor.planner_calibration() is None
+            executor.query_batch(queries)
+            snap = executor.planner_snapshot()
+        assert snap["calibration"] is None
+        assert snap["fallbacks"] == snap["plans"]
+
+    def test_explicit_executor_bypasses_planner(self, index):
+        queries = index.store.fingerprints[:4].astype(np.float64)
+        opts = QueryOptions(alpha=0.8, workers=2, executor="threads")
+        with BatchQueryExecutor(index, options=opts) as executor:
+            plan = executor.plan_batch()
+        assert plan.strategy == "threads"
+        assert plan.source == "explicit"
+
+    def test_rolling_refresh_observes_big_batches(self, index):
+        # Feed a fat synthetic observation through the same entry point
+        # the engine uses and confirm the process-wide calibration moved.
+        cal = make_calibration()
+        set_calibration(cal)
+        rows = 10 * OBSERVE_MIN_ROWS
+        updated = cal.observe("serial", rows, rows * 80.0 * 1e-9)
+        set_calibration(updated)
+        assert get_calibration().source == "observed"
+        assert get_calibration().gather_ns_per_row > cal.gather_ns_per_row
+
+    def test_plan_is_frozen(self):
+        plan = ExecutorPlan("serial", 10)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.strategy = "threads"
