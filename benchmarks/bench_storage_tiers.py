@@ -1,0 +1,85 @@
+"""Tiered storage — real cold-fetch bytes vs the eq.-(5) disk model.
+
+Acceptance gate for the tiered-storage subsystem: with the RAM budget
+below 25% of the archive (most segments demoted to a real file-backed
+blob store), a query batch must return results bit-identical to the
+all-RAM run, and the bytes fetched from the backend must land within
+20% of the pseudo-disk eq.-(5) prediction computed over pre-demotion
+copies of the cold segments.  The run refreshes
+``BENCH_storage_tiers.json`` at the repo root — the machine-readable
+bytes/latency record later PRs regress against (schema in
+``docs/storage-tiers.md``).
+
+``python benchmarks/bench_storage_tiers.py --smoke`` runs a scaled-down
+archive without pytest-benchmark — the CI smoke gate: results must not
+diverge and the byte gate must hold.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_tiered_bytes_match_model(benchmark, capsys):
+    from conftest import run_and_report
+
+    from repro.experiments import run_storage_tiers, write_storage_tiers_json
+    from repro.experiments.storage_tiers import MODEL_TOLERANCE
+
+    runs = []
+
+    def _suite():
+        runs.append(run_storage_tiers(db_rows=24_000, seed=0))
+        runs.append(run_storage_tiers(db_rows=48_000, seed=0))
+        write_storage_tiers_json(
+            runs, REPO_ROOT / "BENCH_storage_tiers.json"
+        )
+        return runs[-1]
+
+    run_and_report(benchmark, capsys, _suite)
+    for result in runs:
+        # Demotion is invisible in the answers.
+        assert result.bit_identical
+        # The budget really was a small slice of the archive...
+        assert result.budget_fraction < 0.25
+        assert result.tiers["cold"]["segments"] > 0
+        # ...and the backend moved only what eq. (5) says it must.
+        assert result.measured_cold_bytes > 0
+        assert result.model_error <= MODEL_TOLERANCE
+
+
+def _smoke() -> int:
+    """Tiny-archive CI gate: must stay bit-identical and on-model."""
+    from repro.experiments import run_storage_tiers
+    from repro.experiments.storage_tiers import MODEL_TOLERANCE
+
+    result = run_storage_tiers(
+        db_rows=8_000, num_segments=8, num_queries=16, seed=0
+    )
+    print(result.render())
+    failures = []
+    if not result.bit_identical:
+        failures.append("tiered results diverge from the all-RAM run")
+    if result.budget_fraction >= 0.25:
+        failures.append(
+            f"budget fraction {result.budget_fraction:.2f} is not < 0.25"
+        )
+    if result.measured_cold_bytes == 0:
+        failures.append("no backend bytes measured: nothing went cold")
+    if result.model_error > MODEL_TOLERANCE:
+        failures.append(
+            f"measured bytes {result.model_error:.1%} from the eq.-(5) "
+            f"prediction (tolerance {MODEL_TOLERANCE:.0%})"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--smoke" in argv:
+        raise SystemExit(_smoke())
+    print(__doc__)
+    raise SystemExit(2)

@@ -54,7 +54,7 @@ from .index.options import EXECUTOR_STRATEGIES, PREFILTER_MODES, QueryOptions
 from .index.planner import PLANNER_MODES
 from .index.s3 import S3Index
 from .index.segmented import CompactionPolicy, Manifest, SegmentedS3Index
-from .index.store import FingerprintStore, read_header
+from .index.store import FingerprintStore, expected_file_size, read_header
 from .index.summary import index_summary, store_file_summary
 from .video.synthetic import VideoClip, generate_clip
 
@@ -91,6 +91,45 @@ def _validate_common_args(args: argparse.Namespace) -> None:
         raise ConfigurationError(
             f"--alpha must be in (0, 1], got {alpha}"
         )
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse a byte budget like ``64M``, ``2G``, ``512K`` or ``1048576``."""
+    raw = text.strip()
+    scale = 1
+    suffixes = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+    if raw and raw[-1].upper() in suffixes:
+        scale = suffixes[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"invalid byte size {text!r}; expected e.g. 64M, 2G or a "
+            "plain byte count"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(f"byte size must be >= 0, got {text!r}")
+    return int(value * scale)
+
+
+def _storage_config(args: argparse.Namespace):
+    """The tiered-storage config the flags describe, or ``None``.
+
+    ``None`` (no flag passed) keeps whatever the index directory's
+    manifest already records — an explicit config overrides and
+    re-persists it (see ``SegmentedS3Index.attach_storage``).
+    """
+    budget = getattr(args, "storage_budget", None)
+    cold_dir = getattr(args, "cold_dir", None)
+    if budget is None and cold_dir is None:
+        return None
+    from .storage import StorageConfig
+
+    return StorageConfig(
+        budget_bytes=None if budget is None else _parse_bytes(budget),
+        cold_dir=cold_dir,
+    )
 
 
 def _query_options(args: argparse.Namespace) -> QueryOptions:
@@ -158,15 +197,25 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_index(path: str, mmap: bool = False) -> "S3Index | SegmentedS3Index":
+def _load_index(
+    path: str, mmap: bool = False, storage=None
+) -> "S3Index | SegmentedS3Index":
     """Open *path* as a segmented directory or a static index prefix.
 
     ``mmap=True`` maps fingerprint bytes from disk instead of reading
     them — long-lived consumers (the service) get zero-copy file-backed
     stores that scan worker processes attach without any duplication.
+    ``storage`` (a :class:`repro.storage.StorageConfig`) attaches tiered
+    segment storage; directories whose manifest already records a
+    storage block attach it automatically even when ``storage=None``.
     """
     if Path(path).is_dir():
-        return SegmentedS3Index.open(path, mmap=mmap)
+        return SegmentedS3Index.open(path, mmap=mmap, storage=storage)
+    if storage is not None:
+        raise ConfigurationError(
+            "--storage-budget/--cold-dir apply to segmented index "
+            "directories only"
+        )
     return S3Index.load(path, mmap=mmap)
 
 
@@ -254,9 +303,13 @@ def _info_payload(path: Path) -> dict:
             payload = index_summary(index)
             payload["path"] = str(path)
             for seg in payload["segments"]:
+                store_path = path / (seg["name"] + ".store")
+                # Cold segments have no local .store — report the size
+                # their blob holds (byte-identical to the file it was).
                 seg["bytes"] = (
-                    path / (seg["name"] + ".store")
-                ).stat().st_size
+                    store_path.stat().st_size if store_path.is_file()
+                    else expected_file_size(seg["count"], payload["ndims"])
+                )
             return payload
     payload = store_file_summary(path)
     if path.with_suffix(".meta.json").is_file():
@@ -281,9 +334,14 @@ def _segmented_info(directory: Path) -> int:
         print(f"  coalesced scans: {supported} (per sealed segment)")
         print(f"  segments: {index.num_segments}")
         for seg in index.segments:
-            size = (directory / (seg.name + ".store")).stat().st_size
+            store_path = directory / (seg.name + ".store")
+            size = (
+                store_path.stat().st_size if store_path.is_file()
+                else expected_file_size(seg.count, manifest.ndims)
+            )
+            tier_note = f" [{seg.tier}]" if seg.tier != "hot" else ""
             print(f"    {seg.name}: {seg.count} fingerprints, "
-                  f"{size / 1e6:.2f} MB")
+                  f"{size / 1e6:.2f} MB{tier_note}")
     return 0
 
 
@@ -340,6 +398,68 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tier_status(args: argparse.Namespace) -> int:
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        raise ConfigurationError(
+            f"tier status needs a segmented index directory, "
+            f"got {args.directory}"
+        )
+    with SegmentedS3Index.open(directory) as index:
+        info = index.storage_info()
+    return _print_tier_info(args, info)
+
+
+def _cmd_tier_attach(args: argparse.Namespace) -> int:
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        raise ConfigurationError(
+            f"tier attach needs a segmented index directory, "
+            f"got {args.directory}"
+        )
+    storage = _storage_config(args)
+    if storage is None:
+        raise ConfigurationError(
+            "tier attach needs --storage-budget and/or --cold-dir"
+        )
+    # Opening with an explicit config persists it to MANIFEST.json and
+    # demotes down to the budget before returning, so later opens (the
+    # CLI, serve, the cluster supervisor) inherit the tiering.
+    with SegmentedS3Index.open(directory, storage=storage) as index:
+        info = index.storage_info()
+    return _print_tier_info(args, info)
+
+
+def _print_tier_info(args: argparse.Namespace, info: dict) -> int:
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    manager = info.get("manager")
+    if info["tiered"] and manager is not None:
+        budget = manager["budget_bytes"]
+        print(f"{args.directory}: tiered storage attached "
+              f"(budget {'unlimited' if budget is None else budget} bytes, "
+              f"backend {manager['backend']}, "
+              f"cold_dir {manager['cold_dir']})")
+    else:
+        print(f"{args.directory}: tiered storage not attached "
+              "(every segment resident)")
+    for tier in ("hot", "warm", "cold"):
+        t = info["tiers"][tier]
+        print(f"  {tier}: {t['segments']} segment(s), {t['rows']} rows, "
+              f"{t['bytes'] / 1e6:.2f} MB")
+    if info["tiered"] and manager is not None:
+        counters = manager["counters"]
+        print(f"  resident: {manager['resident_bytes'] / 1e6:.2f} MB")
+        print(f"  activity: {counters['fetches']} range fetch(es) "
+              f"({counters['fetch_bytes']} bytes), "
+              f"{counters['promotions']} promotion(s), "
+              f"{counters['demotions']} demotion(s), "
+              f"prefetch hit ratio "
+              f"{counters['prefetch_hit_ratio']:.2f}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -348,7 +468,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     _validate_common_args(args)
     # mmap: the server is long-lived, and file-backed stores let the
     # scan worker processes attach segments without copying them.
-    index = _load_index(args.index, mmap=True)
+    storage = _storage_config(args)
+    index = _load_index(args.index, mmap=True, storage=storage)
     cache_kwargs = {}
     if args.cache_capacity is not None:
         cache_kwargs["cache_capacity"] = args.cache_capacity
@@ -359,6 +480,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         queue_limit=args.queue_limit,
         cache=args.cache,
+        storage_budget=None if storage is None else storage.budget_bytes,
+        cold_dir=None if storage is None else storage.cold_dir,
         options=_query_options(args),
         **cache_kwargs,
     )
@@ -398,12 +521,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_cluster_plan(args: argparse.Namespace) -> int:
     from .cluster import plan_cluster
 
+    budget = (
+        None if args.storage_budget is None
+        else _parse_bytes(args.storage_budget)
+    )
     manifest = plan_cluster(
         args.source,
         args.cluster_dir,
         num_shards=args.shards,
         replicas=args.replicas,
         seal=args.seal,
+        storage_budget=budget,
+        cold_dir=args.cold_dir,
     )
     print(
         f"planned {manifest.num_shards} shard(s) x "
@@ -741,10 +870,47 @@ def build_parser() -> argparse.ArgumentParser:
                         "stay bit-identical; invalidated on ingest)")
     p.add_argument("--cache-capacity", type=int, default=None,
                    help="result-cache entries kept (default 4096)")
+    p.add_argument("--storage-budget", default=None, metavar="BYTES",
+                   help="tiered-storage resident budget (accepts K/M/G "
+                        "suffixes, e.g. 64M); segments beyond it demote "
+                        "to the cold blob tier")
+    p.add_argument("--cold-dir", default=None,
+                   help="cold-tier blob directory (default: cold/ inside "
+                        "the index directory)")
     p.add_argument("--port-file", default=None,
                    help="write the bound port here after startup "
                         "(atomically; used by the cluster supervisor)")
     p.set_defaults(func=_cmd_serve, batch_size=None)
+
+    p = sub.add_parser(
+        "tier",
+        help="inspect tiered segment storage (see docs/storage-tiers.md)",
+    )
+    tsub = p.add_subparsers(dest="tier_cmd", required=True)
+    tp = tsub.add_parser(
+        "status",
+        help="per-tier residency and activity of a segmented index",
+    )
+    tp.add_argument("directory", help="segmented index directory")
+    tp.add_argument("--json", action="store_true",
+                    help="emit the machine-readable storage block (same "
+                         "schema as the serve stats payload)")
+    tp.set_defaults(func=_cmd_tier_status)
+    tp = tsub.add_parser(
+        "attach",
+        help="persist a tier budget/cold directory into the manifest "
+             "and demote down to it",
+    )
+    tp.add_argument("directory", help="segmented index directory")
+    tp.add_argument("--storage-budget", default=None, metavar="BYTES",
+                    help="resident budget (accepts K/M/G suffixes); "
+                         "segments beyond it demote to the cold tier")
+    tp.add_argument("--cold-dir", default=None,
+                    help="cold-tier blob directory (default: cold/ "
+                         "inside the index directory)")
+    tp.add_argument("--json", action="store_true",
+                    help="emit the resulting storage block as JSON")
+    tp.set_defaults(func=_cmd_tier_attach)
 
     p = sub.add_parser(
         "cluster",
@@ -764,6 +930,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="full copies per shard (failover targets)")
     cp.add_argument("--seal", action="store_true",
                     help="flush unsealed rows in the source first")
+    cp.add_argument("--storage-budget", default=None, metavar="BYTES",
+                    help="stamp a tiered-storage budget (K/M/G suffixes) "
+                         "into every replica manifest; replicas demote "
+                         "to their cold tier on first open")
+    cp.add_argument("--cold-dir", default=None,
+                    help="cold-tier blob directory for replicas "
+                         "(default: cold/ inside each replica)")
     cp.set_defaults(func=_cmd_cluster_plan)
 
     cp = csub.add_parser(

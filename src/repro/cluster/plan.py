@@ -41,7 +41,6 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import ConfigurationError, IndexError_
-from ..hilbert.vectorized import encode_batch
 from ..index.segmented.lsm import SegmentedS3Index
 from ..index.segmented.manifest import (
     Manifest,
@@ -53,7 +52,7 @@ from ..index.segmented.sketch import (
     occupancy_keep,
     sketch_filename,
 )
-from ..index.store import FingerprintStore, PathLike
+from ..index.store import PathLike, expected_file_size
 
 CLUSTER_MANIFEST_NAME = "CLUSTER.json"
 _FORMAT = 1
@@ -274,13 +273,21 @@ def plan_cluster(
     num_shards: int,
     replicas: int = 1,
     seal: bool = False,
+    storage_budget: int | None = None,
+    cold_dir: str | None = None,
 ) -> ClusterManifest:
     """Partition *source_dir* into ``num_shards`` shard directories.
 
     The source must be sealed (no rows pending in its WAL/memtable);
     pass ``seal=True`` to flush it first.  Each shard gets ``replicas``
-    independent full copies of its segments.  Returns the saved
-    :class:`ClusterManifest`.
+    independent full copies of its segments.  Cold source segments
+    (tiered storage, :mod:`repro.storage`) are planned from their
+    resident ``.keys`` sidecars and materialised straight from the blob
+    backend — planning never promotes the source.  Passing
+    ``storage_budget`` (bytes; ``cold_dir`` optionally) stamps a
+    storage block into every replica manifest, so each replica opens
+    with that tier budget and demotes itself to fit on first open.
+    Returns the saved :class:`ClusterManifest`.
     """
     source_dir = Path(source_dir)
     cluster_dir = Path(cluster_dir)
@@ -294,98 +301,98 @@ def plan_cluster(
         raise ConfigurationError(
             f"already a cluster directory: {cluster_dir}"
         )
+    replica_storage = None
+    if storage_budget is not None or cold_dir is not None:
+        from ..storage.manager import StorageConfig
 
-    _seal_source(source_dir, seal)
-    manifest = Manifest.load(source_dir)
-    if not manifest.segments:
-        raise ConfigurationError(
-            f"{source_dir} has no sealed segments to shard; ingest and "
-            "flush it first"
-        )
-    if num_shards > len(manifest.segments):
-        raise ConfigurationError(
-            f"cannot plan {num_shards} shards from "
-            f"{len(manifest.segments)} segments — segments are whole "
-            "assignment units; compact less aggressively or pick fewer "
-            "shards"
-        )
+        replica_storage = StorageConfig(
+            budget_bytes=storage_budget, cold_dir=cold_dir
+        ).to_manifest()
 
-    assignments = _segment_assignments(source_dir, manifest)
-    groups = _partition(assignments, num_shards)
-    key_bits = manifest.key_levels * manifest.ndims
-    boundaries = _range_boundaries(groups, key_bits)
-
-    cluster_dir.mkdir(parents=True, exist_ok=True)
-    shards = []
-    for shard_id, group in enumerate(groups):
-        replica_dirs = tuple(
-            shard_dirname(shard_id, r) for r in range(replicas)
-        )
-        for rel in replica_dirs:
-            _materialise_replica(
-                source_dir, cluster_dir / rel, manifest, group
-            )
-        shards.append(ShardSpec(
-            shard=shard_id,
-            key_lo=boundaries[shard_id],
-            key_hi=boundaries[shard_id + 1],
-            rows=sum(a.count for a in group),
-            segments=tuple(group),
-            replicas=replica_dirs,
-            presence=_shard_presence(source_dir, manifest, group),
-        ))
-    cluster = ClusterManifest(
-        source=str(source_dir),
-        ndims=manifest.ndims,
-        order=manifest.order,
-        key_levels=manifest.key_levels,
-        depth=manifest.depth,
-        sigma=manifest.sigma,
-        total_rows=manifest.total_sealed(),
-        shards=shards,
-    )
-    cluster.save(cluster_dir)
-    return cluster
-
-
-def _seal_source(source_dir: Path, seal: bool) -> None:
-    """Verify the source has no unsealed rows; flush them if *seal*."""
-    with SegmentedS3Index.open(source_dir, auto_compact=False) as index:
-        pending = index.pending_rows
+    with SegmentedS3Index.open(source_dir, auto_compact=False) as source:
+        pending = source.pending_rows
         if pending and not seal:
             raise ConfigurationError(
                 f"{source_dir} has {pending} unsealed rows; pass "
                 "seal=True (CLI: --seal) to flush them before planning"
             )
         if pending:
-            index.flush()
+            source.flush()
+        manifest = source.manifest
+        if not manifest.segments:
+            raise ConfigurationError(
+                f"{source_dir} has no sealed segments to shard; ingest "
+                "and flush it first"
+            )
+        if num_shards > len(manifest.segments):
+            raise ConfigurationError(
+                f"cannot plan {num_shards} shards from "
+                f"{len(manifest.segments)} segments — segments are whole "
+                "assignment units; compact less aggressively or pick "
+                "fewer shards"
+            )
+
+        assignments = _segment_assignments(source)
+        groups = _partition(assignments, num_shards)
+        key_bits = manifest.key_levels * manifest.ndims
+        boundaries = _range_boundaries(groups, key_bits)
+
+        cluster_dir.mkdir(parents=True, exist_ok=True)
+        shards = []
+        for shard_id, group in enumerate(groups):
+            replica_dirs = tuple(
+                shard_dirname(shard_id, r) for r in range(replicas)
+            )
+            for rel in replica_dirs:
+                _materialise_replica(
+                    source, cluster_dir / rel, group, replica_storage
+                )
+            shards.append(ShardSpec(
+                shard=shard_id,
+                key_lo=boundaries[shard_id],
+                key_hi=boundaries[shard_id + 1],
+                rows=sum(a.count for a in group),
+                segments=tuple(group),
+                replicas=replica_dirs,
+                presence=_shard_presence(source_dir, manifest, group),
+            ))
+        cluster = ClusterManifest(
+            source=str(source_dir),
+            ndims=manifest.ndims,
+            order=manifest.order,
+            key_levels=manifest.key_levels,
+            depth=manifest.depth,
+            sigma=manifest.sigma,
+            total_rows=manifest.total_sealed(),
+            shards=shards,
+        )
+    cluster.save(cluster_dir)
+    return cluster
 
 
 def _segment_assignments(
-    source_dir: Path, manifest: Manifest
+    source: SegmentedS3Index,
 ) -> list[SegmentAssignment]:
     """Each source segment with its global base row and key span.
 
-    Sealed stores are physically curve-sorted, so a segment's key span
-    is just the keys of its first and last rows — no full scan needed.
+    Sealed segments are curve-sorted, so a segment's key span is just
+    its layout's first and last keys.  The layout is resident for every
+    tier — cold segments keep their ``.keys`` sidecar mapped — so no
+    fingerprint store is loaded and no blob is fetched here.
     """
     assignments = []
     base = 0
-    for pos, meta in enumerate(manifest.segments):
-        store = FingerprintStore.load(
-            source_dir / (meta.name + ".store"), mmap=True
-        )
-        edge = np.ascontiguousarray(store.fingerprints[[0, -1]])
-        keys = encode_batch(edge, manifest.order, manifest.key_levels)
+    for pos, seg in enumerate(source._segments):
+        keys = seg.layout.keys
         assignments.append(SegmentAssignment(
-            name=meta.name,
-            count=meta.count,
+            name=seg.meta.name,
+            count=seg.meta.count,
             global_base=base,
             source_pos=pos,
             key_min=int(keys[0]),
-            key_max=int(keys[1]),
+            key_max=int(keys[-1]),
         ))
-        base += meta.count
+        base += seg.meta.count
     return assignments
 
 
@@ -470,10 +477,10 @@ def _shard_presence(
 
 
 def _materialise_replica(
-    source_dir: Path,
+    source: SegmentedS3Index,
     replica_dir: Path,
-    source_manifest: Manifest,
     group: list[SegmentAssignment],
+    storage: dict | None,
 ) -> None:
     """Write one replica directory: copied segments + a fresh manifest.
 
@@ -482,7 +489,16 @@ def _materialise_replica(
     continues the source's segment sequence numbers, so post-plan
     flushes never collide with copied segment names.  Its WAL is fresh
     and empty; ``SegmentedS3Index.open`` creates the file on first open.
+
+    Cold source segments are materialised from the blob backend: a
+    demoted segment's blob is byte-identical to the ``.store`` file it
+    replaced, so the replica starts hot without the source promoting
+    anything.  *storage* (a manifest storage block, or ``None``) gives
+    each replica its own tier budget — the replica's first open then
+    demotes itself to fit, independently of the source's tiers.
     """
+    source_dir = source.directory
+    source_manifest = source.manifest
     replica_dir.mkdir(parents=True, exist_ok=True)
     if Manifest.exists(replica_dir):
         raise ConfigurationError(
@@ -491,11 +507,33 @@ def _materialise_replica(
     metas = []
     source_by_name = {m.name: m for m in source_manifest.segments}
     for a in group:
-        for suffix in (".store", ""):
-            name = (
-                a.name + suffix if suffix else sketch_filename(a.name)
-            )
-            shutil.copyfile(source_dir / name, replica_dir / name)
+        store_src = source_dir / (a.name + ".store")
+        store_dst = replica_dir / (a.name + ".store")
+        if store_src.is_file():
+            shutil.copyfile(store_src, store_dst)
+        else:
+            if source.storage is None:
+                raise IndexError_(
+                    f"segment {a.name} has no resident store and the "
+                    "source index has no storage manager to fetch it"
+                )
+            data = source.storage.backend.get(a.name)
+            want = expected_file_size(a.count, source_manifest.ndims)
+            if len(data) != want:
+                raise IndexError_(
+                    f"blob for segment {a.name} is {len(data)} bytes, "
+                    f"expected {want}; refusing to materialise a torn "
+                    "replica"
+                )
+            tmp = store_dst.with_suffix(".tmp")
+            tmp.write_bytes(data)
+            os.replace(tmp, store_dst)
+        # Sketch sidecars stay resident across demotion, so a straight
+        # copy works for every tier.
+        shutil.copyfile(
+            source_dir / sketch_filename(a.name),
+            replica_dir / sketch_filename(a.name),
+        )
         src_meta = source_by_name[a.name]
         metas.append(SegmentMeta(
             name=a.name, count=a.count, sketch=src_meta.sketch
@@ -509,5 +547,6 @@ def _materialise_replica(
         next_seq=source_manifest.next_seq,
         wal=wal_filename(source_manifest.next_seq - 1),
         segments=metas,
+        storage=storage,
     )
     replica_manifest.save(replica_dir)

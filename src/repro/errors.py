@@ -38,3 +38,26 @@ class IndexError_(ReproError):
 
 class ExtractionError(ReproError):
     """Fingerprint extraction failed (e.g. a video too short for key-frames)."""
+
+
+class StorageError(ReproError):
+    """The tiered-storage subsystem is misconfigured or inconsistent.
+
+    Raised for structural problems — a cold segment without its resident
+    sidecars, a missing blob backend, a blob that fails validation — as
+    opposed to transient fetch failures (:class:`ColdFetchError`).
+    """
+
+
+class ColdFetchError(StorageError):
+    """A cold segment's bytes could not be fetched from the blob backend.
+
+    Carries the segment name so the serving layer can degrade exactly
+    the queries that needed that segment to a retryable per-segment
+    error (wire code ``unavailable``) instead of crashing or silently
+    returning a partial answer.
+    """
+
+    def __init__(self, segment: str, message: str):
+        super().__init__(f"segment {segment}: {message}")
+        self.segment = segment

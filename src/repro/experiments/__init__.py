@@ -40,6 +40,11 @@ from .prefilter import (
 from .query_cache import QueryCacheBenchResult, run_query_cache
 from .segmented_ingest import SegmentedIngestResult, run_segmented_ingest
 from .serve_bench import ServeBenchResult, run_serve_bench
+from .storage_tiers import (
+    StorageTiersResult,
+    run_storage_tiers,
+    write_storage_tiers_json,
+)
 from .table1_severity import Table1Result, paper_transform_ladder, run_table1
 
 __all__ = [
@@ -63,6 +68,7 @@ __all__ = [
     "PrefilterBenchResult",
     "QueryCacheBenchResult",
     "ServeBenchResult",
+    "StorageTiersResult",
     "Table1Result",
     "build_setup",
     "combined_transform",
@@ -86,8 +92,10 @@ __all__ = [
     "run_query_cache",
     "run_segmented_ingest",
     "run_serve_bench",
+    "run_storage_tiers",
     "run_table1",
     "sweep_transforms",
     "sweep_transforms_shared",
     "write_prefilter_json",
+    "write_storage_tiers_json",
 ]

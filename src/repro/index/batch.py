@@ -114,6 +114,15 @@ class BatchQueryStats:
     blocks_skipped: int = 0
     filter_seconds: float = 0.0
     scan_seconds: float = 0.0
+    #: Cold-tier traffic of the batch: segments scanned through the blob
+    #: backend, union rows fetched, payload bytes and wall-clock spent
+    #: fetching them (wall-clock overlaps resident scans when the
+    #: prefetcher is on, so ``cold_fetch_seconds`` can exceed the time
+    #: the batch actually waited).
+    cold_segments: int = 0
+    cold_rows: int = 0
+    cold_bytes: int = 0
+    cold_fetch_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -139,6 +148,10 @@ class BatchQueryStats:
         self.blocks_skipped += other.blocks_skipped
         self.filter_seconds += other.filter_seconds
         self.scan_seconds += other.scan_seconds
+        self.cold_segments += other.cold_segments
+        self.cold_rows += other.cold_rows
+        self.cold_bytes += other.cold_bytes
+        self.cold_fetch_seconds += other.cold_fetch_seconds
 
 
 # ----------------------------------------------------------------------
@@ -407,6 +420,7 @@ def query_batch_segmented(
     pool: Optional[ProcessScanPool] = None,
     prefilter: bool = True,
     gather_cache=None,
+    prefetch: bool = True,
 ) -> tuple[list[SearchResult], BatchQueryStats]:
     """Answer a batch of statistical queries against a segmented index.
 
@@ -430,6 +444,15 @@ def query_batch_segmented(
     single :meth:`~repro.index.parallel.ProcessScanPool.scan_stores`
     call with per-worker segment affinity; the memtable (small, mutable)
     is always scanned in-process.
+
+    **Cold segments** (tiered storage) never enter the pool or thread
+    shards: block selection runs on their resident ``.keys`` sidecar,
+    and exactly the coalesced union's byte ranges are fetched from the
+    blob backend.  With *prefetch* (the default, when the index has a
+    tier manager), those fetches are submitted **before** the resident
+    scans start and collected after — backend latency overlaps local
+    gathering.  Either way the fetched columns are the same bytes a
+    resident gather would have produced, so results stay bit-identical.
     """
     from .segmented.lsm import SegmentedQueryStats
 
@@ -466,55 +489,101 @@ def query_batch_segmented(
             blocks_q.append(dropped)
             skipped_q.append(skipped)
             per_ranges.append(
-                seg.index.layout.block_row_ranges(prefixes, sel.depth)
+                seg.layout.block_row_ranges(prefixes, sel.depth)
                 if len(prefixes) else []
             )
         return per_ranges, skipped_q, blocks_q
 
-    def scan_segment(seg):
-        per_ranges, skipped_q, blocks_q = seg_query_ranges(seg)
+    segments = index._segments
+    storage = getattr(index, "storage", None)
+    # Block selection needs no store bytes (resident keys sidecars for
+    # cold segments), so every segment's pruned per-query ranges — and
+    # their coalesced unions — are known before a single row is read.
+    seg_pruned = [seg_query_ranges(seg) for seg in segments]
+    seg_unions = [coalesce_ranges(p[0]) for p in seg_pruned]
+    resident = [
+        (i, seg) for i, seg in enumerate(segments) if seg.index is not None
+    ]
+
+    # Cold fetches start *now*, before the resident scans, so backend
+    # latency overlaps the local gathers below.
+    cold_bytes0 = storage.stats.fetch_bytes if storage is not None else 0
+    cold_secs0 = storage.stats.fetch_seconds if storage is not None else 0.0
+    cold_handles: dict[int, object] = {}
+    if storage is not None and prefetch:
+        for i, seg in enumerate(segments):
+            if seg.index is None and seg_unions[i]:
+                cold_handles[i] = storage.prefetch(seg, seg_unions[i])
+
+    def scan_resident(item):
+        i, seg = item
+        per_ranges = seg_pruned[i][0]
         scans, sections, unique = _scan_coalesced(
             seg.index.layout, seg.index.store, per_ranges, workers=1,
             min_rows=parallel_gather_min_rows,
             store_name=segment_store_name(seg.meta.name),
             gather_cache=gather_cache,
         )
-        return per_ranges, scans, sections, unique, skipped_q, blocks_q
+        return i, (scans, sections, unique)
 
-    segments = index._segments
-    if pool is not None and segments:
-        # One pool call covers every sealed segment: each segment's
+    seg_scans: list = [None] * len(segments)
+    if pool is not None and resident:
+        # One pool call covers every resident segment: each segment's
         # coalesced union is one work item, routed to the worker that
         # owns that segment's store attachment.  Pruned unions are
         # smaller work items; a fully pruned segment's union is empty
         # and produces no worker task at all (see scan_stores).
-        seg_pruned = [seg_query_ranges(seg) for seg in segments]
-        seg_ranges = [p[0] for p in seg_pruned]
-        seg_unions = [coalesce_ranges(ranges) for ranges in seg_ranges]
         with pool.scan_stores([
-            (segment_store_name(seg.meta.name), union)
-            for seg, union in zip(segments, seg_unions)
+            (segment_store_name(seg.meta.name), seg_unions[i])
+            for i, seg in resident
         ]) as arena:
-            seg_scans = []
-            for i, (seg, (per_ranges, skipped_q, blocks_q), union) in (
-                enumerate(zip(segments, seg_pruned, seg_unions))
-            ):
-                u_ids, u_tcs, u_fps = arena.columns(i)
+            for k, (i, seg) in enumerate(resident):
+                u_ids, u_tcs, u_fps = arena.columns(k)
                 scans = _demux_union(
-                    seg.index.layout, per_ranges, union,
+                    seg.index.layout, seg_pruned[i][0], seg_unions[i],
                     u_ids, u_tcs, u_fps,
                 )
                 del u_ids, u_tcs, u_fps
-                seg_scans.append((
-                    per_ranges, scans, len(union),
-                    sum(e - s for s, e in union),
-                    skipped_q, blocks_q,
-                ))
-    elif workers > 1 and len(segments) > 1:
+                seg_scans[i] = (
+                    scans, len(seg_unions[i]),
+                    sum(e - s for s, e in seg_unions[i]),
+                )
+    elif workers > 1 and len(resident) > 1:
         with ThreadPoolExecutor(max_workers=workers) as thread_pool:
-            seg_scans = list(thread_pool.map(scan_segment, segments))
+            for i, scanned in thread_pool.map(scan_resident, resident):
+                seg_scans[i] = scanned
     else:
-        seg_scans = [scan_segment(seg) for seg in segments]
+        for item in resident:
+            i, scanned = scan_resident(item)
+            seg_scans[i] = scanned
+
+    # Collect the cold fetches (or fetch synchronously when the
+    # prefetcher is off) and demux them exactly like a resident union.
+    cold_segments_scanned = 0
+    for i, seg in enumerate(segments):
+        if seg.index is not None:
+            continue
+        union = seg_unions[i]
+        total = sum(e - s for s, e in union)
+        if total == 0:
+            u_ids = np.empty(0, dtype=np.uint32)
+            u_tcs = np.empty(0, dtype=np.float64)
+            u_fps = np.empty((0, index.ndims), dtype=np.uint8)
+        elif i in cold_handles:
+            u_ids, u_tcs, u_fps = storage.collect(cold_handles[i])
+            cold_segments_scanned += 1
+        else:
+            u_ids, u_tcs, u_fps = storage.fetch_ranges(seg, union)
+            cold_segments_scanned += 1
+        scans = _demux_union(
+            seg.layout, seg_pruned[i][0], union, u_ids, u_tcs, u_fps
+        )
+        seg_scans[i] = (scans, len(union), total)
+
+    if storage is not None:
+        for i, seg in enumerate(segments):
+            if seg_unions[i]:
+                storage.touch(seg)
 
     mem_rows = [index._memtable.scan_selection(sel) for sel in selections]
     mem_parts = [index._memtable.take(rows) for rows in mem_rows]
@@ -533,8 +602,8 @@ def query_batch_segmented(
         )
         rows_parts, ids_parts, tcs_parts, fps_parts = [], [], [], []
         base = 0
-        for seg, (per_ranges, scans, _, _, skipped_q, blocks_q) in zip(
-            segments, seg_scans
+        for seg, (per_ranges, skipped_q, blocks_q), (scans, _, _) in zip(
+            segments, seg_pruned, seg_scans
         ):
             rows_q, ids, tcs, fps = scans[qi]
             seg_stats = QueryStats(
@@ -578,19 +647,30 @@ def query_batch_segmented(
         results.append(merged)
 
     batch.blocks_selected = sum(len(s) for s in selections)
-    batch.sections_scanned = sum(s[2] for s in seg_scans)
+    batch.sections_scanned = sum(s[1] for s in seg_scans)
     batch.logical_rows = sum(len(r) for r in results)
     batch.unique_rows = (
-        sum(s[3] for s in seg_scans)
+        sum(s[2] for s in seg_scans)
         + sum(int(r.size) for r in mem_rows)
     )
     batch.segments_skipped = sum(
-        sum(int(f) for f in s[4]) for s in seg_scans
+        sum(int(f) for f in p[1]) for p in seg_pruned
     )
-    batch.blocks_skipped = sum(sum(s[5]) for s in seg_scans)
+    batch.blocks_skipped = sum(sum(p[2]) for p in seg_pruned)
     batch.results = batch.logical_rows
     batch.filter_seconds = t1 - t0
     batch.scan_seconds = t2 - t1
+    if storage is not None:
+        batch.cold_segments = cold_segments_scanned
+        batch.cold_rows = sum(
+            s[2] for i, s in enumerate(seg_scans)
+            if segments[i].index is None
+        )
+        batch.cold_bytes = storage.stats.fetch_bytes - cold_bytes0
+        batch.cold_fetch_seconds = storage.stats.fetch_seconds - cold_secs0
+        # Tier transitions run here, after the batch is fully merged —
+        # never while the scan loop above is iterating the segment list.
+        index._settle()
     return results, batch
 
 
@@ -706,11 +786,18 @@ class BatchQueryExecutor:
     # process-pool lifecycle
     # ------------------------------------------------------------------
     def _pool_stores(self) -> dict[str, FingerprintStore]:
-        """Current ``name -> store`` mapping the pool must cover."""
+        """Current ``name -> store`` mapping the pool must cover.
+
+        Cold segments are excluded — their bytes live in the blob
+        backend, not in anything a worker process could attach.  A tier
+        transition changes the resident name set, so the pool key
+        changes and :meth:`_ensure_pool` rebuilds naturally.
+        """
         if self._segmented:
             return {
                 segment_store_name(seg.meta.name): seg.index.store
                 for seg in self.index._segments
+                if seg.index is not None
             }
         return {MONOLITHIC_STORE: self.index.store}
 
@@ -733,6 +820,25 @@ class BatchQueryExecutor:
         if self.stats.batches:
             return max(1, round(self.stats.unique_rows / self.stats.batches))
         return max(1, int(len(self.index) * COLD_SCAN_FRACTION))
+
+    def _cold_bytes_estimate(self) -> int:
+        """Expected blob-backend bytes of the next batch (0 untiered).
+
+        Rolling average like :meth:`_rows_estimate`; before the first
+        batch, the cold fraction of the index scaled by
+        :data:`COLD_SCAN_FRACTION` — the same cold-start heuristic.
+        """
+        storage = getattr(self.index, "storage", None)
+        if storage is None:
+            return 0
+        if self.stats.batches:
+            return max(0, round(self.stats.cold_bytes / self.stats.batches))
+        per_row = self.index.ndims + 4 + 8
+        cold_rows = sum(
+            seg.meta.count for seg in self.index._segments
+            if seg.index is None
+        )
+        return int(cold_rows * per_row * COLD_SCAN_FRACTION)
 
     def plan_batch(self, record: bool = False) -> ExecutorPlan:
         """Plan the next batch's strategy (``serial|threads|processes``).
@@ -771,6 +877,7 @@ class BatchQueryExecutor:
                 mode=self.planner_mode,
                 min_rows=PROCESS_EXECUTOR_MIN_ROWS,
                 min_cpus=PROCESS_EXECUTOR_MIN_CPUS,
+                cold_bytes=self._cold_bytes_estimate(),
             )
         if record:
             self.planner_stats.record(plan)
@@ -883,6 +990,7 @@ class BatchQueryExecutor:
         )
         if self._segmented:
             kwargs["prefilter"] = self.options.prefilter_enabled
+            kwargs["prefetch"] = self.options.prefetch_enabled
         if self.gather_cache is not None:
             kwargs["gather_cache"] = self.gather_cache
         try:
@@ -928,11 +1036,16 @@ class BatchQueryExecutor:
             updated = cal.observe(
                 executed, batch.unique_rows, batch.scan_seconds
             )
-            if updated is not cal:
-                self._calibration = updated
+            # Real cold-fetch traffic corrects the planner's per-byte
+            # backend cost the same EMA way.
+            refined = updated.observe_cold(
+                batch.cold_bytes, batch.cold_fetch_seconds
+            )
+            if refined is not cal:
+                self._calibration = refined
                 # Rolling refresh: later executors in this process plan
                 # from the traffic-corrected constants.
-                set_calibration(updated)
+                set_calibration(refined)
 
     def query_all(self, queries: np.ndarray) -> list[SearchResult]:
         """Run *queries* through the engine in ``batch_size`` chunks."""

@@ -40,6 +40,13 @@ EXECUTOR_STRATEGIES = ("auto", "threads", "processes")
 #: return bit-identical results; the mode only changes what is *read*.
 PREFILTER_MODES = ("auto", "on", "off")
 
+#: Cold-segment prefetch modes of the tiered-storage subsystem.
+#: ``"auto"`` overlaps blob-backend fetches with resident scans via the
+#: tier manager's prefetcher; ``"off"`` fetches synchronously at the
+#: point of need (deterministic ordering for debugging, or backends
+#: that dislike concurrency).  Results are bit-identical either way.
+PREFETCH_MODES = ("auto", "off")
+
 
 @dataclass(frozen=True)
 class QueryOptions:
@@ -63,6 +70,9 @@ class QueryOptions:
         (``None`` keeps the module default).
     prefilter:
         Segment-sketch pre-filter mode (:data:`PREFILTER_MODES`).
+    prefetch:
+        Cold-segment prefetch mode (:data:`PREFETCH_MODES`); only
+        meaningful on a tiered segmented index.
     planner:
         How ``executor="auto"`` decides
         (:data:`~repro.index.planner.PLANNER_MODES`): ``"auto"`` uses
@@ -78,6 +88,7 @@ class QueryOptions:
     executor: str = "auto"
     parallel_gather_min_rows: Optional[int] = None
     prefilter: str = "auto"
+    prefetch: str = "auto"
     planner: str = "auto"
 
     def __post_init__(self) -> None:
@@ -113,6 +124,11 @@ class QueryOptions:
                 f"prefilter must be one of {PREFILTER_MODES!r}, "
                 f"got {self.prefilter!r}"
             )
+        if self.prefetch not in PREFETCH_MODES:
+            raise ConfigurationError(
+                f"prefetch must be one of {PREFETCH_MODES!r}, "
+                f"got {self.prefetch!r}"
+            )
         if self.planner not in PLANNER_MODES:
             raise ConfigurationError(
                 f"planner must be one of {PLANNER_MODES!r}, "
@@ -124,6 +140,11 @@ class QueryOptions:
     def prefilter_enabled(self) -> bool:
         """Whether the sketch tier may be consulted under this mode."""
         return self.prefilter != "off"
+
+    @property
+    def prefetch_enabled(self) -> bool:
+        """Whether cold fetches may overlap resident scans."""
+        return self.prefetch != "off"
 
     def replace(self, **changes) -> "QueryOptions":
         """A copy with *changes* applied (validates like the constructor)."""

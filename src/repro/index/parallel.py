@@ -107,6 +107,15 @@ def can_process_scan(stores: Sequence[FingerprintStore]) -> bool:
 
     True when every store already has file backing (pure mmap attach) or
     shared memory is available to copy the in-RAM ones into.
+
+    Callers pass only **resident** stores: a cold segment's bytes live
+    in the blob backend, so it is scanned through the tier manager's
+    fetch path, never through the pool.  An all-cold index therefore
+    has no pool-servable stores at all (this returns ``False``).  Tier
+    demotions may unlink a ``.store`` file a live worker still has
+    mmap-attached — that is safe on POSIX (the inode outlives the
+    mapping) and the executor rebuilds the pool on the next batch, when
+    the resident name set no longer matches its key.
     """
     if not stores:
         return False

@@ -124,6 +124,13 @@ class Calibration:
     process_ns_per_row: Optional[float] = None
     observations: int = 0
     source: str = "measured"
+    #: Per-byte cost of a cold-tier blob fetch (tiered storage).  The
+    #: default models a slow local disk (~1 GB/s); :meth:`observe_cold`
+    #: converges it onto the real backend under traffic.  Defaulted so
+    #: sidecars written before this field existed still parse (schema
+    #: stays 1; an old reader hitting a new sidecar fails its
+    #: ``cls(**fields)`` and falls back to measuring, which is safe).
+    cold_fetch_ns_per_byte: float = 1.0
 
     # ------------------------------------------------------------------
     def age_seconds(self, now: Optional[float] = None) -> float:
@@ -139,7 +146,9 @@ class Calibration:
         )
 
     # ------------------------------------------------------------------
-    def predict_ns(self, rows: int, workers: int) -> dict[str, float]:
+    def predict_ns(
+        self, rows: int, workers: int, cold_bytes: int = 0
+    ) -> dict[str, float]:
         """Predicted scan cost of each strategy for one batch.
 
         ``serial`` is one fancy-index gather; ``threads`` adds the pool
@@ -149,6 +158,13 @@ class Calibration:
         composition: two arena memcpys (copy-in by the workers, demux
         copy-out) around a gather sharded across the cores left after
         the parent's.
+
+        *cold_bytes* adds the tiered-storage term: the blob-backend
+        fetch of the batch's cold unions.  The prefetcher overlaps that
+        fetch with the resident scan, so the batch pays
+        ``max(local, cold)`` per strategy, not their sum — which is why
+        a large cold share flattens the differences between strategies
+        (the backend, not the executor, is the bottleneck).
         """
         rows = max(0, int(rows))
         serial = rows * self.gather_ns_per_row
@@ -164,9 +180,32 @@ class Calibration:
                 + self.gather_ns_per_row / useful
             )
         processes = max(1, workers) * self.ipc_task_ns + rows * per_row
+        cold_ns = max(0, int(cold_bytes)) * self.cold_fetch_ns_per_byte
         return {
-            "serial": serial, "threads": threads, "processes": processes,
+            "serial": max(serial, cold_ns),
+            "threads": max(threads, cold_ns),
+            "processes": max(processes, cold_ns),
         }
+
+    def observe_cold(self, cold_bytes: int, seconds: float) -> "Calibration":
+        """Fold one batch's measured cold-fetch traffic back in.
+
+        Same EMA scheme as :meth:`observe`; batches fetching less than
+        one page of payload are ignored (latency-dominated, the per-byte
+        rate would be garbage).
+        """
+        if cold_bytes < 4096 or seconds <= 0.0:
+            return self
+        per_byte = seconds * 1e9 / cold_bytes
+        w = OBSERVE_EMA_WEIGHT
+        return replace(
+            self,
+            cold_fetch_ns_per_byte=(
+                (1 - w) * self.cold_fetch_ns_per_byte + w * per_byte
+            ),
+            observations=self.observations + 1,
+            source="observed",
+        )
 
     def observe(
         self, strategy: str, rows: int, seconds: float
@@ -441,6 +480,7 @@ def choose_executor(
     mode: str = "auto",
     min_rows: Optional[int] = None,
     min_cpus: Optional[int] = None,
+    cold_bytes: int = 0,
 ) -> ExecutorPlan:
     """Pick the cheapest admissible strategy for the next batch.
 
@@ -484,7 +524,9 @@ def choose_executor(
         # mode == "measured": measure on the spot rather than guess.
         calibration = get_calibration()
 
-    predicted = calibration.predict_ns(rows_to_scan, workers)
+    predicted = calibration.predict_ns(
+        rows_to_scan, workers, cold_bytes=cold_bytes
+    )
     candidates = ["serial"]
     if workers >= 2:
         candidates.append("threads")

@@ -33,12 +33,12 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from ...distortion.model import IndependentDistortionModel, NormalDistortionModel
-from ...errors import ConfigurationError, IndexError_
+from ...errors import ConfigurationError, IndexError_, StorageError
 from ...hilbert.butz import HilbertCurve
 from ..filtering import BlockSelection, range_blocks, statistical_blocks_cached
 from ..kernels import range_refine
@@ -56,6 +56,10 @@ from .memtable import MemTable
 from .sketch import SegmentSketch, SketchConfig, sketch_filename
 from .wal import WriteAheadLog, replay
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ...storage.coldseg import ColdSegmentReader
+    from ...storage.manager import StorageConfig, TierManager
+
 
 @dataclass
 class SegmentedQueryStats(QueryStats):
@@ -72,6 +76,8 @@ class SegmentedQueryStats(QueryStats):
     segments_skipped: int = 0
     blocks_skipped: int = 0
     memtable_rows_scanned: int = 0
+    segments_cold: int = 0
+    cold_rows: int = 0
     per_segment: list[QueryStats] = field(default_factory=list)
 
 
@@ -82,11 +88,33 @@ class Segment:
     ``sketch`` is ``None`` only transiently (segments from directories
     written before the sketch tier, prior to the rebuild in
     :meth:`SegmentedS3Index.open`).
+
+    Exactly one of ``index`` / ``cold`` is set: a **resident** segment
+    (hot or warm tier) carries its :class:`S3Index`; a **cold** one
+    carries a :class:`~repro.storage.coldseg.ColdSegmentReader` — keys
+    sidecar only, store bytes in the blob backend.  ``layout`` abstracts
+    over the two, so block selection code never cares about tiers.
     """
 
     meta: SegmentMeta
-    index: S3Index
+    index: Optional[S3Index]
     sketch: Optional[SegmentSketch] = None
+    cold: Optional["ColdSegmentReader"] = None
+
+    @property
+    def resident(self) -> bool:
+        return self.index is not None
+
+    @property
+    def layout(self):
+        """The segment's :class:`HilbertLayout`, whatever its tier."""
+        if self.index is not None:
+            return self.index.layout
+        if self.cold is None:
+            raise StorageError(
+                f"segment {self.meta.name} has neither index nor cold reader"
+            )
+        return self.cold.layout
 
 
 @dataclass
@@ -133,6 +161,10 @@ class SegmentedS3Index:
         self.sketch_config = sketch_config or SketchConfig()
         self.curve = HilbertCurve(manifest.ndims, manifest.order)
         self._threshold_cache: dict[tuple, float] = {}
+        #: The tier manager, set by :meth:`attach_storage` (directly or
+        #: via :meth:`open`'s ``storage=``).  ``None`` = untiered: every
+        #: segment resident, no budget, no blob backend.
+        self.storage: Optional["TierManager"] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -151,8 +183,14 @@ class SegmentedS3Index:
         auto_compact: bool = True,
         sync: bool = True,
         sketch_config: Optional[SketchConfig] = None,
+        storage: Optional["StorageConfig"] = None,
     ) -> "SegmentedS3Index":
-        """Initialise a fresh segmented index in *directory*."""
+        """Initialise a fresh segmented index in *directory*.
+
+        With *storage*, the directory is tiered from birth: the config
+        is recorded in the manifest and sealed segments demote to the
+        blob backend whenever the resident set exceeds the budget.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         if Manifest.exists(directory):
@@ -192,11 +230,14 @@ class SegmentedS3Index:
         wal = WriteAheadLog.create(directory / manifest.wal, ndims, sync=sync)
         manifest.save(directory)
         memtable = MemTable(ndims, order, key_levels)
-        return cls(
+        index = cls(
             directory, manifest, [], memtable, wal, model,
             flush_rows, policy or CompactionPolicy(), auto_compact,
             sketch_config,
         )
+        if storage is not None:
+            index.attach_storage(storage)
+        return index
 
     @classmethod
     def open(
@@ -209,6 +250,7 @@ class SegmentedS3Index:
         sync: bool = True,
         mmap: bool = False,
         sketch_config: Optional[SketchConfig] = None,
+        storage: Optional["StorageConfig"] = None,
     ) -> "SegmentedS3Index":
         """Reopen *directory*: load segments, replay the WAL, GC orphans.
 
@@ -219,16 +261,59 @@ class SegmentedS3Index:
         instead of read into RAM — segment files are curve-ordered on
         disk, so the mapping survives index construction and gives scan
         worker processes zero-copy file-backed attachment.
+
+        Segments the manifest marks ``cold`` load **sidecars only**
+        (sketch + keys) — opening never fetches a cold store from the
+        blob backend.  *storage* overrides the manifest's persisted
+        tier settings (it is required when the manifest records cold
+        segments but no ``cold_dir`` — e.g. a directory tiered against
+        an in-memory backend).
         """
         directory = Path(directory)
         manifest = Manifest.load(directory)
         if model is None and manifest.sigma is not None:
             model = NormalDistortionModel(manifest.ndims, manifest.sigma)
         sketch_config = sketch_config or SketchConfig()
+        from ...storage.coldseg import ColdSegmentReader, keys_filename, load_keys
+        from ...storage.manager import (
+            TIER_COLD,
+            TIER_HOT,
+            TIER_WARM,
+            StorageConfig,
+        )
+
+        key_bits = manifest.key_levels * manifest.ndims
         segments = []
         manifest_dirty = False
         for meta in manifest.segments:
             path = directory / (meta.name + ".store")
+            if meta.tier == TIER_COLD:
+                # Sidecars only.  Both were made durable before the
+                # manifest flipped the tier, so their absence means real
+                # damage, not a crash window.
+                sketch_path = directory / sketch_filename(meta.name)
+                try:
+                    sketch = SegmentSketch.load(sketch_path, key_bits)
+                except IndexError_ as exc:
+                    raise StorageError(
+                        f"cold segment {meta.name} is missing its sketch "
+                        f"sidecar ({sketch_path}): {exc}"
+                    ) from exc
+                keys = load_keys(
+                    directory / keys_filename(meta.name), meta.count, key_bits
+                )
+                reader = ColdSegmentReader(
+                    meta.name, meta.count, manifest.ndims,
+                    manifest.order, manifest.key_levels, keys,
+                )
+                # A crash between the manifest flip and the local-store
+                # unlink leaves a stale .store; the blob is durable, so
+                # the local copy is garbage.
+                path.unlink(missing_ok=True)
+                segments.append(
+                    Segment(meta=meta, index=None, sketch=sketch, cold=reader)
+                )
+                continue
             store = FingerprintStore.load(path, mmap=mmap)
             if len(store) != meta.count or store.ndims != manifest.ndims:
                 raise IndexError_(
@@ -245,7 +330,8 @@ class SegmentedS3Index:
             )
             # Load the pre-filter sidecar; segments from before the
             # sketch tier (or with a damaged sidecar) get theirs rebuilt
-            # and the manifest is rewritten once below.
+            # and the manifest is rewritten once below.  Rebuild only
+            # ever reads the local store — never the blob backend.
             sketch = None
             sketch_path = directory / sketch_filename(meta.name)
             if meta.sketch is not None and sketch_path.is_file():
@@ -262,6 +348,9 @@ class SegmentedS3Index:
                 sketch.save(sketch_path)
                 meta.sketch = sketch.to_meta()
                 manifest_dirty = True
+            # Residency reflects how we actually loaded, not what the
+            # manifest last said (advisory for resident tiers).
+            meta.tier = TIER_WARM if mmap else TIER_HOT
             segments.append(Segment(meta=meta, index=index, sketch=sketch))
         if manifest_dirty:
             manifest.save(directory)
@@ -274,15 +363,82 @@ class SegmentedS3Index:
         else:
             wal = WriteAheadLog.create(wal_path, manifest.ndims, sync=sync)
         _collect_orphans(directory, manifest)
-        return cls(
+        index = cls(
             directory, manifest, segments, memtable, wal, model,
             flush_rows, policy or CompactionPolicy(), auto_compact,
             sketch_config,
         )
+        config = storage
+        if config is None and manifest.storage is not None:
+            config = StorageConfig.from_manifest(manifest.storage)
+        has_cold = any(s.meta.tier == TIER_COLD for s in segments)
+        if config is None and has_cold:
+            raise StorageError(
+                f"{directory} has cold segments but no storage "
+                "configuration: pass storage=StorageConfig(...) to open()"
+            )
+        if config is not None:
+            index.attach_storage(config, persist=storage is not None)
+        return index
+
+    def attach_storage(
+        self, config: "StorageConfig", persist: bool = True
+    ) -> "TierManager":
+        """Put this index under tiered-storage management.
+
+        Creates the :class:`~repro.storage.manager.TierManager`, records
+        the config in the manifest (when *persist* and the config is
+        representable — an explicit backend object is not), GCs orphan
+        blobs, and immediately enforces the budget (a freshly opened
+        directory demotes down to it before serving anything).
+        """
+        from ...storage.manager import TierManager
+
+        if self.storage is not None:
+            raise StorageError("storage is already attached to this index")
+        manager = TierManager(self, config)
+        self.storage = manager
+        if persist and config.backend is None:
+            self.manifest.storage = config.to_manifest()
+            self.manifest.save(self.directory)
+        manager.collect_orphan_blobs()
+        manager.enforce_budget()
+        return manager
+
+    def storage_info(self) -> dict:
+        """Per-tier residency and activity (``info --json``, serve stats).
+
+        Available on untiered indexes too — then every segment is
+        resident and the ``manager`` block is ``None``.
+        """
+        tiers = {
+            tier: {"segments": 0, "rows": 0, "bytes": 0}
+            for tier in ("hot", "warm", "cold")
+        }
+        per_row = self.ndims + 4 + 8
+        for seg in self._segments:
+            bucket = tiers[seg.meta.tier]
+            bucket["segments"] += 1
+            bucket["rows"] += seg.meta.count
+            bucket["bytes"] += seg.meta.count * per_row
+        return {
+            "tiered": self.storage is not None,
+            "tiers": tiers,
+            "manager": (
+                self.storage.snapshot() if self.storage is not None else None
+            ),
+        }
+
+    def _settle(self) -> None:
+        """Apply pending tier transitions (no-op when untiered)."""
+        if self.storage is not None:
+            self.storage.settle()
 
     def close(self) -> None:
         """Close the WAL file handle (buffered records stay durable)."""
         self._wal.close()
+        if self.storage is not None:
+            self.storage.close()
 
     def __enter__(self) -> "SegmentedS3Index":
         return self
@@ -309,7 +465,7 @@ class SegmentedS3Index:
     def segments(self) -> list[SegmentMeta]:
         """Manifest entries of the live segments (copies)."""
         return [
-            SegmentMeta(s.meta.name, s.meta.count, s.meta.sketch)
+            SegmentMeta(s.meta.name, s.meta.count, s.meta.sketch, s.meta.tier)
             for s in self._segments
         ]
 
@@ -345,6 +501,12 @@ class SegmentedS3Index:
             )
         for seg in self._segments:
             if row < seg.meta.count:
+                if seg.index is None:
+                    # Cold: fetch exactly the one row's columns.
+                    ids, tcs, fps = self.storage.fetch_ranges(
+                        seg, [(row, row + 1)]
+                    )
+                    return (fps[0].copy(), int(ids[0]), float(tcs[0]))
                 store = seg.index.store
                 return (
                     store.fingerprints[row].copy(),
@@ -444,6 +606,8 @@ class SegmentedS3Index:
 
         if self.auto_compact:
             self.compact()
+        # Sealing may have pushed the resident set over the budget.
+        self._settle()
         return meta
 
     def compact(self, force: bool = False) -> Optional[CompactionResult]:
@@ -462,8 +626,10 @@ class SegmentedS3Index:
         if not picked:
             return None
         t0 = time.perf_counter()
+        # Cold inputs are fetched whole from the blob backend; their
+        # blobs are discarded below once the manifest has switched over.
         index, sketch = merge_segment_stores(
-            [self._segments[i].index.store for i in picked],
+            [self._segment_store(self._segments[i]) for i in picked],
             ndims=self.ndims,
             order=self.manifest.order,
             key_levels=self.manifest.key_levels,
@@ -504,12 +670,30 @@ class SegmentedS3Index:
             (self.directory / sketch_filename(seg.meta.name)).unlink(
                 missing_ok=True
             )
+            if self.storage is not None:
+                from ...storage.coldseg import keys_filename
+
+                (self.directory / keys_filename(seg.meta.name)).unlink(
+                    missing_ok=True
+                )
+                self.storage.discard_blob(seg.meta.name)
+        self._settle()
         return CompactionResult(
             merged_segments=len(picked),
             merged_rows=len(merged),
             segment_name=name,
             seconds=time.perf_counter() - t0,
         )
+
+    def _segment_store(self, seg: Segment) -> FingerprintStore:
+        """The full store of *seg*, fetching the blob when cold."""
+        if seg.index is not None:
+            return seg.index.store
+        if self.storage is None:
+            raise StorageError(
+                f"segment {seg.meta.name} is cold but no storage is attached"
+            )
+        return self.storage.load_store(seg)
 
     # ------------------------------------------------------------------
     # queries
@@ -663,7 +847,7 @@ class SegmentedS3Index:
                     base += seg.meta.count
                     continue
                 prefixes = pruned
-            ranges = seg.index.layout.block_row_ranges(
+            ranges = seg.layout.block_row_ranges(
                 prefixes, selection.depth
             )
             if sketch is not None and refine is not None and ranges:
@@ -671,9 +855,29 @@ class SegmentedS3Index:
                 if not kept:
                     stats.segments_skipped += 1
                 ranges = kept
-            rows = seg.index.layout.gather_rows(ranges)
-            store = seg.index.store
-            fps = store.fingerprints[rows]
+            rows = seg.layout.gather_rows(ranges)
+            if seg.index is not None:
+                store = seg.index.store
+                ids_col = store.ids
+                tcs_col = store.timecodes
+                fps = store.fingerprints[rows]
+                gathered = False
+            elif rows.size:
+                # Cold: block selection needed no store bytes; now fetch
+                # exactly the selected ranges' columns from the backend.
+                ids_col, tcs_col, fps = self.storage.fetch_ranges(
+                    seg, ranges
+                )
+                gathered = True
+                stats.segments_cold += 1
+                stats.cold_rows += int(rows.size)
+            else:
+                ids_col = np.empty(0, dtype=np.uint32)
+                tcs_col = np.empty(0, dtype=np.float64)
+                fps = np.empty((0, self.ndims), dtype=np.uint8)
+                gathered = True
+            if self.storage is not None:
+                self.storage.touch(seg)
             distances = None
             seg_stats = QueryStats(
                 blocks_selected=len(selection),
@@ -685,12 +889,15 @@ class SegmentedS3Index:
                 keep, distances = range_refine(fps, q, epsilon)
                 rows = rows[keep]
                 fps = fps[keep]
+                if gathered:
+                    ids_col = ids_col[keep]
+                    tcs_col = tcs_col[keep]
             elif refine is not None:
                 distances = np.empty(0, dtype=np.float64)
             part = SearchResult(
                 rows=rows + base,
-                ids=store.ids[rows],
-                timecodes=store.timecodes[rows],
+                ids=ids_col if gathered else ids_col[rows],
+                timecodes=tcs_col if gathered else tcs_col[rows],
                 fingerprints=fps,
                 distances=distances,
                 stats=seg_stats,
@@ -755,6 +962,9 @@ class SegmentedS3Index:
             + mem_stats.refine_seconds
         )
         stats.results = len(merged)
+        # Tier transitions (promotion hysteresis, budget demotions) run
+        # here — on the calling thread, after the scan is fully merged.
+        self._settle()
         return merged
 
 
@@ -786,9 +996,17 @@ def _fsync_file(path: Path) -> None:
 
 
 def _collect_orphans(directory: Path, manifest: Manifest) -> None:
-    """Delete files a crash left behind (not referenced by the manifest)."""
+    """Delete files a crash left behind (not referenced by the manifest).
+
+    ``.keys`` sidecars are live for **every** manifest segment whatever
+    its tier: a resident segment may have been demoted before (the
+    sidecar is reused), and a cold one depends on it.  Blob GC is
+    separate (:meth:`TierManager.collect_orphan_blobs`) and equally
+    keeps every manifest-referenced blob.
+    """
     live = {seg.name + ".store" for seg in manifest.segments}
     live |= {sketch_filename(seg.name) for seg in manifest.segments}
+    live |= {seg.name + ".keys" for seg in manifest.segments}
     live.add(manifest.wal)
     for path in directory.iterdir():
         name = path.name
@@ -796,6 +1014,9 @@ def _collect_orphans(directory: Path, manifest: Manifest) -> None:
                 and name not in live:
             path.unlink(missing_ok=True)
         elif name.startswith("seg-") and name.endswith(".sketch") \
+                and name not in live:
+            path.unlink(missing_ok=True)
+        elif name.startswith("seg-") and name.endswith(".keys") \
                 and name not in live:
             path.unlink(missing_ok=True)
         elif name.startswith("wal-") and name.endswith(".log") \

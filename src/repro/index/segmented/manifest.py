@@ -40,11 +40,18 @@ class SegmentMeta:
     sidecar (``{"depth", "block_rows"}``, see
     :mod:`repro.index.segmented.sketch`) or ``None`` for segments sealed
     before the sketch tier existed — open() rebuilds those.
+
+    ``tier`` records where the segment's store bytes live: ``"hot"``
+    (in RAM), ``"warm"`` (local mmap) or ``"cold"`` (blob backend only;
+    locally just the ``.sketch`` and ``.keys`` sidecars).  A cold tier
+    is only ever written *after* the blob and keys sidecar are durable,
+    so a manifest that says ``cold`` is always honourable.
     """
 
     name: str
     count: int
     sketch: dict | None = None
+    tier: str = "hot"
 
 
 @dataclass
@@ -59,6 +66,10 @@ class Manifest:
     next_seq: int = 1
     wal: str = "wal-000000.log"
     segments: list[SegmentMeta] = field(default_factory=list)
+    #: Persisted tiered-storage settings (``StorageConfig.to_manifest()``)
+    #: or ``None`` for an untiered directory.  Kept as an opaque dict so
+    #: the manifest format stays 1 — old readers ignore unknown keys.
+    storage: dict | None = None
 
     # ------------------------------------------------------------------
     def total_sealed(self) -> int:
@@ -82,9 +93,11 @@ class Manifest:
                     "name": seg.name,
                     "count": seg.count,
                     **({"sketch": seg.sketch} if seg.sketch else {}),
+                    **({"tier": seg.tier} if seg.tier != "hot" else {}),
                 }
                 for seg in self.segments
             ],
+            **({"storage": self.storage} if self.storage else {}),
         }
         tmp = directory / (MANIFEST_NAME + ".tmp")
         with open(tmp, "w") as fh:
@@ -130,9 +143,11 @@ class Manifest:
                         name=str(s["name"]),
                         count=int(s["count"]),
                         sketch=s.get("sketch"),
+                        tier=str(s.get("tier", "hot")),
                     )
                     for s in payload["segments"]
                 ],
+                storage=payload.get("storage"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise IndexError_(f"corrupt manifest {path}: {exc}") from exc

@@ -98,8 +98,12 @@ def index_summary(index) -> dict:
             "planner": planner_summary(len(index)),
         }
     manifest = index.manifest
+    # Cold segments have no resident store; executor capabilities are
+    # judged on the resident set the scan pool could actually attach.
     seg_handles = [
-        seg.index.store.shared_handle for seg in index._segments
+        seg.index.store.shared_handle
+        for seg in index._segments
+        if seg.index is not None
     ]
     return {
         "kind": "segmented",
@@ -114,7 +118,8 @@ def index_summary(index) -> dict:
         "pending_rows": index.pending_rows,
         "num_segments": index.num_segments,
         "segments": [
-            {"name": seg.name, "count": seg.count} for seg in index.segments
+            {"name": seg.name, "count": seg.count, "tier": seg.tier}
+            for seg in index.segments
         ],
         "executor": _executor_capabilities(
             mmap_backed=bool(seg_handles) and all(
@@ -122,4 +127,5 @@ def index_summary(index) -> dict:
             )
         ),
         "planner": planner_summary(len(index)),
+        "storage": index.storage_info(),
     }

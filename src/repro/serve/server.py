@@ -38,7 +38,7 @@ from typing import Optional
 import numpy as np
 
 from ..cbcd.voting import QueryMatches, vote
-from ..errors import ConfigurationError, ReproError
+from ..errors import ColdFetchError, ConfigurationError, ReproError
 from ..index.batch import BatchQueryExecutor
 from ..index.options import QueryOptions, warn_deprecated_kwargs
 from ..index.summary import index_summary
@@ -104,6 +104,11 @@ class ServeConfig:
     LRU, in-flight dedupe and hot-block gather cache, ``"off"``
     disables all three.  All modes serve bit-identical results; the
     cache is invalidated on every ingest.
+
+    ``storage_budget``/``cold_dir`` record the tiered-storage settings
+    the index was opened with (:mod:`repro.storage`); the CLI applies
+    them when opening the index and passes them here so ``stats``
+    reports them next to the live per-tier residency.
     """
 
     host: str = "127.0.0.1"
@@ -122,9 +127,15 @@ class ServeConfig:
     cache: str = "auto"
     cache_capacity: int = DEFAULT_CACHE_CAPACITY
     gather_cache_rows: int = DEFAULT_GATHER_CACHE_ROWS
+    storage_budget: Optional[int] = None
+    cold_dir: Optional[str] = None
     options: Optional[QueryOptions] = None
 
     def __post_init__(self) -> None:
+        if self.storage_budget is not None and self.storage_budget < 0:
+            raise ConfigurationError(
+                f"storage_budget must be >= 0, got {self.storage_budget}"
+            )
         if self.cache not in CACHE_MODES:
             raise ConfigurationError(
                 f"cache must be one of {CACHE_MODES!r}, "
@@ -376,6 +387,16 @@ class SocketFrameServer:
             self.stats.errors.add(key=protocol.ERR_SHUTTING_DOWN)
             return protocol.error_response(
                 request, protocol.ERR_SHUTTING_DOWN, str(exc)
+            )
+        except ColdFetchError as exc:
+            # Tiered storage: the blob backend failed mid-query.  The
+            # index itself is intact and a retry may hit a recovered
+            # backend (or a since-promoted segment), so the failure maps
+            # to the retryable ``unavailable`` code — never a silent
+            # partial answer, never a connection teardown.
+            self.stats.errors.add(key=protocol.ERR_UNAVAILABLE)
+            return protocol.error_response(
+                request, protocol.ERR_UNAVAILABLE, str(exc)
             )
         except ReproError as exc:
             self.stats.errors.add(key=protocol.ERR_BAD_REQUEST)
@@ -731,6 +752,11 @@ class DetectionServer(SocketFrameServer):
             else {"enabled": False}
         )
         cache["mode"] = self.config.cache
+        storage = (
+            self.index.storage_info()
+            if hasattr(self.index, "storage_info")
+            else {"tiered": False}
+        )
         return {
             **self.base_stats(),
             "ready": self.ready,
@@ -738,6 +764,7 @@ class DetectionServer(SocketFrameServer):
             "batcher": batcher,
             "prefilter": prefilter,
             "cache": cache,
+            "storage": storage,
             "planner": (
                 self._executor.planner_snapshot()
                 if self._executor else None
@@ -764,5 +791,7 @@ class DetectionServer(SocketFrameServer):
                 "planner": self.config.options.planner,
                 "cache": self.config.cache,
                 "cache_capacity": self.config.cache_capacity,
+                "storage_budget": self.config.storage_budget,
+                "cold_dir": self.config.cold_dir,
             },
         }

@@ -1,0 +1,221 @@
+"""Cold segments: resident key sidecars and exact range fetches.
+
+A cold segment's store bytes live in the blob backend, but queries must
+still run **block selection before any fetch** — eq. (5)'s whole point
+is that the filtering step needs no rows.  Two resident artifacts make
+that possible without touching the backend:
+
+* the segment's ``.sketch`` sidecar (occupancy + per-block bounds,
+  always resident since PR 6), and
+* a ``.keys`` sidecar written at demotion time: the segment's sorted
+  ``uint64`` Hilbert keys, memory-mapped here (8 bytes/row of local
+  disk, ~0 RAM).  :class:`ColdSegmentReader` wraps it in the standard
+  :class:`~repro.index.table.HilbertLayout`, so ``block_row_ranges``
+  over a cold segment runs the *identical* searchsorted + merge code as
+  a resident one — the row ranges, and therefore the results, are
+  bit-identical.
+
+Once the selection has produced row ranges, :func:`fetch_columns` maps
+each range to three column byte ranges of the ``save()`` layout
+(``column_offsets``) and issues exactly those ``get_range`` calls —
+``O(selected rows)`` backend bytes per query, the real-storage analogue
+of the pseudo-disk model's ``bytes_loaded`` accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ColdFetchError, StorageError
+from ..hilbert.butz import HilbertCurve
+from ..index.store import FingerprintStore, column_offsets, expected_file_size
+from ..index.table import HilbertLayout
+from .blob import BlobBackend
+
+KEYS_MAGIC = b"S3KY"
+KEYS_FORMAT = 1
+_KEYS_HEADER = struct.Struct("<4sIIQ")  # magic, format, key_bits, count
+
+RowRange = tuple[int, int]
+
+#: Bytes one fetched row costs across the three columns — identical to
+#: :class:`~repro.index.pseudodisk.PseudoDiskSearcher`'s ``_row_bytes``
+#: (``ndims`` fingerprint bytes + 4 id bytes + 8 timecode bytes), so
+#: measured fetch bytes and the model's predictions share units.
+def row_bytes(ndims: int) -> int:
+    return ndims + 4 + 8
+
+
+def keys_filename(name: str) -> str:
+    """Canonical ``.keys`` sidecar file name of segment *name*."""
+    return f"{name}.keys"
+
+
+def save_keys(path: os.PathLike | str, keys: np.ndarray, key_bits: int) -> None:
+    """Atomically write a segment's sorted keys sidecar (fsynced).
+
+    Demotion durability depends on this file: once the local store is
+    deleted, the sidecar is the only way to run block selection on the
+    segment without a full blob fetch.
+    """
+    path = Path(path)
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(_KEYS_HEADER.pack(KEYS_MAGIC, KEYS_FORMAT, key_bits, keys.size))
+        fh.write(keys.tobytes())
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_keys(
+    path: os.PathLike | str, count: int, key_bits: int
+) -> np.ndarray:
+    """Memory-map a ``.keys`` sidecar; validates header and size."""
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read(_KEYS_HEADER.size)
+    except OSError as exc:
+        raise StorageError(
+            f"cold segment keys sidecar unreadable: {path}: {exc}"
+        ) from exc
+    if len(raw) < _KEYS_HEADER.size:
+        raise StorageError(f"keys sidecar too short: {path}")
+    magic, fmt, bits, n = _KEYS_HEADER.unpack(raw)
+    if magic != KEYS_MAGIC:
+        raise StorageError(f"bad magic in keys sidecar {path}: {magic!r}")
+    if fmt != KEYS_FORMAT:
+        raise StorageError(f"unsupported keys sidecar format {fmt} in {path}")
+    if n != count or bits != key_bits:
+        raise StorageError(
+            f"keys sidecar {path} does not match its segment: "
+            f"{n} keys/{bits} bits vs {count} rows/{key_bits} bits"
+        )
+    expected = _KEYS_HEADER.size + count * 8
+    if path.stat().st_size < expected:
+        raise StorageError(f"truncated keys sidecar: {path}")
+    return np.memmap(
+        path, dtype=np.uint64, mode="r",
+        offset=_KEYS_HEADER.size, shape=(count,),
+    )
+
+
+class ColdSegmentReader:
+    """Block selection over a cold segment, without its store bytes.
+
+    Holds the memmapped sorted keys wrapped in a
+    :class:`~repro.index.table.HilbertLayout` (permutation empty — cold
+    segments are already curve-sorted on disk, and nothing rebuilds
+    them), plus the geometry a fetch needs to map row ranges onto blob
+    byte ranges.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        count: int,
+        ndims: int,
+        order: int,
+        key_levels: int,
+        keys: np.ndarray,
+    ):
+        self.name = name
+        self.count = int(count)
+        self.ndims = int(ndims)
+        self.layout = HilbertLayout(
+            curve=HilbertCurve(ndims, order),
+            key_levels=key_levels,
+            keys=keys,
+            permutation=np.empty(0, dtype=np.int64),
+        )
+
+    def nbytes(self) -> int:
+        """Store-payload size of the segment (what a full fetch costs)."""
+        return self.count * row_bytes(self.ndims)
+
+    def blob_size(self) -> int:
+        """Exact byte size of the segment's blob (header included)."""
+        return expected_file_size(self.count, self.ndims)
+
+
+def fetch_columns(
+    backend: BlobBackend,
+    key: str,
+    count: int,
+    ndims: int,
+    ranges: list[RowRange],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Fetch ``(ids, timecodes, fingerprints)`` for *ranges* of a blob.
+
+    Returns the gathered columns in range order — exactly what a
+    resident scan's ``store.column[rows]`` gather would produce for the
+    same rows — plus the number of payload bytes fetched.  Every
+    backend failure, including short (torn) reads, raises
+    :class:`~repro.errors.ColdFetchError` naming the segment.
+    """
+    offs = column_offsets(count, ndims)
+    total = sum(e - s for s, e in ranges)
+    fps = np.empty((total, ndims), dtype=np.uint8)
+    ids = np.empty(total, dtype=np.uint32)
+    tcs = np.empty(total, dtype=np.float64)
+    at = 0
+    fetched = 0
+    for s, e in ranges:
+        if not 0 <= s <= e <= count:
+            raise ColdFetchError(key, f"row range ({s}, {e}) out of bounds")
+        n = e - s
+        specs = (
+            (offs["fingerprints"] + s * ndims, n * ndims),
+            (offs["ids"] + s * 4, n * 4),
+            (offs["timecodes"] + s * 8, n * 8),
+        )
+        bufs = []
+        for offset, length in specs:
+            try:
+                data = backend.get_range(key, offset, length)
+            except Exception as exc:
+                raise ColdFetchError(key, f"backend read failed: {exc}") from exc
+            if len(data) != length:
+                raise ColdFetchError(
+                    key,
+                    f"torn read: got {len(data)} of {length} bytes "
+                    f"at offset {offset}",
+                )
+            bufs.append(data)
+            fetched += length
+        fps[at:at + n] = np.frombuffer(bufs[0], dtype=np.uint8).reshape(n, ndims)
+        ids[at:at + n] = np.frombuffer(bufs[1], dtype=np.uint32)
+        tcs[at:at + n] = np.frombuffer(bufs[2], dtype=np.float64)
+        at += n
+    return ids, tcs, fps, fetched
+
+
+def store_from_blob(key: str, data: bytes, count: int, ndims: int) -> FingerprintStore:
+    """Reconstruct a :class:`FingerprintStore` from full blob bytes.
+
+    Used by promotion and by compaction over cold inputs.  The blob is
+    the exact ``save()`` file layout; size and geometry are validated
+    against the manifest's record of the segment.
+    """
+    expected = expected_file_size(count, ndims)
+    if len(data) < expected:
+        raise ColdFetchError(
+            key, f"blob truncated: {len(data)} bytes, expected {expected}"
+        )
+    offs = column_offsets(count, ndims)
+    fp = np.frombuffer(
+        data, dtype=np.uint8, count=count * ndims, offset=offs["fingerprints"]
+    ).reshape(count, ndims)
+    ids = np.frombuffer(data, dtype=np.uint32, count=count, offset=offs["ids"])
+    tcs = np.frombuffer(
+        data, dtype=np.float64, count=count, offset=offs["timecodes"]
+    )
+    return FingerprintStore(
+        fingerprints=fp.copy(), ids=ids.copy(), timecodes=tcs.copy()
+    )

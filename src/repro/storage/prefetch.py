@@ -1,0 +1,102 @@
+"""Async prefetch of cold-segment byte ranges during batch execution.
+
+The batched engine knows, before it gathers a single row, exactly which
+coalesced row ranges of every segment it will scan — block selection
+needs no data (eq. (5)'s filtering step).  For cold segments that means
+the backend fetch can start **immediately** and overlap with the
+refinement of already-resident segments: the engine submits one fetch
+per cold segment up front, scans the resident segments, then collects.
+
+A fetch that completes before the engine asks for it is a **prefetch
+hit** (the backend latency was fully hidden); one the engine has to
+wait on is a **miss**.  The hit ratio is reported through the tier
+stats (`serve stats`, ``info --json``, ``tier status``).
+
+Failures are *not* raised from worker threads: they surface when the
+result is collected, as the :class:`~repro.errors.ColdFetchError` the
+fetch raised — so the engine (and ultimately the serving layer's
+retryable-error contract) sees them on the calling thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Optional
+
+
+class PrefetchHandle:
+    """One in-flight cold-segment fetch (a future plus hit accounting)."""
+
+    def __init__(self, future: Future, submitted_at: float):
+        self._future = future
+        self.submitted_at = submitted_at
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self):
+        """Block until the fetch finishes; re-raises its error."""
+        return self._future.result()
+
+
+class Prefetcher:
+    """Small thread pool issuing backend range fetches ahead of need.
+
+    Sized for overlap, not throughput: two-to-four threads hide the
+    latency of a handful of cold segments per batch without flooding a
+    rate-limited backend.  ``workers=0`` degrades to synchronous
+    fetching (``submit`` runs the thunk inline) — the behavior of
+    ``QueryOptions(prefetch="off")``.
+    """
+
+    def __init__(self, workers: int = 2):
+        self.workers = max(0, int(workers))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-prefetch",
+                )
+            return self._pool
+
+    def submit(self, fn: Callable, *args) -> PrefetchHandle:
+        """Start *fn(*args)* on the pool (or inline when ``workers=0``)."""
+        self.submitted += 1
+        if self.workers == 0:
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - delivered at collect
+                future.set_exception(exc)
+            return PrefetchHandle(future, time.perf_counter())
+        return PrefetchHandle(
+            self._ensure_pool().submit(fn, *args), time.perf_counter()
+        )
+
+    def collect(self, handle: PrefetchHandle):
+        """Wait for *handle* and score the hit/miss (raises fetch errors)."""
+        if handle.done():
+            self.hits += 1
+        else:
+            self.misses += 1
+        return handle.result()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)

@@ -197,3 +197,63 @@ def test_supervisor_endpoints_cover_every_replica(source, tmp_path):
     table = supervisor.endpoints()
     assert sorted(table) == [0, 1]
     assert all(len(reps) == 2 for reps in table.values())
+
+
+class TestTieredSource:
+    """Planning from and into tiered storage (docs/storage-tiers.md)."""
+
+    def _tiered_source(self, tmp_path):
+        from repro.storage import StorageConfig
+
+        directory = tmp_path / "src"
+        make_source(directory)
+        # Demote half the archive: planning must work without ever
+        # promoting a cold segment.
+        with SegmentedS3Index.open(
+            directory,
+            storage=StorageConfig(budget_bytes=None, cold_dir="cold"),
+        ) as index:
+            for seg in list(index._segments)[: NUM_SEGMENTS // 2]:
+                index.storage.demote(seg)
+        return directory
+
+    def test_plan_from_cold_source_materialises_hot_replicas(
+        self, tmp_path
+    ):
+        source_dir = self._tiered_source(tmp_path)
+        manifest = plan_cluster(source_dir, tmp_path / "c", num_shards=2)
+        for spec in manifest.shards:
+            for rel in spec.replicas:
+                replica_dir = tmp_path / "c" / rel
+                for a in spec.segments:
+                    assert (replica_dir / (a.name + ".store")).is_file()
+                with SegmentedS3Index.open(
+                    replica_dir, auto_compact=False
+                ) as replica:
+                    assert len(replica) == spec.rows
+        # The source's own tiers are untouched by planning.
+        src = Manifest.load(source_dir)
+        assert sum(s.tier == "cold" for s in src.segments) \
+            == NUM_SEGMENTS // 2
+
+    def test_replicas_inherit_tier_budget(self, tmp_path):
+        source_dir = self._tiered_source(tmp_path)
+        budget = 2 * ROWS_PER_SEGMENT * (NDIMS + 12)
+        manifest = plan_cluster(
+            source_dir, tmp_path / "c", num_shards=2,
+            storage_budget=budget,
+        )
+        for spec in manifest.shards:
+            replica_dir = tmp_path / "c" / spec.replicas[0]
+            stamped = Manifest.load(replica_dir)
+            assert stamped.storage["budget_bytes"] == budget
+            with SegmentedS3Index.open(
+                replica_dir, auto_compact=False
+            ) as replica:
+                info = replica.storage_info()
+                assert info["tiered"]
+                resident = (
+                    info["tiers"]["hot"]["bytes"]
+                    + info["tiers"]["warm"]["bytes"]
+                )
+                assert resident <= budget

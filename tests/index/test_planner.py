@@ -380,3 +380,41 @@ class TestExecutorIntegration:
         plan = ExecutorPlan("serial", 10)
         with pytest.raises(dataclasses.FrozenInstanceError):
             plan.strategy = "threads"
+
+
+class TestColdFetchTerm:
+    """The tiered-storage term of the cost model (docs/storage-tiers.md)."""
+
+    def test_cold_bytes_floor_every_strategy(self):
+        cal = make_calibration(cold_fetch_ns_per_byte=10.0)
+        local = cal.predict_ns(1000, workers=2)
+        # A cold fetch slower than every local strategy dominates all
+        # three predictions (overlap model: max, not sum).
+        heavy = cal.predict_ns(1000, workers=2, cold_bytes=10 ** 9)
+        assert all(heavy[s] == 10.0 * 10 ** 9 for s in heavy)
+        # A negligible cold share leaves the local predictions alone.
+        light = cal.predict_ns(1000, workers=2, cold_bytes=1)
+        assert light == pytest.approx(local)
+
+    def test_observe_cold_ema(self):
+        cal = make_calibration(cold_fetch_ns_per_byte=1.0)
+        # 1 MB in 10 ms = 10 ns/byte measured.
+        updated = cal.observe_cold(1_000_000, 0.01)
+        expected = 0.8 * 1.0 + 0.2 * 10.0
+        assert updated.cold_fetch_ns_per_byte == pytest.approx(expected)
+        assert updated.source == "observed"
+        assert updated.observations == cal.observations + 1
+
+    def test_observe_cold_ignores_tiny_batches(self):
+        cal = make_calibration(cold_fetch_ns_per_byte=1.0)
+        assert cal.observe_cold(100, 0.5) is cal
+        assert cal.observe_cold(10 ** 6, 0.0) is cal
+
+    def test_default_field_keeps_schema_compatibility(self):
+        # Sidecars written before the cold term existed must still
+        # parse: the field is defaulted and the schema unchanged.
+        cal = make_calibration()
+        payload = cal.to_json()
+        del payload["cold_fetch_ns_per_byte"]
+        again = Calibration.from_json(payload)
+        assert again.cold_fetch_ns_per_byte == 1.0

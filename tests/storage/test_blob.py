@@ -1,0 +1,104 @@
+"""Blob backend contract tests: atomicity, faults, key hygiene."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import BLOB_SUFFIX, BlobBackend, FakeBlobBackend, FileBlobBackend
+
+
+@pytest.fixture(params=["file", "fake"])
+def backend(request, tmp_path):
+    if request.param == "file":
+        return FileBlobBackend(tmp_path / "blobs")
+    return FakeBlobBackend()
+
+
+class TestBackendContract:
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(backend, BlobBackend)
+
+    def test_put_get_roundtrip(self, backend):
+        backend.put("seg-000001", b"hello blob")
+        assert backend.get("seg-000001") == b"hello blob"
+        assert backend.exists("seg-000001")
+        assert not backend.exists("seg-000099")
+
+    def test_get_range(self, backend):
+        backend.put("seg-000001", bytes(range(100)))
+        assert backend.get_range("seg-000001", 10, 5) == bytes(range(10, 15))
+        assert backend.get_range("seg-000001", 0, 100) == bytes(range(100))
+
+    def test_overwrite_replaces(self, backend):
+        backend.put("k", b"old")
+        backend.put("k", b"new longer payload")
+        assert backend.get("k") == b"new longer payload"
+
+    def test_missing_key_raises_storage_error(self, backend):
+        with pytest.raises(StorageError):
+            backend.get("seg-999999")
+        with pytest.raises(StorageError):
+            backend.get_range("seg-999999", 0, 10)
+
+    def test_delete_is_idempotent(self, backend):
+        backend.put("k", b"x")
+        backend.delete("k")
+        assert not backend.exists("k")
+        backend.delete("k")  # second delete is a no-op, not an error
+
+    def test_keys_sorted(self, backend):
+        for name in ("seg-000003", "seg-000001", "seg-000002"):
+            backend.put(name, b"x")
+        assert backend.keys() == ["seg-000001", "seg-000002", "seg-000003"]
+
+
+class TestFileBackend:
+    def test_put_leaves_no_tmp_file(self, tmp_path):
+        backend = FileBlobBackend(tmp_path / "blobs")
+        backend.put("seg-000001", b"payload")
+        names = [p.name for p in (tmp_path / "blobs").iterdir()]
+        assert names == ["seg-000001" + BLOB_SUFFIX]
+
+    @pytest.mark.parametrize("key", ["", "a/b", "../escape", ".hidden"])
+    def test_invalid_keys_rejected(self, tmp_path, key):
+        backend = FileBlobBackend(tmp_path / "blobs")
+        with pytest.raises(StorageError):
+            backend.put(key, b"x")
+        with pytest.raises(StorageError):
+            backend.get(key)
+
+    def test_keys_ignores_foreign_files(self, tmp_path):
+        backend = FileBlobBackend(tmp_path / "blobs")
+        backend.put("seg-000001", b"x")
+        (tmp_path / "blobs" / "notes.txt").write_text("not a blob")
+        assert backend.keys() == ["seg-000001"]
+
+
+class TestFakeBackendFaults:
+    def test_fail_reads_then_recovers(self):
+        backend = FakeBlobBackend()
+        backend.put("k", b"payload")
+        backend.fail_reads = 2
+        with pytest.raises(StorageError):
+            backend.get("k")
+        with pytest.raises(StorageError):
+            backend.get_range("k", 0, 4)
+        # The budget of injected failures is spent; reads work again.
+        assert backend.get("k") == b"payload"
+
+    def test_torn_reads_truncate_range_gets(self):
+        backend = FakeBlobBackend()
+        backend.put("k", bytes(range(64)))
+        backend.torn_reads = 1
+        torn = backend.get_range("k", 0, 64)
+        assert len(torn) == 32
+        assert backend.get_range("k", 0, 64) == bytes(range(64))
+
+    def test_counters(self):
+        backend = FakeBlobBackend()
+        backend.put("k", bytes(10))
+        backend.get("k")
+        backend.get_range("k", 0, 4)
+        assert backend.puts == 1
+        assert backend.gets == 1
+        assert backend.range_gets == 1
+        assert backend.bytes_read == 14

@@ -277,3 +277,84 @@ class TestBuildOptions:
         ])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTierCommands:
+    @pytest.fixture()
+    def tiered(self, workspace, tmp_path):
+        """A segmented directory with a budget that forces demotion."""
+        from repro.index.segmented import SegmentedS3Index
+        from repro.storage import StorageConfig
+
+        directory = tmp_path / "tiered"
+        assert main(["ingest", str(directory), str(workspace["store"]),
+                     "--sigma", "20", "--depth", "20", "--flush"]) == 0
+        assert main(["ingest", str(directory), str(workspace["store"]),
+                     "--flush"]) == 0
+        with SegmentedS3Index.open(
+            directory, storage=StorageConfig(budget_bytes=0)
+        ):
+            pass
+        return directory
+
+    def test_tier_status(self, tiered, capsys):
+        assert main(["tier", "status", str(tiered)]) == 0
+        out = capsys.readouterr().out
+        assert "tiered storage attached" in out
+        assert "cold: 2 segment(s)" in out
+
+    def test_tier_status_json(self, tiered, capsys):
+        import json
+
+        assert main(["tier", "status", str(tiered), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tiered"] is True
+        assert payload["tiers"]["cold"]["segments"] == 2
+        assert payload["manager"]["budget_bytes"] == 0
+
+    def test_info_survives_cold_segments(self, tiered, capsys):
+        import json
+
+        assert main(["info", str(tiered)]) == 0
+        assert "[cold]" in capsys.readouterr().out
+        assert main(["info", "--json", str(tiered)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(seg["bytes"] > 0 for seg in payload["segments"])
+        assert all(seg["tier"] == "cold" for seg in payload["segments"])
+
+    def test_tier_attach_persists_and_demotes(self, workspace, tmp_path,
+                                              capsys):
+        import json
+
+        directory = tmp_path / "attach"
+        assert main(["ingest", str(directory), str(workspace["store"]),
+                     "--sigma", "20", "--flush"]) == 0
+        assert main(["tier", "attach", str(directory),
+                     "--storage-budget", "0"]) == 0
+        assert "demotion(s)" in capsys.readouterr().out
+        # The config persisted: a plain status reopen sees cold tiers.
+        assert main(["tier", "status", str(directory), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tiered"] is True
+        assert payload["manager"]["budget_bytes"] == 0
+        assert payload["tiers"]["cold"]["segments"] == 1
+
+    def test_tier_attach_requires_a_flag(self, tiered, capsys):
+        assert main(["tier", "attach", str(tiered)]) == 2
+        assert "--storage-budget" in capsys.readouterr().err
+
+    def test_query_against_cold_tiers(self, tiered, capsys):
+        assert main(["query", str(tiered), "--from-row", "3",
+                     "--alpha", "0.8"]) == 0
+        assert "results" in capsys.readouterr().out
+
+    def test_storage_budget_parse_rejects_garbage(self, tiered, capsys):
+        code = main(["serve", str(tiered), "--storage-budget", "lots"])
+        assert code == 2
+        assert "byte size" in capsys.readouterr().err
+
+    def test_storage_budget_rejected_on_monolithic(self, workspace, capsys):
+        code = main(["serve", str(workspace["index"]),
+                     "--storage-budget", "64M"])
+        assert code == 2
+        assert "segmented" in capsys.readouterr().err
