@@ -1,0 +1,84 @@
+"""Pipelined ingest — group commit, storm p99 and snapshot isolation.
+
+Acceptance gates for the pipelined ingest path: sustained acknowledged
+ingest throughput under ``durability="group"`` must be at least 3x the
+per-request-fsync baseline (``"always"``); query p99 while the
+maintenance worker seals and compacts in the background must stay
+within 2x the quiesced p99 over the same sweeps; and every answer
+during the storm must be bit-identical (as a multiset of records) to
+the quiesced run.  The run refreshes ``BENCH_ingest_pipeline.json`` at
+the repo root — the machine-readable throughput/latency record later
+PRs regress against (schema in ``docs/segmented-index.md``).
+
+``python benchmarks/bench_ingest_pipeline.py --smoke`` runs a
+scaled-down version without pytest-benchmark — the CI ``ingest-smoke``
+gate: all three gates must hold.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_ingest_pipeline_gates(benchmark, capsys):
+    from conftest import run_and_report
+
+    from repro.experiments import (
+        run_ingest_pipeline,
+        write_ingest_pipeline_json,
+    )
+    from repro.experiments.ingest_pipeline import (
+        MAX_P99_RATIO,
+        MIN_GROUP_SPEEDUP,
+    )
+
+    def _suite():
+        result = run_ingest_pipeline(db_rows=12_000, seed=0)
+        write_ingest_pipeline_json(
+            result, REPO_ROOT / "BENCH_ingest_pipeline.json"
+        )
+        return result
+
+    result = run_and_report(benchmark, capsys, _suite)
+    # Group commit must carry its weight under concurrent writers...
+    assert result.group_speedup >= MIN_GROUP_SPEEDUP
+    assert result.group_commits > 0
+    # ...the storm must actually have churned in the background...
+    assert result.storm_seals > 0
+    assert result.storm_compactions > 0
+    # ...without queries paying for it, or seeing it.
+    assert result.p99_ratio <= MAX_P99_RATIO
+    assert result.bit_identical
+
+
+def _smoke() -> int:
+    """Scaled-down CI gate: all three ingest-pipeline gates must hold."""
+    from repro.experiments import run_ingest_pipeline
+
+    result = run_ingest_pipeline(
+        db_rows=4_000,
+        ingest_threads=24,
+        requests_per_thread=24,
+        num_queries=12,
+        storm_sweeps=4,
+        storm_segments=6,
+        seed=0,
+    )
+    print(result.render())
+    failures = []
+    if result.gate_status() != "passed":
+        failures.append(result.gate_status())
+    if result.storm_seals == 0 or result.storm_compactions == 0:
+        failures.append("maintenance worker did no background work")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--smoke" in argv:
+        raise SystemExit(_smoke())
+    print(__doc__)
+    raise SystemExit(2)

@@ -50,7 +50,12 @@ from .distortion.model import NormalDistortionModel
 from .errors import ConfigurationError, ReproError
 from .fingerprint.extractor import FingerprintExtractor
 from .index.batch import BatchQueryExecutor
-from .index.options import EXECUTOR_STRATEGIES, PREFILTER_MODES, QueryOptions
+from .index.options import (
+    EXECUTOR_STRATEGIES,
+    PREFILTER_MODES,
+    QueryOptions,
+    validate_durability,
+)
 from .index.planner import PLANNER_MODES
 from .index.s3 import S3Index
 from .index.segmented import CompactionPolicy, Manifest, SegmentedS3Index
@@ -91,6 +96,9 @@ def _validate_common_args(args: argparse.Namespace) -> None:
         raise ConfigurationError(
             f"--alpha must be in (0, 1], got {alpha}"
         )
+    durability = getattr(args, "durability", None)
+    if durability is not None:
+        validate_durability(durability, api="--durability")
 
 
 def _parse_bytes(text: str) -> int:
@@ -198,7 +206,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _load_index(
-    path: str, mmap: bool = False, storage=None
+    path: str, mmap: bool = False, storage=None, durability=None
 ) -> "S3Index | SegmentedS3Index":
     """Open *path* as a segmented directory or a static index prefix.
 
@@ -208,9 +216,14 @@ def _load_index(
     ``storage`` (a :class:`repro.storage.StorageConfig`) attaches tiered
     segment storage; directories whose manifest already records a
     storage block attach it automatically even when ``storage=None``.
+    ``durability`` selects the WAL fsync policy of the ingest path
+    (segmented directories only; static indexes have no WAL and
+    silently ignore it).
     """
     if Path(path).is_dir():
-        return SegmentedS3Index.open(path, mmap=mmap, storage=storage)
+        return SegmentedS3Index.open(
+            path, mmap=mmap, storage=storage, durability=durability
+        )
     if storage is not None:
         raise ConfigurationError(
             "--storage-budget/--cold-dir apply to segmented index "
@@ -346,12 +359,14 @@ def _segmented_info(directory: Path) -> int:
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
+    validate_durability(args.durability, api="--durability")
     directory = Path(args.directory)
     stores = [FingerprintStore.load(path) for path in args.stores]
     if Manifest.exists(directory):
         index = SegmentedS3Index.open(
             directory, flush_rows=args.memtable_rows,
             policy=CompactionPolicy(max_segments=args.max_segments),
+            durability=args.durability,
         )
     else:
         ndims = args.ndims if args.ndims is not None else stores[0].ndims
@@ -360,6 +375,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             model=NormalDistortionModel(ndims, args.sigma),
             flush_rows=args.memtable_rows,
             policy=CompactionPolicy(max_segments=args.max_segments),
+            durability=args.durability,
         )
         print(f"created segmented index at {directory} "
               f"(ndims={ndims}, depth={index.depth})")
@@ -469,7 +485,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # mmap: the server is long-lived, and file-backed stores let the
     # scan worker processes attach segments without copying them.
     storage = _storage_config(args)
-    index = _load_index(args.index, mmap=True, storage=storage)
+    index = _load_index(
+        args.index, mmap=True, storage=storage,
+        durability=args.durability,
+    )
     cache_kwargs = {}
     if args.cache_capacity is not None:
         cache_kwargs["cache_capacity"] = args.cache_capacity
@@ -482,6 +501,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=args.cache,
         storage_budget=None if storage is None else storage.budget_bytes,
         cold_dir=None if storage is None else storage.cold_dir,
+        durability=args.durability,
+        maintenance=not args.no_maintenance,
+        backpressure_rows=args.backpressure_rows,
+        compact_mb_per_s=args.compact_mb_per_s,
         options=_query_options(args),
         **cache_kwargs,
     )
@@ -754,6 +777,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compaction trigger (segment-count cap)")
     p.add_argument("--flush", action="store_true",
                    help="seal the memtable after ingesting")
+    p.add_argument("--durability", default="group",
+                   help="WAL fsync policy: always (fsync every append), "
+                        "group (one fsync per batch of concurrent "
+                        "appends; default), async (no fsync — fastest, "
+                        "a crash can lose the unsealed tail)")
     p.set_defaults(func=_cmd_ingest)
 
     p = sub.add_parser(
@@ -880,6 +908,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port-file", default=None,
                    help="write the bound port here after startup "
                         "(atomically; used by the cluster supervisor)")
+    p.add_argument("--durability", default="group",
+                   help="WAL fsync policy for ingest: always / group "
+                        "(default; concurrent appends share one fsync) "
+                        "/ async (see `ingest --help`)")
+    p.add_argument("--no-maintenance", action="store_true",
+                   help="run seal/compaction inline on the write path "
+                        "instead of the background maintenance worker "
+                        "(debugging aid; stalls are visible in "
+                        "stats.batcher.engine_stall)")
+    p.add_argument("--backpressure-rows", type=int, default=None,
+                   help="unsealed rows above which ingest is shed with "
+                        "the retryable `unavailable` code (default: "
+                        "4x the memtable seal threshold)")
+    p.add_argument("--compact-mb-per-s", type=float, default=None,
+                   help="background-compaction I/O rate limit "
+                        "(default: unlimited)")
     p.set_defaults(func=_cmd_serve, batch_size=None)
 
     p = sub.add_parser(

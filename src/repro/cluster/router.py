@@ -360,6 +360,11 @@ class ClusterRouter(SocketFrameServer):
         self._dirty: set[int] = set()
         self._ready = False
         self.ingest_rows = 0
+        # Replica ingest refusals carrying the retryable ``unavailable``
+        # code — shard-side backpressure sheds (the shard's background
+        # seal/compaction fell behind), distinct from replicas that were
+        # simply unreachable.
+        self.ingest_shed = 0
         self.queries_routed = Counter()
         # Per-shard wire-result LRUs.  Shard answers over the planned
         # (immutable) data repeat heavily under monitoring traffic; a
@@ -716,6 +721,11 @@ class ClusterRouter(SocketFrameServer):
                     acks += 1
                 except WireOpError as exc:
                     misses += 1
+                    if exc.code == protocol.ERR_UNAVAILABLE:
+                        # Shard-side ingest backpressure (or a cold
+                        # fetch outage): retryable, and worth counting
+                        # separately from dead replicas.
+                        self.ingest_shed += 1
                     error = exc
             if not acks:
                 assert error is not None
@@ -761,6 +771,7 @@ class ClusterRouter(SocketFrameServer):
                 "total_rows": self.manifest.total_rows,
                 "queries_routed": self.queries_routed.total,
                 "ingest_rows": self.ingest_rows,
+                "ingest_shed": self.ingest_shed,
                 "dirty_shards": sorted(self._dirty),
                 "cache": {
                     "enabled": self.config.cache_enabled,

@@ -49,6 +49,22 @@ class StorageError(ReproError):
     """
 
 
+class IngestBackpressure(ReproError):
+    """The ingest path is shedding load until maintenance catches up.
+
+    Raised by :meth:`SegmentedS3Index.add` when unsealed rows (active +
+    frozen memtables) exceed the configured backpressure threshold or
+    the background maintenance queue is full.  Transient by design: the
+    serving layer maps it to the retryable wire code ``unavailable``,
+    so clients back off and resend instead of stalling the engine lane
+    behind an inline seal.
+    """
+
+    def __init__(self, message: str, pending_rows: int = 0):
+        super().__init__(message)
+        self.pending_rows = int(pending_rows)
+
+
 class ColdFetchError(StorageError):
     """A cold segment's bytes could not be fetched from the blob backend.
 

@@ -26,6 +26,11 @@ from .fig56_alpha_sweep import Fig56Result, run_fig56
 from .fig7_scaling import Fig7Result, run_fig7
 from .fig8_dbsize_abacus import Fig8Result, run_fig8
 from .fig9_alpha_abacus import Fig9Result, run_fig9
+from .ingest_pipeline import (
+    IngestPipelineResult,
+    run_ingest_pipeline,
+    write_ingest_pipeline_json,
+)
 from .parallel_scan import (
     ParallelScanBenchResult,
     ParallelScanSuiteResult,
@@ -61,6 +66,7 @@ __all__ = [
     "Fig7Result",
     "Fig8Result",
     "Fig9Result",
+    "IngestPipelineResult",
     "ParallelScanBenchResult",
     "ParallelScanSuiteResult",
     "SegmentedIngestResult",
@@ -86,6 +92,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_ingest_pipeline",
     "run_parallel_scan",
     "run_parallel_scan_suite",
     "run_prefilter",
@@ -96,6 +103,7 @@ __all__ = [
     "run_table1",
     "sweep_transforms",
     "sweep_transforms_shared",
+    "write_ingest_pipeline_json",
     "write_prefilter_json",
     "write_storage_tiers_json",
 ]

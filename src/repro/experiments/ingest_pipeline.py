@@ -1,0 +1,461 @@
+"""Pipelined ingest — group commit, background compaction, pinned reads.
+
+The deployment loop of the paper's §V-D setting never stops writing:
+every monitored broadcast hour appends fingerprints while queries keep
+arriving.  PR 10 rebuilt that write path around three mechanisms, and
+this experiment scores each against its acceptance gate:
+
+* **WAL group commit** (:mod:`repro.index.segmented.wal`) — concurrent
+  appends coalesce into one ``write + fsync``, so the acknowledged
+  durable ingest rate scales with the fsync *batch* size instead of the
+  fsync latency.  Measured as sustained acknowledged requests/second
+  from ``ingest_threads`` writer threads under ``durability="group"``
+  versus the per-request-fsync baseline (``"always"``); the gate
+  requires **>= :data:`MIN_GROUP_SPEEDUP` x**.
+* **Background seal/compaction**
+  (:mod:`repro.index.segmented.maintenance`) — the heavy jobs run on
+  the maintenance worker while queries scan pinned snapshot views.  The
+  storm phase seeds a multi-segment archive plus an unsealed memtable
+  tail, then asks the worker to seal and (policy-driven, over the cap)
+  merge nearly every segment while the foreground thread sweeps a fixed
+  query set.  The gate requires the storm p99 within
+  **:data:`MAX_P99_RATIO` x** of the quiesced p99 of the same sweeps.
+* **Snapshot-isolated reads** — every sweep during the storm must
+  return exactly the quiesced answer.  Seals and compactions re-sort
+  rows along the Hilbert curve, so physical row numbers legitimately
+  move; answers are compared as multisets of
+  ``(id, timecode, fingerprint bytes)``, the paper-level contract (the
+  same records match, byte for byte).
+
+Results serialise to ``BENCH_ingest_pipeline.json`` (schema 1, shared
+host block) — the machine-readable record CI's ``ingest-smoke`` job and
+later PRs regress against.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..distortion.model import NormalDistortionModel
+from ..index.segmented import (
+    CompactionPolicy,
+    MaintenanceConfig,
+    SegmentedS3Index,
+)
+from ..rng import SeedLike, resolve_rng
+from ..serve.metrics import percentile
+from .common import format_table, host_block
+
+SCHEMA_VERSION = 1
+
+NDIMS = 20
+
+#: Acceptance gate: group commit must lift sustained acknowledged
+#: ingest throughput by at least this factor over per-request fsync.
+MIN_GROUP_SPEEDUP = 3.0
+
+#: Acceptance gate: query p99 during the forced compaction storm must
+#: stay within this factor of the quiesced p99.
+MAX_P99_RATIO = 2.0
+
+#: Per-record WAL/store footprint used to size the compaction throttle
+#: (fingerprint bytes + id + timecode — matches the maintenance
+#: worker's own rate-limit accounting).
+_ROW_BYTES = NDIMS + 4 + 8
+
+
+@dataclass
+class IngestPipelineResult:
+    """Throughput, latency-under-storm and equivalence of one run."""
+
+    db_rows: int
+    ingest_threads: int
+    request_rows: int
+    requests_per_thread: int
+    num_queries: int
+    storm_sweeps: int
+    alpha: float
+    sigma: float
+    depth: int
+    always_seconds: float
+    group_seconds: float
+    group_commits: int
+    group_appends: int
+    quiesced_p50_ms: float
+    quiesced_p99_ms: float
+    storm_p50_ms: float
+    storm_p99_ms: float
+    storm_compactions: int
+    storm_seals: int
+    bit_identical: bool
+
+    @property
+    def total_requests(self) -> int:
+        return self.ingest_threads * self.requests_per_thread
+
+    @property
+    def always_qps(self) -> float:
+        """Acknowledged ingest requests/second under per-append fsync."""
+        return self.total_requests / max(self.always_seconds, 1e-9)
+
+    @property
+    def group_qps(self) -> float:
+        """Acknowledged ingest requests/second under group commit."""
+        return self.total_requests / max(self.group_seconds, 1e-9)
+
+    @property
+    def group_speedup(self) -> float:
+        return self.group_qps / max(self.always_qps, 1e-9)
+
+    @property
+    def mean_group_size(self) -> float:
+        """Appends acknowledged per fsync under group commit."""
+        if self.group_commits == 0:
+            return 0.0
+        return self.group_appends / self.group_commits
+
+    @property
+    def p99_ratio(self) -> float:
+        return self.storm_p99_ms / max(self.quiesced_p99_ms, 1e-9)
+
+    def gate_status(self) -> str:
+        failures = []
+        if self.group_speedup < MIN_GROUP_SPEEDUP:
+            failures.append(
+                f"group-commit speedup {self.group_speedup:.1f}x < "
+                f"{MIN_GROUP_SPEEDUP:.0f}x"
+            )
+        if self.p99_ratio > MAX_P99_RATIO:
+            failures.append(
+                f"storm p99 {self.p99_ratio:.2f}x quiesced > "
+                f"{MAX_P99_RATIO:.0f}x"
+            )
+        if not self.bit_identical:
+            failures.append("storm results diverge from quiesced")
+        return "passed" if not failures else "failed (" + "; ".join(
+            failures
+        ) + ")"
+
+    def render(self) -> str:
+        durability = format_table(
+            ["durability", "total s", "acked req/s", "rows/s"],
+            [
+                ("always (fsync per append)", self.always_seconds,
+                 self.always_qps, self.always_qps * self.request_rows),
+                ("group (coalesced fsync)", self.group_seconds,
+                 self.group_qps, self.group_qps * self.request_rows),
+            ],
+            title=(
+                f"WAL group commit — {self.ingest_threads} writers x "
+                f"{self.requests_per_thread} requests x "
+                f"{self.request_rows} rows"
+            ),
+        )
+        storm = format_table(
+            ["phase", "p50 ms", "p99 ms"],
+            [
+                ("quiesced", self.quiesced_p50_ms, self.quiesced_p99_ms),
+                ("compaction storm", self.storm_p50_ms, self.storm_p99_ms),
+            ],
+            title=(
+                f"Query latency under background maintenance — "
+                f"{self.storm_sweeps} sweeps x {self.num_queries} queries "
+                f"racing {self.storm_seals} background seal(s) and "
+                f"{self.storm_compactions} compaction(s)"
+            ),
+        )
+        return (
+            durability
+            + f"\ngroup speedup: {self.group_speedup:.1f}x "
+            f"(mean {self.mean_group_size:.1f} appends/fsync)\n\n"
+            + storm
+            + f"\np99 ratio: {self.p99_ratio:.2f}x; "
+            f"bit-identical to quiesced: {self.bit_identical}\n"
+            f"gate: {self.gate_status()}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "config": {
+                "db_rows": self.db_rows,
+                "ingest_threads": self.ingest_threads,
+                "request_rows": self.request_rows,
+                "requests_per_thread": self.requests_per_thread,
+                "num_queries": self.num_queries,
+                "storm_sweeps": self.storm_sweeps,
+                "alpha": self.alpha,
+                "sigma": self.sigma,
+                "ndims": NDIMS,
+                "depth": self.depth,
+            },
+            "timing": {
+                "always_seconds": self.always_seconds,
+                "group_seconds": self.group_seconds,
+                "quiesced_p50_ms": self.quiesced_p50_ms,
+                "quiesced_p99_ms": self.quiesced_p99_ms,
+                "storm_p50_ms": self.storm_p50_ms,
+                "storm_p99_ms": self.storm_p99_ms,
+            },
+            "throughput": {
+                "always_qps": self.always_qps,
+                "group_qps": self.group_qps,
+                "group_speedup": self.group_speedup,
+                "min_group_speedup": MIN_GROUP_SPEEDUP,
+                "group_commits": self.group_commits,
+                "group_appends": self.group_appends,
+                "mean_group_size": self.mean_group_size,
+            },
+            "storm": {
+                "sweeps": self.storm_sweeps,
+                "compactions": self.storm_compactions,
+                "seals": self.storm_seals,
+                "p99_ratio": self.p99_ratio,
+                "max_p99_ratio": MAX_P99_RATIO,
+            },
+            "equivalence": {"bit_identical": self.bit_identical},
+            "gate": self.gate_status(),
+        }
+
+
+def write_ingest_pipeline_json(result: IngestPipelineResult, path) -> Path:
+    """Write the machine-readable run record (schema 1)."""
+    path = Path(path)
+    payload = {
+        "benchmark": "ingest_pipeline",
+        "schema_version": SCHEMA_VERSION,
+        "host": host_block(),
+        **result.to_json(),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def _make_batches(
+    total_rows: int, request_rows: int, rng: np.random.Generator
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Pre-generate ingest request payloads (clustered fingerprints)."""
+    num_centers = max(total_rows // 1000, 16)
+    centers = rng.integers(25, 231, size=(num_centers, NDIMS)).astype(
+        np.float64
+    )
+    batches = []
+    offset = 0
+    while offset < total_rows:
+        rows = min(request_rows, total_rows - offset)
+        assign = rng.integers(0, num_centers, size=rows)
+        fingerprints = np.clip(
+            centers[assign] + rng.normal(0.0, 12.0, size=(rows, NDIMS)),
+            0.0, 255.0,
+        ).astype(np.uint8)
+        ids = rng.integers(0, 64, size=rows).astype(np.uint32)
+        timecodes = np.arange(offset, offset + rows, dtype=np.float64)
+        batches.append((fingerprints, ids, timecodes))
+        offset += rows
+    return batches
+
+
+def _timed_concurrent_ingest(
+    index: SegmentedS3Index,
+    batches: list,
+    ingest_threads: int,
+) -> float:
+    """Drive *batches* through ``index.add`` from many writer threads.
+
+    Round-robin assignment, a barrier start, and a join — the measured
+    window covers exactly the acknowledged (WAL-durable) appends.
+    """
+    per_thread = [batches[i::ingest_threads] for i in range(ingest_threads)]
+    barrier = threading.Barrier(ingest_threads + 1)
+    errors: list[BaseException] = []
+
+    def _writer(work):
+        barrier.wait()
+        try:
+            for fingerprints, ids, timecodes in work:
+                index.add(fingerprints, ids, timecodes)
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=_writer, args=(work,), daemon=True)
+        for work in per_thread
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    seconds = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    return seconds
+
+
+def _result_key(result) -> tuple:
+    """Order-free identity of one query's answer.
+
+    Seals and compactions legitimately renumber physical rows (the new
+    segment is re-sorted along the curve), so equivalence is the
+    multiset of matched records, each pinned down to the byte.
+    """
+    records = sorted(
+        (int(i), float(t), np.asarray(f, dtype=np.uint8).tobytes())
+        for i, t, f in zip(
+            result.ids, result.timecodes, result.fingerprints
+        )
+    )
+    return tuple(records)
+
+
+def run_ingest_pipeline(
+    db_rows: int = 12_000,
+    ingest_threads: int = 24,
+    request_rows: int = 8,
+    requests_per_thread: int = 80,
+    num_queries: int = 24,
+    storm_sweeps: int = 6,
+    storm_segments: int = 8,
+    alpha: float = 0.8,
+    sigma: float = 18.0,
+    seed: SeedLike = 0,
+    directory: Optional[Path] = None,
+) -> IngestPipelineResult:
+    """Score the pipelined ingest path against its three gates.
+
+    Phase 1 (durability): ``ingest_threads`` writers push identical
+    request streams through ``durability="always"`` and ``"group"``
+    indexes; both acknowledge only WAL-durable appends, so the ratio is
+    pure group-commit effect.  Phase 2 (storm): an archive of
+    ``storm_segments`` sealed segments plus an unsealed memtable tail
+    answers ``storm_sweeps`` sweeps of a fixed query set while the
+    maintenance worker seals the tail and merges the over-cap segment
+    set (throttled so the churn spans the sweeps); per-query latencies
+    and answers are compared against quiesced sweeps over the same
+    records.
+    """
+    rng = resolve_rng(seed)
+    with tempfile.TemporaryDirectory(
+        prefix="s3-ingest-pipe-", dir=directory
+    ) as tmp:
+        tmp = Path(tmp)
+        model = NormalDistortionModel(NDIMS, sigma)
+        total_requests = ingest_threads * requests_per_thread
+        batches = _make_batches(
+            total_requests * request_rows, request_rows, rng
+        )
+
+        # --- phase 1: group commit vs per-append fsync ----------------
+        timings = {}
+        group_commits = group_appends = 0
+        for mode in ("always", "group"):
+            with SegmentedS3Index.create(
+                tmp / f"wal-{mode}", ndims=NDIMS, model=model,
+                flush_rows=10 ** 9, auto_compact=False, durability=mode,
+            ) as index:
+                timings[mode] = _timed_concurrent_ingest(
+                    index, batches, ingest_threads
+                )
+                if mode == "group":
+                    wal_stats = index.ingest_info()["wal"]
+                    group_commits = wal_stats["group_commits"]
+                    group_appends = wal_stats["appends"]
+
+        # --- phase 2: queries racing background seal + compaction -----
+        # storm_segments sealed segments (flush_rows-sized adds seal
+        # inline — maintenance is not running yet) plus a half-batch
+        # memtable tail left unsealed for the worker.  max_segments=2
+        # puts the set far over the cap, so one request_compact merges
+        # nearly everything in a single big policy-driven step.
+        seg_rows = max(db_rows // storm_segments, 64)
+        storm_batches = _make_batches(
+            seg_rows * storm_segments + seg_rows // 2, seg_rows, rng
+        )
+        index = SegmentedS3Index.create(
+            tmp / "storm", ndims=NDIMS, model=model,
+            flush_rows=seg_rows,
+            policy=CompactionPolicy(max_segments=2),
+            auto_compact=False, durability="async",
+        )
+        for fingerprints, ids, timecodes in storm_batches:
+            index.add(fingerprints, ids, timecodes)
+        depth = index.depth
+
+        all_fp = np.concatenate([b[0] for b in storm_batches])
+        picks = rng.integers(0, all_fp.shape[0], size=num_queries)
+        queries = np.clip(
+            all_fp[picks].astype(np.float64)
+            + model.sample(num_queries, rng=rng),
+            0.0, 255.0,
+        )
+
+        def _sweep() -> tuple[list, list[float]]:
+            answers, latencies = [], []
+            for q in queries:
+                index.reset_threshold_cache()
+                t0 = time.perf_counter()
+                answers.append(index.statistical_query(q, alpha))
+                latencies.append(time.perf_counter() - t0)
+            return answers, latencies
+
+        # Quiesced reference: same records, no maintenance running.
+        quiesced, quiesced_lat = _sweep()
+        for _ in range(storm_sweeps - 1):
+            quiesced_lat.extend(_sweep()[1])
+        quiesced_keys = [_result_key(a) for a in quiesced]
+
+        # Throttle the worker's big merge to roughly span the sweeps,
+        # so the foreground queries genuinely race an in-flight
+        # compaction rather than sampling before/after it.
+        quiesced_seconds = sum(quiesced_lat)
+        merge_mb = len(index) * _ROW_BYTES / 1e6
+        rate = merge_mb / max(quiesced_seconds, 1e-3)
+        worker = index.start_maintenance(
+            MaintenanceConfig(compact_mb_per_s=rate)
+        )
+        worker.request_seal()
+        worker.request_compact()
+
+        storm_lat: list[float] = []
+        bit_identical = True
+        for _ in range(storm_sweeps):
+            answers, lat = _sweep()
+            storm_lat.extend(lat)
+            bit_identical = bit_identical and all(
+                _result_key(a) == k for a, k in zip(answers, quiesced_keys)
+            )
+        worker.drain()
+        seals = worker.seals
+        compactions = worker.compactions
+        index.close()
+
+        return IngestPipelineResult(
+            db_rows=len(all_fp),
+            ingest_threads=ingest_threads,
+            request_rows=request_rows,
+            requests_per_thread=requests_per_thread,
+            num_queries=num_queries,
+            storm_sweeps=storm_sweeps,
+            alpha=alpha,
+            sigma=sigma,
+            depth=depth,
+            always_seconds=timings["always"],
+            group_seconds=timings["group"],
+            group_commits=group_commits,
+            group_appends=group_appends,
+            quiesced_p50_ms=percentile(quiesced_lat, 50.0) * 1e3,
+            quiesced_p99_ms=percentile(quiesced_lat, 99.0) * 1e3,
+            storm_p50_ms=percentile(storm_lat, 50.0) * 1e3,
+            storm_p99_ms=percentile(storm_lat, 99.0) * 1e3,
+            storm_compactions=compactions,
+            storm_seals=seals,
+            bit_identical=bit_identical,
+        )

@@ -56,10 +56,12 @@ from .filtering import (
 )
 from .knn import knn_query
 from .options import (
+    DURABILITY_MODES,
     EXECUTOR_STRATEGIES,
     PREFILTER_MODES,
     QueryOptions,
     resolve_options,
+    validate_durability,
 )
 from .pseudodisk import BatchStats, PseudoDiskSearcher, auto_batch_size
 from .s3 import QueryStats, S3Index, SearchResult
@@ -122,6 +124,7 @@ __all__ = [
     "ClusteringSummary",
     "CompactionPolicy",
     "CompactionResult",
+    "DURABILITY_MODES",
     "DepthProfile",
     "EXECUTOR_STRATEGIES",
     "FingerprintStore",
@@ -163,6 +166,7 @@ __all__ = [
     "statistical_blocks_cached",
     "statistical_blocks_multi",
     "threshold_cache_key",
+    "validate_durability",
     "window_blocks",
     "tune_depth",
 ]

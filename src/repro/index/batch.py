@@ -494,7 +494,12 @@ def query_batch_segmented(
             )
         return per_ranges, skipped_q, blocks_q
 
-    segments = index._segments
+    # Pin one snapshot view for the whole batch: the segment set, the
+    # frozen memtables and the active-memtable length all come from the
+    # same instant, so a background seal or compaction switching the
+    # live view mid-batch can neither drop nor double-count rows.
+    view = index._read_view()
+    segments = list(view.segments)
     storage = getattr(index, "storage", None)
     # Block selection needs no store bytes (resident keys sidecars for
     # cold segments), so every segment's pruned per-query ranges — and
@@ -585,8 +590,18 @@ def query_batch_segmented(
             if seg_unions[i]:
                 storage.touch(seg)
 
-    mem_rows = [index._memtable.scan_selection(sel) for sel in selections]
-    mem_parts = [index._memtable.take(rows) for rows in mem_rows]
+    # Memtable scans — frozen memtables (oldest first) then the active
+    # one, each bounded to the rows the pinned view captured.
+    mem_tables = [(f.memtable, f.rows) for f in view.frozen]
+    mem_tables.append((view.memtable, view.memtable_rows))
+    mem_scans = []
+    for memtable, limit in mem_tables:
+        rows_q = [
+            memtable.scan_selection(sel, limit=limit) for sel in selections
+        ]
+        parts_q = [memtable.take(rows) for rows in rows_q]
+        mem_scans.append((rows_q, parts_q, limit))
+    memtable_rows = sum(limit for _, _, limit in mem_scans)
     t2 = time.perf_counter()
 
     filter_share = (t1 - t0) / num
@@ -620,11 +635,13 @@ def query_batch_segmented(
             fps_parts.append(fps)
             stats.per_segment.append(seg_stats)
             base += seg.meta.count
-        mem = mem_parts[qi]
-        rows_parts.append(mem_rows[qi] + base)
-        ids_parts.append(mem.ids)
-        tcs_parts.append(mem.timecodes)
-        fps_parts.append(mem.fingerprints)
+        for rows_q, parts_q, limit in mem_scans:
+            mem = parts_q[qi]
+            rows_parts.append(rows_q[qi] + base)
+            ids_parts.append(mem.ids)
+            tcs_parts.append(mem.timecodes)
+            fps_parts.append(mem.fingerprints)
+            base += limit
 
         merged = SearchResult(
             rows=np.concatenate(rows_parts),
@@ -634,13 +651,13 @@ def query_batch_segmented(
             stats=stats,
         )
         stats.segments_scanned = len(segments)
-        stats.memtable_rows_scanned = len(index._memtable)
+        stats.memtable_rows_scanned = memtable_rows
         stats.sections_scanned = sum(
             s.sections_scanned for s in stats.per_segment
         )
         stats.rows_scanned = (
             sum(s.rows_scanned for s in stats.per_segment)
-            + len(index._memtable)
+            + memtable_rows
         )
         stats.results = len(merged)
         stats.refine_seconds = scan_share
@@ -651,7 +668,9 @@ def query_batch_segmented(
     batch.logical_rows = sum(len(r) for r in results)
     batch.unique_rows = (
         sum(s[2] for s in seg_scans)
-        + sum(int(r.size) for r in mem_rows)
+        + sum(
+            int(r.size) for rows_q, _, _ in mem_scans for r in rows_q
+        )
     )
     batch.segments_skipped = sum(
         sum(int(f) for f in p[1]) for p in seg_pruned

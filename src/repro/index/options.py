@@ -47,6 +47,31 @@ PREFILTER_MODES = ("auto", "on", "off")
 #: that dislike concurrency).  Results are bit-identical either way.
 PREFETCH_MODES = ("auto", "off")
 
+#: WAL durability modes of the ingest path (canonical definition in
+#: :mod:`repro.index.segmented.wal`, re-exported here alongside the
+#: other front-end knob vocabularies).  ``"always"`` fsyncs every
+#: append, ``"group"`` coalesces concurrent appends into one fsync
+#: (durable-on-ack, the serving default), ``"async"`` never fsyncs.
+DURABILITY_MODES = ("always", "group", "async")
+
+
+def validate_durability(value: str, api: str = "durability") -> str:
+    """Return *value* if it is a durability mode, else raise with help.
+
+    The shared friendly validation behind ``repro-s3 ingest
+    --durability``, ``repro-s3 serve --durability`` and
+    :class:`~repro.serve.server.ServeConfig`.
+    """
+    if value in DURABILITY_MODES:
+        return value
+    raise ConfigurationError(
+        f"{api}: unknown durability mode {value!r} — pick one of "
+        f"{', '.join(DURABILITY_MODES)} (always = fsync every append; "
+        "group = one fsync per batch of concurrent appends, still "
+        "durable before acknowledging; async = no fsync, fastest but "
+        "a crash can lose the tail)"
+    )
+
 
 @dataclass(frozen=True)
 class QueryOptions:

@@ -2,30 +2,44 @@
 
 An LSM-style extension of the paper's static S³ structure for the
 continuous-monitoring deployment of §V-D: durable online ``add`` (write-
-ahead log + memtable), immutable Hilbert-ordered segments sealed by
-flushes, size-tiered compaction, and a query path that fans the
-statistical / ε-range block selection out across all segments and merges
-the results — byte-for-byte the same answers as a monolithic
-:class:`~repro.index.s3.S3Index` over the union of the records.
+ahead log + memtable, with per-append / group / async fsync), immutable
+Hilbert-ordered segments sealed by flushes, size-tiered compaction —
+inline or on a background :class:`MaintenanceThread` with
+backpressure-shedding ingest — and a query path that fans the
+statistical / ε-range block selection out across a pinned snapshot of
+all segments and memtables and merges the results — byte-for-byte the
+same answers as a monolithic :class:`~repro.index.s3.S3Index` over the
+union of the records.
 """
 
 from .compaction import CompactionPolicy, merge_segment_stores
 from .lsm import (
     CompactionResult,
+    ReadView,
     Segment,
     SegmentedQueryStats,
     SegmentedS3Index,
 )
+from .maintenance import MaintenanceConfig, MaintenanceThread
 from .manifest import Manifest, SegmentMeta
 from .memtable import MemTable
 from .sketch import SegmentSketch, SketchConfig, sketch_filename
-from .wal import WriteAheadLog, replay
+from .wal import (
+    DURABILITY_MODES,
+    WriteAheadLog,
+    replay,
+    resolve_durability,
+)
 
 __all__ = [
     "CompactionPolicy",
     "CompactionResult",
+    "DURABILITY_MODES",
+    "MaintenanceConfig",
+    "MaintenanceThread",
     "Manifest",
     "MemTable",
+    "ReadView",
     "Segment",
     "SegmentMeta",
     "SegmentSketch",
@@ -35,5 +49,6 @@ __all__ = [
     "WriteAheadLog",
     "merge_segment_stores",
     "replay",
+    "resolve_durability",
     "sketch_filename",
 ]

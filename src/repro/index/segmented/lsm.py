@@ -7,7 +7,8 @@ operational setting (INA references new broadcast material every day).
 continuously growing engine with the classic log-structured recipe:
 
 * inserts land in a mutable in-memory **memtable** after being made
-  durable in a **write-ahead log** (:mod:`.wal`);
+  durable in a **write-ahead log** (:mod:`.wal` — per-append, group or
+  async fsync, see the ``durability`` knob);
 * when the memtable exceeds ``flush_rows`` it is **sealed**: sorted along
   the Hilbert curve and written as an immutable segment — a
   :class:`~repro.index.store.FingerprintStore` +
@@ -25,20 +26,40 @@ continuously growing engine with the classic log-structured recipe:
 A ``MANIFEST.json`` (:mod:`.manifest`) tracks the live segments and the
 current WAL; reopening a directory after a crash replays the WAL, so no
 acknowledged insert is ever lost.
+
+**Snapshot isolation.**  All live structure hangs off one immutable
+:class:`_LiveView` — the tuple of sealed segments, the tuple of frozen
+(seal-pending) memtables, and the active memtable.  Writers (seal,
+compaction, tier transitions) build a *new* view and swap it atomically
+under the state lock; readers capture the current view once per query
+(:meth:`SegmentedS3Index._read_view`) and scan that consistent set even
+while a background seal or compaction switches the live one over.
+Sealing is split into **freeze** (rotate the WAL, park the memtable on
+the frozen list — cheap, blocks appends only for the rotation) and
+**seal** (curve-sort and write the segment — heavy, runs entirely off
+the ingest path), so a :class:`.maintenance.MaintenanceThread` can do
+the heavy half in the background while queries and ingest proceed.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, NamedTuple, Optional
 
 import numpy as np
 
 from ...distortion.model import IndependentDistortionModel, NormalDistortionModel
-from ...errors import ConfigurationError, IndexError_, StorageError
+from ...errors import (
+    ConfigurationError,
+    IndexError_,
+    IngestBackpressure,
+    StorageError,
+)
 from ...hilbert.butz import HilbertCurve
 from ..filtering import BlockSelection, range_blocks, statistical_blocks_cached
 from ..kernels import range_refine
@@ -46,6 +67,7 @@ from ..options import QueryOptions
 from ..s3 import QueryStats, S3Index, SearchResult
 from ..store import FingerprintStore, PathLike
 from .compaction import CompactionPolicy, merge_segment_stores
+from .maintenance import MaintenanceConfig, MaintenanceThread
 from .manifest import (
     Manifest,
     SegmentMeta,
@@ -94,6 +116,11 @@ class Segment:
     carries a :class:`~repro.storage.coldseg.ColdSegmentReader` — keys
     sidecar only, store bytes in the blob backend.  ``layout`` abstracts
     over the two, so block selection code never cares about tiers.
+
+    Segment objects are themselves immutable once published in a view:
+    tier transitions build a *replacement* Segment and swap it in
+    (:meth:`SegmentedS3Index._swap_segment`), so a query pinned on an
+    old view keeps a usable object however the live tiering moves.
     """
 
     meta: SegmentMeta
@@ -127,6 +154,91 @@ class CompactionResult:
     seconds: float
 
 
+@dataclass(frozen=True)
+class _FrozenMemtable:
+    """A memtable parked between freeze and seal (immutable).
+
+    ``wal_names`` are the log files backing its records — removed from
+    the manifest's ``frozen_wals`` and unlinked only once the segment
+    they seal into is durable.  ``seal_seq`` is the sequence number the
+    freeze reserved for both the rotated WAL and the eventual segment,
+    so one flush consumes one number (``seg-N`` next to ``wal-N``,
+    exactly as the pre-pipelined inline seal named them).
+    """
+
+    memtable: MemTable
+    rows: int
+    wal_names: tuple[str, ...]
+    seal_seq: int
+
+
+@dataclass(frozen=True)
+class _LiveView:
+    """The atomically-swapped snapshot of all live structure."""
+
+    segments: tuple[Segment, ...]
+    frozen: tuple[_FrozenMemtable, ...]
+    memtable: MemTable
+
+
+class ReadView(NamedTuple):
+    """What one query scans: a pinned, internally consistent snapshot.
+
+    ``memtable_rows`` bounds the active-memtable scan to the rows that
+    were published when the snapshot was taken — appends racing the
+    query are excluded wholesale instead of half-seen.
+    """
+
+    segments: tuple[Segment, ...]
+    frozen: tuple[_FrozenMemtable, ...]
+    memtable: MemTable
+    memtable_rows: int
+
+
+class _RWGate:
+    """Writer-preferring reader-writer gate for WAL rotation.
+
+    Appenders hold the shared side across WAL append + memtable insert,
+    so the exclusive side (freeze) observes no in-flight append: every
+    acknowledged record is in *both* the log being rotated out and the
+    memtable being frozen, or in neither.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+
+    @contextmanager
+    def shared(self):
+        with self._cond:
+            while self._writer:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def exclusive(self):
+        with self._cond:
+            while self._writer:
+                self._cond.wait()
+            self._writer = True
+            while self._readers:
+                self._cond.wait()
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
 class SegmentedS3Index:
     """A live, crash-recoverable S³ index composed of sealed segments.
 
@@ -134,6 +246,13 @@ class SegmentedS3Index:
     to reopen one (replaying the WAL).  All segments share one geometry
     — dimension, curve order, key levels, partition depth — fixed at
     creation time and recorded in the manifest.
+
+    Thread model: any number of query threads plus any number of ingest
+    threads are safe concurrently (queries pin snapshot views; ingests
+    group-commit through the WAL's lock).  Maintenance — seal,
+    compaction, tier settling — is serialised by the maintenance lock,
+    whether it runs inline (``flush()``/``compact()``) or on the
+    background worker (:meth:`start_maintenance`).
     """
 
     def __init__(
@@ -151,8 +270,7 @@ class SegmentedS3Index:
     ):
         self.directory = directory
         self.manifest = manifest
-        self._segments = segments
-        self._memtable = memtable
+        self._view = _LiveView(tuple(segments), (), memtable)
         self._wal = wal
         self.model = model
         self.flush_rows = flush_rows
@@ -165,6 +283,20 @@ class SegmentedS3Index:
         #: via :meth:`open`'s ``storage=``).  ``None`` = untiered: every
         #: segment resident, no budget, no blob backend.
         self.storage: Optional["TierManager"] = None
+        # Concurrency: view swaps + manifest writes under _state_lock;
+        # memtable inserts under _ingest_lock; seal/compact/settle under
+        # _maint_lock; WAL rotation behind the gate's exclusive side.
+        self._state_lock = threading.RLock()
+        self._ingest_lock = threading.Lock()
+        self._maint_lock = threading.RLock()
+        self._wal_gate = _RWGate()
+        #: WAL files backing the *active* memtable (more than one right
+        #: after an open() that replayed frozen logs).
+        self._active_wal_names: list[str] = (
+            list(manifest.frozen_wals) + [manifest.wal]
+        )
+        self._maintenance: Optional[MaintenanceThread] = None
+        self._shed_count = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -182,6 +314,7 @@ class SegmentedS3Index:
         policy: Optional[CompactionPolicy] = None,
         auto_compact: bool = True,
         sync: bool = True,
+        durability: Optional[str] = None,
         sketch_config: Optional[SketchConfig] = None,
         storage: Optional["StorageConfig"] = None,
     ) -> "SegmentedS3Index":
@@ -190,6 +323,11 @@ class SegmentedS3Index:
         With *storage*, the directory is tiered from birth: the config
         is recorded in the manifest and sealed segments demote to the
         blob backend whenever the resident set exceeds the budget.
+
+        *durability* picks the WAL fsync policy (``"always"``,
+        ``"group"`` or ``"async"``, see :mod:`.wal`); when ``None`` the
+        legacy *sync* flag decides (``True`` → always, ``False`` →
+        async).
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -227,7 +365,10 @@ class SegmentedS3Index:
             next_seq=1,
             wal=wal_filename(0),
         )
-        wal = WriteAheadLog.create(directory / manifest.wal, ndims, sync=sync)
+        wal = WriteAheadLog.create(
+            directory / manifest.wal, ndims, sync=sync,
+            durability=durability,
+        )
         manifest.save(directory)
         memtable = MemTable(ndims, order, key_levels)
         index = cls(
@@ -248,6 +389,7 @@ class SegmentedS3Index:
         policy: Optional[CompactionPolicy] = None,
         auto_compact: bool = True,
         sync: bool = True,
+        durability: Optional[str] = None,
         mmap: bool = False,
         sketch_config: Optional[SketchConfig] = None,
         storage: Optional["StorageConfig"] = None,
@@ -261,6 +403,10 @@ class SegmentedS3Index:
         instead of read into RAM — segment files are curve-ordered on
         disk, so the mapping survives index construction and gives scan
         worker processes zero-copy file-backed attachment.
+
+        WALs a background freeze parked (``manifest.frozen_wals``) are
+        replayed *before* the active WAL, oldest first — a crash at any
+        point of a background seal loses no acknowledged record.
 
         Segments the manifest marks ``cold`` load **sidecars only**
         (sketch + keys) — opening never fetches a cold store from the
@@ -355,13 +501,22 @@ class SegmentedS3Index:
         if manifest_dirty:
             manifest.save(directory)
         memtable = MemTable(manifest.ndims, manifest.order, manifest.key_levels)
+        # Frozen WALs first (oldest first), then the active WAL — the
+        # same order the records were acknowledged in.
+        for frozen_name in manifest.frozen_wals:
+            frozen_path = directory / frozen_name
+            if frozen_path.is_file():
+                for fp, ids, tcs in replay(frozen_path):
+                    memtable.add(fp, ids, tcs)
         wal_path = directory / manifest.wal
         if wal_path.is_file():
             for fp, ids, tcs in replay(wal_path):
                 memtable.add(fp, ids, tcs)
-            wal = WriteAheadLog.open(wal_path, sync=sync)
+            wal = WriteAheadLog.open(wal_path, sync=sync, durability=durability)
         else:
-            wal = WriteAheadLog.create(wal_path, manifest.ndims, sync=sync)
+            wal = WriteAheadLog.create(
+                wal_path, manifest.ndims, sync=sync, durability=durability
+            )
         _collect_orphans(directory, manifest)
         index = cls(
             directory, manifest, segments, memtable, wal, model,
@@ -399,8 +554,9 @@ class SegmentedS3Index:
         manager = TierManager(self, config)
         self.storage = manager
         if persist and config.backend is None:
-            self.manifest.storage = config.to_manifest()
-            self.manifest.save(self.directory)
+            with self._state_lock:
+                self.manifest.storage = config.to_manifest()
+                self.manifest.save(self.directory)
         manager.collect_orphan_blobs()
         manager.enforce_budget()
         return manager
@@ -416,7 +572,7 @@ class SegmentedS3Index:
             for tier in ("hot", "warm", "cold")
         }
         per_row = self.ndims + 4 + 8
-        for seg in self._segments:
+        for seg in self._view.segments:
             bucket = tiers[seg.meta.tier]
             bucket["segments"] += 1
             bucket["rows"] += seg.meta.count
@@ -430,12 +586,31 @@ class SegmentedS3Index:
         }
 
     def _settle(self) -> None:
-        """Apply pending tier transitions (no-op when untiered)."""
-        if self.storage is not None:
+        """Apply pending tier transitions (no-op when untiered).
+
+        With background maintenance running, query threads *request* a
+        settle instead of performing it — tier transitions move
+        off-lane with the rest of the heavy work.  Inline, the settle
+        is skipped (not blocked on) when maintenance work holds the
+        lock: budget enforcement is advisory and the next settle
+        catches up.
+        """
+        if self.storage is None:
+            return
+        worker = self._maintenance
+        if worker is not None and not worker.on_worker():
+            worker.request_settle()
+            return
+        if not self._maint_lock.acquire(blocking=False):
+            return
+        try:
             self.storage.settle()
+        finally:
+            self._maint_lock.release()
 
     def close(self) -> None:
-        """Close the WAL file handle (buffered records stay durable)."""
+        """Stop maintenance, close the WAL (records stay durable)."""
+        self.stop_maintenance()
         self._wal.close()
         if self.storage is not None:
             self.storage.close()
@@ -445,6 +620,67 @@ class SegmentedS3Index:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # background maintenance
+    # ------------------------------------------------------------------
+    @property
+    def maintenance(self) -> Optional[MaintenanceThread]:
+        """The background worker, or ``None`` when maintenance is inline."""
+        return self._maintenance
+
+    def start_maintenance(
+        self, config: Optional[MaintenanceConfig] = None
+    ) -> MaintenanceThread:
+        """Move seal/compaction/settling onto a background worker.
+
+        From this point ``add`` never seals inline: reaching
+        ``flush_rows`` requests a background seal, and unsealed rows
+        beyond the backpressure limit shed with
+        :class:`IngestBackpressure` instead of stalling the caller.
+        """
+        if self._maintenance is not None:
+            raise ConfigurationError(
+                "maintenance is already running for this index"
+            )
+        self._maintenance = MaintenanceThread(
+            self, config or MaintenanceConfig()
+        )
+        return self._maintenance
+
+    def stop_maintenance(self, drain: bool = True) -> None:
+        """Stop the background worker (draining queued jobs first)."""
+        worker = self._maintenance
+        if worker is not None:
+            self._maintenance = None
+            worker.close(drain=drain)
+
+    def _background_seal(self) -> Optional[SegmentMeta]:
+        """Worker entry: freeze the memtable and seal every frozen one."""
+        with self._maint_lock:
+            self._freeze_active()
+            meta = None
+            while self._view.frozen:
+                meta = self._seal_oldest_frozen()
+            if meta is not None:
+                worker = self._maintenance
+                if self.auto_compact and worker is not None:
+                    counts = [s.meta.count for s in self._view.segments]
+                    if self.policy.plan(counts):
+                        worker.request_compact()
+                self._settle()
+            return meta
+
+    def _background_compact(self) -> Optional[CompactionResult]:
+        """Worker entry: one policy-driven compaction step."""
+        return self.compact()
+
+    def _background_settle(self) -> None:
+        """Worker entry: apply pending tier transitions."""
+        if self.storage is None:
+            return
+        with self._maint_lock:
+            self.storage.settle()
 
     # ------------------------------------------------------------------
     # introspection
@@ -458,22 +694,38 @@ class SegmentedS3Index:
         return self.manifest.depth
 
     @property
+    def durability(self) -> str:
+        """The WAL fsync policy (``always`` / ``group`` / ``async``)."""
+        return self._wal.durability
+
+    @property
     def num_segments(self) -> int:
-        return len(self._segments)
+        return len(self._view.segments)
+
+    @property
+    def _segments(self) -> list[Segment]:
+        """The current view's segments (legacy accessor; do not mutate)."""
+        return list(self._view.segments)
+
+    @property
+    def _memtable(self) -> MemTable:
+        """The current active memtable (legacy accessor)."""
+        return self._view.memtable
 
     @property
     def segments(self) -> list[SegmentMeta]:
         """Manifest entries of the live segments (copies)."""
         return [
             SegmentMeta(s.meta.name, s.meta.count, s.meta.sketch, s.meta.tier)
-            for s in self._segments
+            for s in self._view.segments
         ]
 
     def prefilter_info(self) -> dict:
         """Resident-footprint summary of the sketch tier."""
-        sketches = [s.sketch for s in self._segments if s.sketch is not None]
+        view = self._view
+        sketches = [s.sketch for s in view.segments if s.sketch is not None]
         return {
-            "segments": len(self._segments),
+            "segments": len(view.segments),
             "sketches": len(sketches),
             "depth": self.sketch_config.depth,
             "block_rows": self.sketch_config.block_rows,
@@ -482,24 +734,68 @@ class SegmentedS3Index:
 
     @property
     def pending_rows(self) -> int:
-        """Records buffered in the memtable (not yet sealed)."""
-        return len(self._memtable)
+        """Records not yet sealed (active + frozen memtables)."""
+        view = self._view
+        return sum(f.rows for f in view.frozen) + len(view.memtable)
+
+    def ingest_info(self) -> dict:
+        """Write-path pressure: memtable, WAL, compaction debt, queue.
+
+        The shared schema behind ``repro-s3 info --json`` (``ingest``
+        block) and ``serve stats``.
+        """
+        view = self._view
+        counts = [s.meta.count for s in view.segments]
+        planned = self.policy.plan(counts)
+        worker = self._maintenance
+        return {
+            "durability": self._wal.durability,
+            "memtable_rows": len(view.memtable),
+            "frozen_memtables": len(view.frozen),
+            "frozen_rows": sum(f.rows for f in view.frozen),
+            "wal": self._wal.stats(),
+            "compaction_debt": {
+                "segments": len(planned),
+                "rows": sum(counts[i] for i in planned),
+            },
+            "backpressure_sheds": self._shed_count,
+            "maintenance": worker.stats() if worker is not None else None,
+        }
 
     def __len__(self) -> int:
-        return self.manifest.total_sealed() + len(self._memtable)
+        view = self._view
+        return (
+            sum(s.meta.count for s in view.segments)
+            + sum(f.rows for f in view.frozen)
+            + len(view.memtable)
+        )
+
+    def _read_view(self) -> ReadView:
+        """Pin the current snapshot for one query (cheap, lock-free)."""
+        view = self._view
+        return ReadView(
+            view.segments, view.frozen, view.memtable, len(view.memtable)
+        )
 
     def record(self, row: int) -> tuple[np.ndarray, int, float]:
         """The ``(fingerprint, id, timecode)`` at global *row*.
 
         Rows number the sealed segments in manifest order (each in curve
-        order) followed by the memtable in insertion order — the same
-        virtual concatenation query results index into.
+        order), then any frozen memtables (oldest first), then the
+        active memtable in insertion order — the same virtual
+        concatenation query results index into.
         """
-        if row < 0 or row >= len(self):
+        view = self._read_view()
+        total = (
+            sum(s.meta.count for s in view.segments)
+            + sum(f.rows for f in view.frozen)
+            + view.memtable_rows
+        )
+        if row < 0 or row >= total:
             raise ConfigurationError(
-                f"row must be in [0, {len(self)}), got {row}"
+                f"row must be in [0, {total}), got {row}"
             )
-        for seg in self._segments:
+        for seg in view.segments:
             if row < seg.meta.count:
                 if seg.index is None:
                     # Cold: fetch exactly the one row's columns.
@@ -514,7 +810,16 @@ class SegmentedS3Index:
                     float(store.timecodes[row]),
                 )
             row -= seg.meta.count
-        part = self._memtable.take(np.array([row]))
+        for frozen in view.frozen:
+            if row < frozen.rows:
+                part = frozen.memtable.take(np.array([row]))
+                return (
+                    part.fingerprints[0].copy(),
+                    int(part.ids[0]),
+                    float(part.timecodes[0]),
+                )
+            row -= frozen.rows
+        part = view.memtable.take(np.array([row]))
         return (
             part.fingerprints[0].copy(),
             int(part.ids[0]),
@@ -546,29 +851,130 @@ class SegmentedS3Index:
     ) -> int:
         """Durably insert a batch of records; returns the number added.
 
-        The batch is appended to the WAL first (fsynced when ``sync``),
-        then buffered in the memtable; once the memtable reaches
-        ``flush_rows`` it is sealed into a segment automatically.
+        The batch is appended to the WAL first (fsync per the
+        ``durability`` mode — concurrent callers share one fsync in
+        ``"group"`` mode), then buffered in the memtable.  Reaching
+        ``flush_rows`` seals inline, or requests a background seal when
+        maintenance is running; past the backpressure limit the insert
+        is shed with :class:`IngestBackpressure` (retryable) instead.
         """
-        added = self._wal.append(fingerprints, ids, timecodes)
-        if added == 0:
-            return 0
-        self._memtable.add(fingerprints, ids, timecodes)
-        if len(self._memtable) >= self.flush_rows:
-            self.flush()
+        self._check_backpressure()
+        with self._wal_gate.shared():
+            added = self._wal.append(fingerprints, ids, timecodes)
+            if added == 0:
+                return 0
+            with self._ingest_lock:
+                self._view.memtable.add(fingerprints, ids, timecodes)
+        if len(self._view.memtable) >= self.flush_rows:
+            worker = self._maintenance
+            if worker is not None:
+                worker.request_seal()
+            else:
+                self.flush()
         return added
 
-    def flush(self) -> Optional[SegmentMeta]:
-        """Seal the memtable into a new immutable segment.
+    def _check_backpressure(self) -> None:
+        """Shed the ingest when unsealed rows outrun maintenance."""
+        worker = self._maintenance
+        if worker is None:
+            return
+        limit = worker.config.backpressure_rows or 4 * self.flush_rows
+        pending = self.pending_rows
+        if pending < limit:
+            return
+        worker.request_seal()
+        self._shed_count += 1
+        raise IngestBackpressure(
+            f"ingest shedding: {pending} unsealed rows >= backpressure "
+            f"limit {limit}; retry once the background seal catches up",
+            pending_rows=pending,
+        )
 
-        No-op (returns ``None``) when the memtable is empty.  The segment
-        file is fully written and fsynced before the manifest references
-        it, and the WAL is rotated afterwards, so a crash at any point
-        loses nothing and duplicates nothing.
+    def flush(self) -> Optional[SegmentMeta]:
+        """Seal all buffered records into immutable segments, now.
+
+        Freezes the active memtable and seals every frozen one (oldest
+        first), synchronously on the calling thread.  No-op (returns
+        ``None``) when nothing is buffered.  Each segment file is fully
+        written and fsynced before the manifest references it, and WALs
+        are removed only after their records are sealed, so a crash at
+        any point loses nothing and duplicates nothing.
         """
-        if len(self._memtable) == 0:
+        with self._maint_lock:
+            self._freeze_active()
+            meta = None
+            while self._view.frozen:
+                meta = self._seal_oldest_frozen()
+            if meta is None:
+                return None
+            if self.auto_compact:
+                self.compact()
+            # Sealing may have pushed the resident set over the budget.
+            self._settle()
+            return meta
+
+    def _freeze_active(self) -> bool:
+        """Rotate the WAL and park the active memtable on the frozen list.
+
+        The cheap half of sealing: appenders are excluded only for the
+        duration of one WAL create + manifest write.  Crash-safe at
+        every step — the old WAL joins ``frozen_wals`` in the manifest
+        before the memtable moves, so replay-on-open always covers the
+        parked records.
+        """
+        with self._wal_gate.exclusive():
+            if len(self._view.memtable) == 0:
+                return False
+            with self._state_lock:
+                seq = self.manifest.next_seq
+                self.manifest.next_seq = seq + 1
+            new_name = wal_filename(seq)
+            new_wal = WriteAheadLog.create(
+                self.directory / new_name, self.ndims,
+                durability=self._wal.durability,
+            )
+            old_wal = self._wal
+            backing = tuple(self._active_wal_names)
+            with self._state_lock:
+                view = self._view
+                for name in backing:
+                    if name not in self.manifest.frozen_wals:
+                        self.manifest.frozen_wals.append(name)
+                self.manifest.wal = new_name
+                self.manifest.save(self.directory)
+                frozen = _FrozenMemtable(
+                    memtable=view.memtable,
+                    rows=len(view.memtable),
+                    wal_names=backing,
+                    seal_seq=seq,
+                )
+                self._view = _LiveView(
+                    view.segments,
+                    view.frozen + (frozen,),
+                    MemTable(
+                        self.ndims, self.manifest.order,
+                        self.manifest.key_levels,
+                    ),
+                )
+                self._wal = new_wal
+                self._active_wal_names = [new_name]
+            old_wal.close()
+            return True
+
+    def _seal_oldest_frozen(self) -> Optional[SegmentMeta]:
+        """Seal the oldest frozen memtable into a segment (heavy half).
+
+        Runs entirely off the ingest path: the frozen memtable is
+        immutable, so sorting and writing need no locks; only the final
+        view/manifest switchover takes the state lock.  The frozen WALs
+        are deleted last — after the segment and the manifest that
+        references it are durable.
+        """
+        view = self._view
+        if not view.frozen:
             return None
-        store = self._memtable.to_store()
+        frozen = view.frozen[0]
+        store = frozen.memtable.to_store()
         index = S3Index(
             store,
             order=self.manifest.order,
@@ -576,8 +982,8 @@ class SegmentedS3Index:
             depth=self.manifest.depth,
             model=self.model,
         )
-        seq = self.manifest.next_seq
-        name = segment_filename(seq)
+        # The freeze reserved this seq alongside the rotated WAL's name.
+        name = segment_filename(frozen.seal_seq)
         seg_path = self.directory / (name + ".store")
         index.store.save(seg_path)
         _fsync_file(seg_path)
@@ -585,105 +991,142 @@ class SegmentedS3Index:
             index.layout, index.store.fingerprints, self.sketch_config
         )
         sketch.save(self.directory / sketch_filename(name))
-
-        new_wal_name = wal_filename(seq)
-        new_wal = WriteAheadLog.create(
-            self.directory / new_wal_name, self.ndims, sync=self._wal.sync
-        )
-        old_wal_path = self.directory / self.manifest.wal
-
         meta = SegmentMeta(name=name, count=len(store), sketch=sketch.to_meta())
-        self.manifest.segments.append(meta)
-        self.manifest.wal = new_wal_name
-        self.manifest.next_seq = seq + 1
-        self.manifest.save(self.directory)
-
-        self._wal.close()
-        self._wal = new_wal
-        old_wal_path.unlink(missing_ok=True)
-        self._segments.append(Segment(meta=meta, index=index, sketch=sketch))
-        self._memtable.clear()
-
-        if self.auto_compact:
-            self.compact()
-        # Sealing may have pushed the resident set over the budget.
-        self._settle()
+        with self._state_lock:
+            view = self._view
+            self.manifest.segments.append(meta)
+            self.manifest.frozen_wals = [
+                w for w in self.manifest.frozen_wals
+                if w not in frozen.wal_names
+            ]
+            self.manifest.save(self.directory)
+            self._view = _LiveView(
+                view.segments + (
+                    Segment(meta=meta, index=index, sketch=sketch),
+                ),
+                view.frozen[1:],
+                view.memtable,
+            )
+        for wal_name in frozen.wal_names:
+            (self.directory / wal_name).unlink(missing_ok=True)
         return meta
 
     def compact(self, force: bool = False) -> Optional[CompactionResult]:
         """Merge segments according to the policy (everything if *force*).
 
-        Returns ``None`` when there is nothing to merge.  The merged
-        segment is written and fsynced before the manifest switches over;
-        the replaced files are deleted last, so a crash mid-compaction
-        leaves at worst an orphan file that :meth:`open` collects.
+        Returns ``None`` when there is nothing to merge.  The merge runs
+        against a pinned snapshot of the segment set — queries keep
+        scanning the old view until the atomic switchover — and the
+        merged segment is written and fsynced before the manifest
+        switches; the replaced files are deleted last, so a crash
+        mid-compaction leaves at worst an orphan file that :meth:`open`
+        collects.
         """
-        counts = [seg.meta.count for seg in self._segments]
-        if force:
-            picked = list(range(len(counts))) if len(counts) >= 2 else []
-        else:
-            picked = self.policy.plan(counts)
-        if not picked:
-            return None
-        t0 = time.perf_counter()
-        # Cold inputs are fetched whole from the blob backend; their
-        # blobs are discarded below once the manifest has switched over.
-        index, sketch = merge_segment_stores(
-            [self._segment_store(self._segments[i]) for i in picked],
-            ndims=self.ndims,
-            order=self.manifest.order,
-            key_levels=self.manifest.key_levels,
-            depth=self.manifest.depth,
-            model=self.model,
-            sketch_config=self.sketch_config,
-        )
-        merged = index.store
-        seq = self.manifest.next_seq
-        name = segment_filename(seq)
-        seg_path = self.directory / (name + ".store")
-        index.store.save(seg_path)
-        _fsync_file(seg_path)
-        sketch.save(self.directory / sketch_filename(name))
-
-        meta = SegmentMeta(name=name, count=len(merged), sketch=sketch.to_meta())
-        picked_set = set(picked)
-        old = [self._segments[i] for i in picked]
-        new_segments: list[Segment] = []
-        inserted = False
-        for i, seg in enumerate(self._segments):
-            if i in picked_set:
-                if not inserted:
-                    new_segments.append(
-                        Segment(meta=meta, index=index, sketch=sketch)
-                    )
-                    inserted = True
-                continue
-            new_segments.append(seg)
-        self._segments = new_segments
-        self.manifest.segments = [s.meta for s in new_segments]
-        self.manifest.next_seq = seq + 1
-        self.manifest.save(self.directory)
-        for seg in old:
-            (self.directory / (seg.meta.name + ".store")).unlink(
-                missing_ok=True
+        with self._maint_lock:
+            snapshot = list(self._view.segments)
+            counts = [seg.meta.count for seg in snapshot]
+            if force:
+                picked = list(range(len(counts))) if len(counts) >= 2 else []
+            else:
+                picked = self.policy.plan(counts)
+            if not picked:
+                return None
+            t0 = time.perf_counter()
+            old = [snapshot[i] for i in picked]
+            # Cold inputs are fetched whole from the blob backend; their
+            # blobs are discarded below once the manifest has switched.
+            index, sketch = merge_segment_stores(
+                [self._segment_store(seg) for seg in old],
+                ndims=self.ndims,
+                order=self.manifest.order,
+                key_levels=self.manifest.key_levels,
+                depth=self.manifest.depth,
+                model=self.model,
+                sketch_config=self.sketch_config,
             )
-            (self.directory / sketch_filename(seg.meta.name)).unlink(
-                missing_ok=True
-            )
-            if self.storage is not None:
-                from ...storage.coldseg import keys_filename
+            merged = index.store
+            with self._state_lock:
+                seq = self.manifest.next_seq
+                self.manifest.next_seq = seq + 1
+            name = segment_filename(seq)
+            seg_path = self.directory / (name + ".store")
+            index.store.save(seg_path)
+            _fsync_file(seg_path)
+            sketch.save(self.directory / sketch_filename(name))
 
-                (self.directory / keys_filename(seg.meta.name)).unlink(
+            meta = SegmentMeta(
+                name=name, count=len(merged), sketch=sketch.to_meta()
+            )
+            old_names = {seg.meta.name for seg in old}
+            with self._state_lock:
+                view = self._view
+                new_segments: list[Segment] = []
+                inserted = False
+                for seg in view.segments:
+                    if seg.meta.name in old_names:
+                        if not inserted:
+                            new_segments.append(
+                                Segment(meta=meta, index=index, sketch=sketch)
+                            )
+                            inserted = True
+                        continue
+                    new_segments.append(seg)
+                self._view = _LiveView(
+                    tuple(new_segments), view.frozen, view.memtable
+                )
+                self.manifest.segments = [s.meta for s in new_segments]
+                self.manifest.save(self.directory)
+            for seg in old:
+                (self.directory / (seg.meta.name + ".store")).unlink(
                     missing_ok=True
                 )
-                self.storage.discard_blob(seg.meta.name)
-        self._settle()
-        return CompactionResult(
-            merged_segments=len(picked),
-            merged_rows=len(merged),
-            segment_name=name,
-            seconds=time.perf_counter() - t0,
-        )
+                (self.directory / sketch_filename(seg.meta.name)).unlink(
+                    missing_ok=True
+                )
+                if self.storage is not None:
+                    from ...storage.coldseg import keys_filename
+
+                    (self.directory / keys_filename(seg.meta.name)).unlink(
+                        missing_ok=True
+                    )
+                    self.storage.discard_blob(seg.meta.name)
+            self._settle()
+            return CompactionResult(
+                merged_segments=len(picked),
+                merged_rows=len(merged),
+                segment_name=name,
+                seconds=time.perf_counter() - t0,
+            )
+
+    def _swap_segment(
+        self, old: Segment, new: Segment, persist: bool = True
+    ) -> bool:
+        """Atomically replace *old* with *new* in the live view.
+
+        The copy-on-write primitive behind tier transitions: the old
+        Segment object is left untouched, so queries pinned on a view
+        that contains it keep a working store/reader.  Returns ``False``
+        (no swap, no manifest write) when *old* is no longer live —
+        e.g. compacted away while the transition was being prepared.
+        """
+        with self._state_lock:
+            view = self._view
+            position = next(
+                (i for i, seg in enumerate(view.segments) if seg is old),
+                None,
+            )
+            if position is None:
+                return False
+            segments = (
+                view.segments[:position]
+                + (new,)
+                + view.segments[position + 1:]
+            )
+            self._view = _LiveView(segments, view.frozen, view.memtable)
+            self.manifest.segments = [s.meta for s in segments]
+            if persist:
+                self.manifest.save(self.directory)
+            return True
 
     def _segment_store(self, seg: Segment) -> FingerprintStore:
         """The full store of *seg*, fetching the blob when cold."""
@@ -818,7 +1261,12 @@ class SegmentedS3Index:
         refine: Optional[tuple[np.ndarray, float]],
         prefilter: bool = True,
     ) -> SearchResult:
-        """Scan the selection in every segment + the memtable and merge.
+        """Scan the selection in every segment + the memtables and merge.
+
+        The segment set, frozen memtables and active-memtable length
+        are pinned once (:meth:`_read_view`), so the scan covers one
+        consistent snapshot even while a background seal or compaction
+        switches the live view over mid-query.
 
         With *refine* set (``(query, epsilon)``), an exact distance test
         is applied to each part — the ε-range refinement — and distances
@@ -828,10 +1276,11 @@ class SegmentedS3Index:
         without touching its store or mmap.  Both prunes are admissible,
         so the merged result is bit-identical either way.
         """
+        view = self._read_view()
         stats = SegmentedQueryStats()
         parts: list[SearchResult] = []
         base = 0
-        for seg in self._segments:
+        for seg in view.segments:
             t0 = time.perf_counter()
             prefixes = selection.prefixes
             sketch = seg.sketch if prefilter else None
@@ -908,31 +1357,43 @@ class SegmentedS3Index:
             stats.per_segment.append(seg_stats)
             base += seg.meta.count
 
-        # The memtable part: block membership for statistical queries,
-        # exact distances for range queries (strictly tighter than block
-        # membership, hence still consistent with the monolithic answer).
-        t0 = time.perf_counter()
-        if refine is None:
-            mem_rows = self._memtable.scan_selection(selection)
-            mem_distances = None
-        else:
-            q, epsilon = refine
-            mem_rows, mem_distances = self._memtable.range_rows(q, epsilon)
-        mem_part_store = self._memtable.take(mem_rows)
-        mem_stats = QueryStats(
-            blocks_selected=len(selection),
-            rows_scanned=len(self._memtable),
-            results=int(mem_rows.size),
-            refine_seconds=time.perf_counter() - t0,
-        )
-        parts.append(SearchResult(
-            rows=mem_rows + base,
-            ids=mem_part_store.ids,
-            timecodes=mem_part_store.timecodes,
-            fingerprints=mem_part_store.fingerprints,
-            distances=mem_distances,
-            stats=mem_stats,
-        ))
+        # The memtable parts — frozen memtables (oldest first) then the
+        # active one, bounded to the pinned snapshot length: block
+        # membership for statistical queries, exact distances for range
+        # queries (strictly tighter than block membership, hence still
+        # consistent with the monolithic answer).
+        memtable_rows = 0
+        mem_refine_seconds = 0.0
+        mem_parts = [(f.memtable, f.rows) for f in view.frozen]
+        mem_parts.append((view.memtable, view.memtable_rows))
+        for memtable, limit in mem_parts:
+            t0 = time.perf_counter()
+            if refine is None:
+                mem_rows = memtable.scan_selection(selection, limit=limit)
+                mem_distances = None
+            else:
+                q, epsilon = refine
+                mem_rows, mem_distances = memtable.range_rows(
+                    q, epsilon, limit=limit
+                )
+            mem_part_store = memtable.take(mem_rows)
+            mem_stats = QueryStats(
+                blocks_selected=len(selection),
+                rows_scanned=limit,
+                results=int(mem_rows.size),
+                refine_seconds=time.perf_counter() - t0,
+            )
+            parts.append(SearchResult(
+                rows=mem_rows + base,
+                ids=mem_part_store.ids,
+                timecodes=mem_part_store.timecodes,
+                fingerprints=mem_part_store.fingerprints,
+                distances=mem_distances,
+                stats=mem_stats,
+            ))
+            memtable_rows += limit
+            mem_refine_seconds += mem_stats.refine_seconds
+            base += limit
 
         merged = SearchResult(
             rows=np.concatenate([p.rows for p in parts]),
@@ -948,22 +1409,23 @@ class SegmentedS3Index:
         stats.blocks_selected = len(selection)
         stats.nodes_visited = selection.nodes_visited
         stats.descents = selection.descents
-        stats.segments_scanned = len(self._segments)
-        stats.memtable_rows_scanned = len(self._memtable)
+        stats.segments_scanned = len(view.segments)
+        stats.memtable_rows_scanned = memtable_rows
         stats.sections_scanned = sum(
             s.sections_scanned for s in stats.per_segment
         )
         stats.rows_scanned = (
             sum(s.rows_scanned for s in stats.per_segment)
-            + len(self._memtable)
+            + memtable_rows
         )
         stats.refine_seconds = (
             sum(s.refine_seconds for s in stats.per_segment)
-            + mem_stats.refine_seconds
+            + mem_refine_seconds
         )
         stats.results = len(merged)
         # Tier transitions (promotion hysteresis, budget demotions) run
-        # here — on the calling thread, after the scan is fully merged.
+        # here — off-lane when maintenance is running, otherwise on the
+        # calling thread after the scan is fully merged.
         self._settle()
         return merged
 
@@ -1000,14 +1462,16 @@ def _collect_orphans(directory: Path, manifest: Manifest) -> None:
 
     ``.keys`` sidecars are live for **every** manifest segment whatever
     its tier: a resident segment may have been demoted before (the
-    sidecar is reused), and a cold one depends on it.  Blob GC is
-    separate (:meth:`TierManager.collect_orphan_blobs`) and equally
-    keeps every manifest-referenced blob.
+    sidecar is reused), and a cold one depends on it.  Frozen WALs are
+    live until the memtable they back is sealed.  Blob GC is separate
+    (:meth:`TierManager.collect_orphan_blobs`) and equally keeps every
+    manifest-referenced blob.
     """
     live = {seg.name + ".store" for seg in manifest.segments}
     live |= {sketch_filename(seg.name) for seg in manifest.segments}
     live |= {seg.name + ".keys" for seg in manifest.segments}
     live.add(manifest.wal)
+    live |= set(manifest.frozen_wals)
     for path in directory.iterdir():
         name = path.name
         if name.startswith("seg-") and name.endswith(".store") \

@@ -65,6 +65,12 @@ class Manifest:
     sigma: float | None = None
     next_seq: int = 1
     wal: str = "wal-000000.log"
+    #: WALs of memtables frozen by a background seal but not yet sealed
+    #: into a segment (oldest first).  Replayed *before* ``wal`` on
+    #: open, so a crash mid-background-seal loses nothing.  Absent from
+    #: the payload when empty — old readers never see the key, so the
+    #: manifest format stays 1.
+    frozen_wals: list[str] = field(default_factory=list)
     segments: list[SegmentMeta] = field(default_factory=list)
     #: Persisted tiered-storage settings (``StorageConfig.to_manifest()``)
     #: or ``None`` for an untiered directory.  Kept as an opaque dict so
@@ -88,6 +94,10 @@ class Manifest:
             "sigma": self.sigma,
             "next_seq": self.next_seq,
             "wal": self.wal,
+            **(
+                {"frozen_wals": list(self.frozen_wals)}
+                if self.frozen_wals else {}
+            ),
             "segments": [
                 {
                     "name": seg.name,
@@ -138,6 +148,9 @@ class Manifest:
                 ),
                 next_seq=int(payload["next_seq"]),
                 wal=str(payload["wal"]),
+                frozen_wals=[
+                    str(w) for w in payload.get("frozen_wals", [])
+                ],
                 segments=[
                     SegmentMeta(
                         name=str(s["name"]),

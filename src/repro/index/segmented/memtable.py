@@ -6,15 +6,25 @@ once it exceeds the flush threshold), so the scan is a handful of
 vectorised numpy operations:
 
 * **statistical queries** select records by p-block membership — the
-  memtable keeps the truncated Hilbert key of every record (computed once
-  per inserted batch) and tests it against the selected prefixes, so the
-  returned set is exactly "everything stored inside ``V_α``", the same
-  semantics the sealed segments implement with their sorted layouts;
+  memtable keeps the truncated Hilbert key of every record and tests it
+  against the selected prefixes, so the returned set is exactly
+  "everything stored inside ``V_α``", the same semantics the sealed
+  segments implement with their sorted layouts;
 * **ε-range queries** use a direct exact distance test (the refinement
   the sealed path performs after its block scan).
+
+Hilbert keys are **computed lazily**, on the first block scan that needs
+them, not on insert: the ingest acknowledgement path then costs one WAL
+append plus one builder copy (microseconds), encoding is amortised over
+every row inserted since the last scan (one vectorised call instead of
+one per request), and a memtable that is sealed before ever being
+queried skips encoding entirely (the seal re-sorts through
+:class:`~repro.index.s3.S3Index`, which derives its own keys).
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -33,6 +43,10 @@ class MemTable:
         self.key_levels = int(key_levels)
         self._builder = StoreBuilder(ndims)
         self._keys = np.empty(1024, dtype=np.uint64)
+        # Rows whose key has been computed; the suffix beyond it is
+        # encoded on demand by _ensure_keys (under _key_lock).
+        self._keyed = 0
+        self._key_lock = threading.Lock()
 
     @property
     def key_bits(self) -> int:
@@ -52,34 +66,71 @@ class MemTable:
         ids: np.ndarray,
         timecodes: np.ndarray,
     ) -> int:
-        """Buffer one batch; returns the number of records added."""
-        size = len(self._builder)
-        n = self._builder.append(fingerprints, ids, timecodes)
-        if n == 0:
-            return 0
-        while self._keys.size < size + n:
-            self._keys = np.concatenate(
-                [self._keys, np.empty(self._keys.size, dtype=np.uint64)]
+        """Buffer one batch; returns the number of records added.
+
+        Deliberately cheap — one validated copy into the builder.  The
+        Hilbert keys a block scan needs are *not* computed here; the
+        first :meth:`scan_selection` over these rows encodes them in
+        one vectorised batch (:meth:`_ensure_keys`), keeping the ingest
+        acknowledgement latency down to the WAL append.
+        """
+        return self._builder.append(fingerprints, ids, timecodes)
+
+    def _ensure_keys(self, n: int) -> None:
+        """Encode the keys of rows ``[_keyed, n)`` (one batched call).
+
+        Safe against concurrent ``add``: *n* was captured from the
+        builder's published size, and the builder writes row data
+        before advancing it, so the prefix ``[:n]`` of its columns is
+        immutable by the time any scan asks for it.  Concurrent scans
+        serialise on ``_key_lock``; ``_keyed`` only advances once the
+        keys below it are fully written.
+        """
+        if self._keyed >= n:
+            return
+        with self._key_lock:
+            start = self._keyed
+            if start >= n:
+                return
+            while self._keys.size < n:
+                self._keys = np.concatenate(
+                    [self._keys, np.empty(self._keys.size, dtype=np.uint64)]
+                )
+            fp = self._builder.fingerprints
+            self._keys[start:n] = encode_batch(
+                fp[start:n], self.order, self.key_levels
             )
-        self._keys[size:size + n] = encode_batch(
-            self._builder.fingerprints[size:size + n],
-            self.order, self.key_levels,
-        )
-        return n
+            self._keyed = n
 
     def clear(self) -> None:
         self._builder.clear()
+        with self._key_lock:
+            self._keyed = 0
 
     def to_store(self) -> FingerprintStore:
         """Snapshot the buffered records (insertion order) as a store."""
         return self._builder.build()
 
     # ------------------------------------------------------------------
-    def scan_selection(self, selection: BlockSelection) -> np.ndarray:
-        """Row indices of buffered records inside the selected blocks."""
+    def _bound(self, limit: int | None) -> int:
+        """Rows visible to a scan: everything, or a pinned snapshot.
+
+        Readers racing a concurrent ``add`` pass the length they
+        captured when their snapshot was taken; rows appended after
+        that are fully written before the length they read was
+        published, so the prefix ``[:limit]`` is always consistent.
+        """
         n = len(self)
+        return n if limit is None else min(int(limit), n)
+
+    def scan_selection(
+        self, selection: BlockSelection, limit: int | None = None
+    ) -> np.ndarray:
+        """Row indices of buffered records inside the selected blocks."""
+        n = self._bound(limit)
         if n == 0 or len(selection) == 0:
             return np.empty(0, dtype=np.int64)
+        self._ensure_keys(n)
         shift = np.uint64(self.key_bits - selection.depth)
         blocks = self._keys[:n] >> shift
         prefixes = np.asarray(selection.prefixes, dtype=np.uint64)
@@ -90,13 +141,13 @@ class MemTable:
         return np.flatnonzero(member).astype(np.int64)
 
     def range_rows(
-        self, query: np.ndarray, epsilon: float
+        self, query: np.ndarray, epsilon: float, limit: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """``(rows, distances)`` of buffered records within *epsilon*."""
-        n = len(self)
+        n = self._bound(limit)
         if n == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
-        dist_sq = squared_distances(self._builder.fingerprints, query)
+        dist_sq = squared_distances(self._builder.fingerprints[:n], query)
         keep = np.flatnonzero(dist_sq <= float(epsilon) ** 2).astype(np.int64)
         return keep, np.sqrt(dist_sq[keep])
 

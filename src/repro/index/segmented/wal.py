@@ -17,12 +17,31 @@ silently dropped (the insert was never acknowledged as durable); opening
 the log for writing truncates the tail so new records extend the valid
 prefix.  A bad file header, by contrast, raises :class:`~repro.errors.WALError`:
 that is not a torn write but the wrong file.
+
+Durability modes (``docs/serving.md`` has the full matrix):
+
+* ``"always"`` — every append pays its own ``fsync`` before returning:
+  the strongest guarantee and the slowest, the pre-group-commit
+  behaviour (``sync=True``);
+* ``"group"`` — concurrent appends are **group-committed**: each append
+  stages its record under the log's lock, the first stager becomes the
+  flush *leader* and writes every staged record with one ``write`` +
+  one ``fsync`` while followers wait on a condition variable (the same
+  leader/follower shape as the serve micro-batcher).  Every append is
+  still durable before it returns — the fsync is shared, not skipped;
+* ``"async"`` — appends buffer through the OS page cache with no fsync:
+  a process kill loses nothing (the bytes are in the kernel), a power
+  cut may lose the tail.  The pre-existing ``sync=False`` behaviour.
+
+All three modes are safe under concurrent appenders; records from
+different threads interleave at batch granularity.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from pathlib import Path
 
@@ -36,6 +55,28 @@ _VERSION = 1
 _FILE_HEADER = struct.Struct("<4sII")
 _RECORD_HEADER = struct.Struct("<II")
 
+#: Valid values of the ``durability`` knob, strongest first.
+DURABILITY_MODES = ("always", "group", "async")
+
+
+def resolve_durability(
+    durability: str | None, sync: bool = True
+) -> str:
+    """Fold the legacy ``sync`` flag and the mode knob into one mode.
+
+    ``durability`` wins when given; otherwise ``sync=True`` maps to
+    ``"always"`` (the historical per-append fsync) and ``sync=False``
+    to ``"async"``.
+    """
+    if durability is None:
+        return "always" if sync else "async"
+    if durability not in DURABILITY_MODES:
+        raise WALError(
+            f"durability must be one of {'/'.join(DURABILITY_MODES)}, "
+            f"got {durability!r}"
+        )
+    return durability
+
 
 def _payload_size(count: int, ndims: int) -> int:
     return count * (ndims + 4 + 8)
@@ -44,40 +85,85 @@ def _payload_size(count: int, ndims: int) -> int:
 class WriteAheadLog:
     """Append-only durable log of fingerprint record batches."""
 
-    def __init__(self, path: PathLike, ndims: int, fh, sync: bool = True):
+    def __init__(
+        self,
+        path: PathLike,
+        ndims: int,
+        fh,
+        sync: bool = True,
+        durability: str | None = None,
+        size_bytes: int = 0,
+    ):
         self.path = Path(path)
         self.ndims = int(ndims)
-        self.sync = bool(sync)
+        self.durability = resolve_durability(durability, sync)
         self._fh = fh
+        #: Bytes of the valid prefix (header + durable/buffered records);
+        #: the ``WAL bytes`` pressure gauge.
+        self.size_bytes = int(size_bytes)
+        # Counters (read via stats(); monotonically increasing).
+        self.appends = 0
+        self.records = 0
+        self.group_commits = 0
+        self.group_records = 0
+        # Group-commit machinery: stagers queue (seq, count, record
+        # bytes) under the condition; the first stager to find no flush
+        # in progress becomes the leader for everything staged so far.
+        self._cond = threading.Condition()
+        self._staged: list[tuple[int, int, bytes]] = []
+        self._next_seq = 0
+        self._durable_seq = -1
+        self._flushing = False
+        self._failed: dict[int, BaseException] = {}
+
+    @property
+    def sync(self) -> bool:
+        """True when appends are fsynced before acknowledgement."""
+        return self.durability != "async"
 
     # ------------------------------------------------------------------
     @classmethod
-    def create(cls, path: PathLike, ndims: int, sync: bool = True
-               ) -> "WriteAheadLog":
+    def create(
+        cls,
+        path: PathLike,
+        ndims: int,
+        sync: bool = True,
+        durability: str | None = None,
+    ) -> "WriteAheadLog":
         """Start a fresh log at *path* (truncating any existing file)."""
         if ndims < 1:
             raise WALError(f"ndims must be >= 1, got {ndims}")
+        mode = resolve_durability(durability, sync)
         path = Path(path)
         fh = open(path, "wb")
         fh.write(_FILE_HEADER.pack(_MAGIC, _VERSION, ndims))
         fh.flush()
-        if sync:
+        if mode != "async":
             os.fsync(fh.fileno())
-        return cls(path, ndims, fh, sync=sync)
+        return cls(
+            path, ndims, fh, durability=mode,
+            size_bytes=_FILE_HEADER.size,
+        )
 
     @classmethod
-    def open(cls, path: PathLike, sync: bool = True) -> "WriteAheadLog":
+    def open(
+        cls,
+        path: PathLike,
+        sync: bool = True,
+        durability: str | None = None,
+    ) -> "WriteAheadLog":
         """Open an existing log for appending.
 
         The valid record prefix is located first; any torn tail beyond it
         is truncated away so the next append lands on a clean boundary.
         """
+        mode = resolve_durability(durability, sync)
         path = Path(path)
         ndims, _records, valid_end = _scan(path)
         fh = open(path, "r+b")
         fh.truncate(valid_end)
         fh.seek(valid_end)
-        return cls(path, ndims, fh, sync=sync)
+        return cls(path, ndims, fh, durability=mode, size_bytes=valid_end)
 
     # ------------------------------------------------------------------
     def append(
@@ -86,7 +172,11 @@ class WriteAheadLog:
         ids: np.ndarray,
         timecodes: np.ndarray,
     ) -> int:
-        """Durably append one batch; returns the number of records."""
+        """Durably append one batch; returns the number of records.
+
+        Thread-safe in every durability mode; in ``"group"`` mode
+        concurrent callers share one write+fsync.
+        """
         fp = np.ascontiguousarray(fingerprints, dtype=np.uint8)
         if fp.ndim != 2 or fp.shape[1] != self.ndims:
             raise WALError(
@@ -103,12 +193,78 @@ class WriteAheadLog:
         if n == 0:
             return 0
         payload = fp.tobytes() + ids.tobytes() + tcs.tobytes()
-        self._fh.write(_RECORD_HEADER.pack(n, zlib.crc32(payload)))
-        self._fh.write(payload)
-        self._fh.flush()
-        if self.sync:
-            os.fsync(self._fh.fileno())
+        record = _RECORD_HEADER.pack(n, zlib.crc32(payload)) + payload
+        if self.durability == "group":
+            return self._append_group(n, record)
+        with self._cond:
+            self._fh.write(record)
+            self._fh.flush()
+            if self.durability == "always":
+                os.fsync(self._fh.fileno())
+            self.size_bytes += len(record)
+            self.appends += 1
+            self.records += n
         return n
+
+    def _append_group(self, n: int, record: bytes) -> int:
+        """Stage *record* and wait for (or lead) a shared group flush."""
+        with self._cond:
+            seq = self._next_seq
+            self._next_seq += 1
+            self._staged.append((seq, n, record))
+            self.appends += 1
+            self.records += n
+            while True:
+                if seq in self._failed:
+                    raise self._failed.pop(seq)
+                if self._durable_seq >= seq:
+                    return n
+                if not self._flushing:
+                    break
+                self._cond.wait()
+            # Leader: take everything staged so far (our own record is
+            # in there) and flush it as one write+fsync off the lock so
+            # later appenders can keep staging the next group.
+            self._flushing = True
+            batch = self._staged
+            self._staged = []
+            high = batch[-1][0]
+        blob = b"".join(rec for _, _, rec in batch)
+        error: BaseException | None = None
+        try:
+            self._fh.write(blob)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except BaseException as exc:  # noqa: BLE001 - relayed to followers
+            error = exc
+        with self._cond:
+            self._flushing = False
+            if error is None:
+                self._durable_seq = high
+                self.size_bytes += len(blob)
+                self.group_commits += 1
+                self.group_records += sum(c for _, c, _ in batch)
+            else:
+                # Followers in this batch must not report durable.
+                for s, _, _ in batch:
+                    if s != seq:
+                        self._failed[s] = error
+            self._cond.notify_all()
+        if error is not None:
+            raise error
+        return n
+
+    def stats(self) -> dict:
+        """Counters for ``serve stats`` / ``info --json`` pressure."""
+        with self._cond:
+            return {
+                "durability": self.durability,
+                "bytes": self.size_bytes,
+                "appends": self.appends,
+                "records": self.records,
+                "group_commits": self.group_commits,
+                "group_records": self.group_records,
+            }
 
     def close(self) -> None:
         if self._fh is not None:

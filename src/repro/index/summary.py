@@ -128,4 +128,9 @@ def index_summary(index) -> dict:
         ),
         "planner": planner_summary(len(index)),
         "storage": index.storage_info(),
+        # Ingest-pipeline pressure: durability mode, WAL bytes, unsealed
+        # memtables, compaction debt and maintenance-queue activity —
+        # the operator's view of whether background seal/compaction is
+        # keeping up with the write rate.
+        "ingest": index.ingest_info(),
     }

@@ -44,6 +44,7 @@ token guard drops them).
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Optional
@@ -54,6 +55,7 @@ from ..errors import ConfigurationError, ReproError
 from ..index.batch import BatchQueryExecutor
 from ..index.s3 import SearchResult
 from .cache import index_cache_token
+from .metrics import LatencyWindow
 
 
 class ServiceOverloaded(ReproError):
@@ -105,6 +107,12 @@ class BatcherStats:
     expired: int = 0
     fill_sum: int = 0
     max_queue_depth: int = 0
+    #: Engine-lane stall: the delay between handing a batch to the
+    #: engine executor and the engine thread actually picking it up.
+    #: Near-zero when the lane is idle; it grows when something else —
+    #: historically an inline compaction — occupies the lane, which is
+    #: exactly what background maintenance is meant to prevent.
+    stall: LatencyWindow = field(default_factory=LatencyWindow)
 
     @property
     def mean_fill(self) -> float:
@@ -122,6 +130,7 @@ class BatcherStats:
             "mean_fill": self.mean_fill,
             "queue_depth": queue_depth,
             "max_queue_depth": self.max_queue_depth,
+            "engine_stall": self.stall.snapshot(),
         }
 
 
@@ -153,9 +162,11 @@ class MicroBatcher:
         The shared :class:`BatchQueryExecutor`; its ``batch_size`` should
         be at least ``config.max_batch`` (one engine call per drain).
     engine:
-        A **single-threaded** executor serialising index access; shared
-        with the server's ``ingest`` path so queries never observe a
-        half-applied mutation.
+        A **single-threaded** executor serialising the query batches
+        (one deterministic descent at a time).  Ingest no longer shares
+        it — writes run on the server's dedicated ingest lane and
+        queries pin snapshot views — so the lane's only other occupant
+        is a previous batch, which ``stats.stall`` makes visible.
     config:
         Batching window, batch cap and admission limit.
     """
@@ -359,7 +370,8 @@ class MicroBatcher:
         queries = np.stack([item.fingerprint for item in live])
         try:
             results, token = await loop.run_in_executor(
-                self.engine, self._call_engine, queries
+                self.engine, self._call_engine, queries,
+                time.perf_counter(),
             )
         except Exception as exc:  # surface engine failures per future
             # Followers share the leader's outcome, errors included:
@@ -382,8 +394,11 @@ class MicroBatcher:
                 self.cache.results.put(item.key, result, token)
 
     def _call_engine(
-        self, queries: np.ndarray
+        self, queries: np.ndarray, submitted: float
     ) -> tuple[list[SearchResult], Optional[tuple]]:
+        # How long the batch sat behind the lane's previous occupant —
+        # the stall a foreground query pays for lane contention.
+        self.stats.stall.record(time.perf_counter() - submitted)
         # Deterministic mode: a cold threshold search per batch makes
         # every served result independent of batching history — the
         # bit-identity contract of docs/serving.md.

@@ -25,8 +25,11 @@ every answer is **bit-identical** to a cold solo
   recurring material select the same Hilbert-curve sections; the cache
   replays the gathered column copies instead of re-touching the store.
   Sealed segment stores are immutable and segment names are never
-  reused, so cached columns equal a fresh gather bit-for-bit; the cache
-  is nevertheless cleared on ingest along with the result LRU.
+  reused, so cached columns equal a fresh gather bit-for-bit — which is
+  why mutations that retire no store (memtable-only ingests, and seals,
+  which only add one) keep them (``invalidate(token,
+  keep_gathers=True)``); compactions retire stores and clear the
+  gather layer.
 
 The stack is wired by :class:`~repro.serve.server.DetectionServer`
 (``ServeConfig(cache=..., cache_capacity=...)``) and consulted by the
@@ -298,10 +301,23 @@ class ServeCache:
         future.add_done_callback(_cleanup)
 
     # ------------------------------------------------------------------
-    def invalidate(self, token: Optional[tuple]) -> None:
-        """Ingest happened: drop results and gathers, adopt the token."""
+    def invalidate(
+        self, token: Optional[tuple], keep_gathers: bool = False
+    ) -> None:
+        """The index mutated: drop results, adopt the token.
+
+        ``keep_gathers=True`` is the fast path for mutations that
+        retire no segment store — memtable-only ingests and seals
+        (which only *add* a store): sealed stores are immutable, their
+        names are never reused, and memtable scans never enter the
+        gather layer, so every cached gather stays bit-exact.
+        Compactions retire stores, so they pass ``keep_gathers=False``
+        (the default) — the retired names can never be queried again,
+        but their dead entries would squat on the rows budget.
+        """
         self.results.invalidate(token)
-        self.gather.clear()
+        if not keep_gathers:
+            self.gather.clear()
 
     def snapshot(self) -> dict:
         return {

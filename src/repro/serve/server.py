@@ -7,9 +7,15 @@ protocol of :mod:`.protocol`.  Request flow:
 * ``query`` and ``detect`` push their fingerprints through the shared
   :class:`~repro.serve.batcher.MicroBatcher`, so concurrent requests —
   from any mix of connections — drain through one coalesced engine call;
-* ``ingest`` (segmented indexes only) runs on the same single-threaded
-  engine lane as the batches, so readers never observe a half-applied
-  mutation;
+* ``ingest`` (segmented indexes only) runs on a dedicated multi-worker
+  ingest lane: the segmented index is internally thread-safe (queries
+  pin a snapshot view), and concurrent appends coalesce into one WAL
+  group commit — one ``fsync`` acknowledges many requests.  Heavy seal
+  and compaction work runs on the index's background
+  :class:`~repro.index.segmented.maintenance.MaintenanceThread`, never
+  on the engine lane; when unsealed rows outrun the worker the ingest
+  is shed with the retryable ``unavailable`` code instead of stalling
+  queries;
 * ``stats`` and ``health`` are served inline from counters and the
   shared :func:`~repro.index.summary.index_summary`.
 
@@ -38,9 +44,19 @@ from typing import Optional
 import numpy as np
 
 from ..cbcd.voting import QueryMatches, vote
-from ..errors import ColdFetchError, ConfigurationError, ReproError
+from ..errors import (
+    ColdFetchError,
+    ConfigurationError,
+    IngestBackpressure,
+    ReproError,
+)
 from ..index.batch import BatchQueryExecutor
-from ..index.options import QueryOptions, warn_deprecated_kwargs
+from ..index.options import (
+    QueryOptions,
+    validate_durability,
+    warn_deprecated_kwargs,
+)
+from ..index.segmented import MaintenanceConfig
 from ..index.summary import index_summary
 from . import protocol
 from .batcher import (
@@ -103,7 +119,23 @@ class ServeConfig:
     (:mod:`repro.serve.cache`): ``"auto"``/``"on"`` enable the result
     LRU, in-flight dedupe and hot-block gather cache, ``"off"``
     disables all three.  All modes serve bit-identical results; the
-    cache is invalidated on every ingest.
+    result LRU is invalidated on every ingest, while hot-block gathers
+    survive memtable-only inserts (sealed stores are immutable) and are
+    dropped when a background seal or compaction changes the segment
+    set.
+
+    ``durability`` is the WAL fsync policy of the ingest path
+    (:data:`~repro.index.options.DURABILITY_MODES`): ``"group"`` — the
+    default — coalesces concurrent appends into one fsync, still
+    durable before acknowledging.  The CLI applies the mode when
+    opening the index and mirrors it here so ``stats`` reports it; the
+    value cannot re-configure an already-open WAL.
+
+    ``maintenance`` moves seal/compaction onto the index's background
+    worker (segmented indexes only); ``backpressure_rows`` and
+    ``compact_mb_per_s`` tune its shedding threshold and compaction
+    I/O rate limit, and ``ingest_workers`` sizes the ingest lane whose
+    concurrent appends group-commit.
 
     ``storage_budget``/``cold_dir`` record the tiered-storage settings
     the index was opened with (:mod:`repro.storage`); the CLI applies
@@ -129,12 +161,32 @@ class ServeConfig:
     gather_cache_rows: int = DEFAULT_GATHER_CACHE_ROWS
     storage_budget: Optional[int] = None
     cold_dir: Optional[str] = None
+    durability: str = "group"
+    maintenance: bool = True
+    backpressure_rows: Optional[int] = None
+    compact_mb_per_s: Optional[float] = None
+    ingest_workers: int = 4
     options: Optional[QueryOptions] = None
 
     def __post_init__(self) -> None:
         if self.storage_budget is not None and self.storage_budget < 0:
             raise ConfigurationError(
                 f"storage_budget must be >= 0, got {self.storage_budget}"
+            )
+        validate_durability(self.durability, api="ServeConfig.durability")
+        if self.backpressure_rows is not None and self.backpressure_rows < 1:
+            raise ConfigurationError(
+                "backpressure_rows must be >= 1, got "
+                f"{self.backpressure_rows}"
+            )
+        if self.compact_mb_per_s is not None and self.compact_mb_per_s <= 0:
+            raise ConfigurationError(
+                "compact_mb_per_s must be > 0, got "
+                f"{self.compact_mb_per_s}"
+            )
+        if self.ingest_workers < 1:
+            raise ConfigurationError(
+                f"ingest_workers must be >= 1, got {self.ingest_workers}"
             )
         if self.cache not in CACHE_MODES:
             raise ConfigurationError(
@@ -192,6 +244,13 @@ class ServeConfig:
             max_batch=self.max_batch,
             max_wait_ms=self.max_wait_ms,
             queue_limit=self.queue_limit,
+        )
+
+    def maintenance_config(self, on_change=None) -> MaintenanceConfig:
+        return MaintenanceConfig(
+            backpressure_rows=self.backpressure_rows,
+            compact_mb_per_s=self.compact_mb_per_s,
+            on_change=on_change,
         )
 
 
@@ -388,6 +447,16 @@ class SocketFrameServer:
             return protocol.error_response(
                 request, protocol.ERR_SHUTTING_DOWN, str(exc)
             )
+        except IngestBackpressure as exc:
+            # The background maintenance worker is behind: unsealed rows
+            # crossed the shedding threshold.  The write was refused
+            # before touching the WAL, so a capped-backoff retry is
+            # exactly right — the same retryable code the router and
+            # clients already handle for cold-fetch outages.
+            self.stats.errors.add(key=protocol.ERR_UNAVAILABLE)
+            return protocol.error_response(
+                request, protocol.ERR_UNAVAILABLE, str(exc)
+            )
         except ColdFetchError as exc:
             # Tiered storage: the blob backend failed mid-query.  The
             # index itself is intact and a retry may hit a recovered
@@ -449,6 +518,8 @@ class DetectionServer(SocketFrameServer):
         self.index = index
         self.config = config
         self._engine: Optional[ThreadPoolExecutor] = None
+        self._ingest_lane: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._executor: Optional[BatchQueryExecutor] = None
         self.batcher: Optional[MicroBatcher] = None
         self.cache: Optional[ServeCache] = None
@@ -476,12 +547,27 @@ class DetectionServer(SocketFrameServer):
         free to answer those probes.
         """
         cfg = self.config
-        # One engine lane: batches and ingests serialise through a single
-        # thread, so the (not thread-safe) index is never raced.  The
+        self._loop = asyncio.get_running_loop()
+        # One engine lane serialises the query batches (deterministic
+        # threshold-cache behaviour, one descent at a time); the
         # BatchQueryExecutor may still fan the scan out internally.
         self._engine = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-engine"
         )
+        # Ingest runs on its own multi-worker lane: the segmented index
+        # is internally thread-safe (queries pin a snapshot view), and
+        # appends that overlap on the lane coalesce into one WAL group
+        # commit — the whole point of durability="group".
+        self._ingest_lane = ThreadPoolExecutor(
+            max_workers=cfg.ingest_workers,
+            thread_name_prefix="serve-ingest",
+        )
+        if cfg.maintenance and hasattr(self.index, "start_maintenance"):
+            # Seal/compaction off both lanes; segment-set changes are
+            # reported back onto the event loop to invalidate caches.
+            self.index.start_maintenance(cfg.maintenance_config(
+                on_change=self._notify_index_change
+            ))
         executor = BatchQueryExecutor(self.index, options=cfg.options)
         self._executor = executor
         if cfg.cache_enabled:
@@ -515,13 +601,44 @@ class DetectionServer(SocketFrameServer):
         if self.batcher is not None:
             await self.batcher.drain_and_stop()
         await self._drain_connections()
+        if self._ingest_lane is not None:
+            self._ingest_lane.shutdown(wait=True)
         if self._engine is not None:
             self._engine.shutdown(wait=True)
         if self._executor is not None:
             self._executor.close()  # stops scan workers, frees shm
         if hasattr(self.index, "close"):
-            self.index.close()  # closes the segmented WAL handle
+            # Drains and stops the maintenance worker, then closes the
+            # segmented WAL handle.
+            self.index.close()
         self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # background-maintenance observer
+    # ------------------------------------------------------------------
+    def _notify_index_change(self, reason: str) -> None:
+        """Called from the maintenance worker thread after a seal or
+        compaction changed the segment set; hop onto the event loop."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._on_index_change, reason)
+        except RuntimeError:
+            pass  # loop shut down between the check and the call
+
+    def _on_index_change(self, reason: str) -> None:
+        if self.cache is None:
+            return
+        # Result rows are bit-identical across seal/compaction, but the
+        # index token moved; adopt it so in-flight batches that queried
+        # the pre-change view cannot repopulate the LRU.  Gathers stay
+        # valid across a seal (stores are immutable and only *added*);
+        # a compaction retires stores, so their entries are dropped.
+        self.cache.invalidate(
+            index_cache_token(self.index),
+            keep_gathers=(reason != "compact"),
+        )
 
     # ------------------------------------------------------------------
     # dispatch hooks
@@ -644,17 +761,23 @@ class DetectionServer(SocketFrameServer):
             self._ingest_inflight[request_id] = future
         try:
             loop = asyncio.get_running_loop()
-            # Same serialised lane as the batches: a write never races a
-            # scan.
+            # The dedicated ingest lane: concurrent appends group-commit
+            # through one WAL fsync, and queries keep scanning their
+            # pinned snapshot views — a write never blocks a batch.
             added = await loop.run_in_executor(
-                self._engine,
+                self._ingest_lane,
                 lambda: self.index.add(fingerprints, ids, timecodes),
             )
             if self.cache is not None:
-                # Every cached result and gather predates this write;
-                # adopt the post-ingest token so in-flight batches that
-                # queried the old state cannot repopulate the cache.
-                self.cache.invalidate(index_cache_token(self.index))
+                # Every cached result predates this write; adopt the
+                # post-ingest token so in-flight batches that queried
+                # the old state cannot repopulate the LRU.  This was a
+                # memtable-only insert (seals happen on the maintenance
+                # worker, which invalidates separately), so hot-block
+                # gathers over the untouched sealed stores survive.
+                self.cache.invalidate(
+                    index_cache_token(self.index), keep_gathers=True
+                )
             result = {
                 "added": int(added),
                 "rows": len(self.index),
@@ -757,10 +880,18 @@ class DetectionServer(SocketFrameServer):
             if hasattr(self.index, "storage_info")
             else {"tiered": False}
         )
+        ingest = (
+            self.index.ingest_info()
+            if hasattr(self.index, "ingest_info")
+            else {}
+        )
+        ingest["writable"] = hasattr(self.index, "add")
+        ingest["deduped"] = self.ingest_deduped
         return {
             **self.base_stats(),
             "ready": self.ready,
             "ingest_deduped": self.ingest_deduped,
+            "ingest": ingest,
             "batcher": batcher,
             "prefilter": prefilter,
             "cache": cache,
@@ -793,5 +924,12 @@ class DetectionServer(SocketFrameServer):
                 "cache_capacity": self.config.cache_capacity,
                 "storage_budget": self.config.storage_budget,
                 "cold_dir": self.config.cold_dir,
+                "durability": getattr(
+                    self.index, "durability", self.config.durability
+                ),
+                "maintenance": self.config.maintenance,
+                "backpressure_rows": self.config.backpressure_rows,
+                "compact_mb_per_s": self.config.compact_mb_per_s,
+                "ingest_workers": self.config.ingest_workers,
             },
         }

@@ -18,10 +18,17 @@ stray query does not trigger a full segment download), and records
 every segment's tier in ``MANIFEST.json`` so a reopened directory
 resumes in the same shape.
 
-All tier **transitions** run on the calling thread inside
-:meth:`settle` — the engine calls it after a query/flush/compaction —
-never from prefetch worker threads, so the segment list the engine is
-iterating can never change under it mid-batch.
+All tier **transitions** are **copy-on-write**: a transition builds a
+*replacement* :class:`Segment` (new meta, new index or cold reader) and
+swaps it into the index's live view atomically
+(:meth:`SegmentedS3Index._swap_segment`).  The old Segment object is
+never mutated, so a query pinned on a snapshot view keeps a working
+store or reader however the live tiering moves — the slow I/O (blob
+upload/download) happens entirely outside the index's locks.
+Transitions run inside :meth:`settle`, which the engine serialises
+under its maintenance lock — inline after a query/flush/compaction, or
+on the background maintenance worker when one is running (queries then
+only *request* a settle and never perform transitions themselves).
 
 Crash safety mirrors the LSM protocol: a demotion uploads the blob and
 fsyncs the ``.keys`` sidecar *before* the manifest flips the tier to
@@ -32,6 +39,7 @@ a complete cold segment (plus a stale store file that open() GCs).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -181,6 +189,9 @@ class TierManager:
         self.prefetcher = Prefetcher(config.prefetch_workers)
         self._clock = 0
         self._state: dict[str, _SegState] = {}
+        # Guards _clock/_state: touch() runs on every query thread while
+        # settle() reads the same bookkeeping on the maintenance worker.
+        self._state_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -193,11 +204,12 @@ class TierManager:
 
     def touch(self, seg: "Segment") -> None:
         """Record that a scan hit *seg* (drives LRU and hysteresis)."""
-        self._clock += 1
-        state = self._seg_state(seg.meta.name)
-        state.last_scan = self._clock
-        if seg.index is None:
-            state.cold_touches += 1
+        with self._state_lock:
+            self._clock += 1
+            state = self._seg_state(seg.meta.name)
+            state.last_scan = self._clock
+            if seg.index is None:
+                state.cold_touches += 1
 
     def segment_bytes(self, seg: "Segment") -> int:
         """Store-payload size of one segment (budget units)."""
@@ -272,10 +284,21 @@ class TierManager:
     # ------------------------------------------------------------------
     # tier transitions (calling thread only)
     # ------------------------------------------------------------------
-    def demote(self, seg: "Segment") -> None:
-        """Resident → cold: blob + keys durable first, manifest, unlink."""
+    def demote(self, seg: "Segment") -> bool:
+        """Resident → cold: blob + keys durable first, manifest, unlink.
+
+        Copy-on-write: *seg* itself is untouched; a replacement Segment
+        carrying the cold reader is swapped into the live view, so a
+        query pinned on the old view keeps scanning the resident store
+        (hot array or POSIX-unlinked mmap) it captured.  Returns
+        ``False`` when *seg* was no longer live (e.g. compacted away
+        while the upload ran) — then nothing changed.
+        """
         if seg.index is None:
-            return
+            return False
+        from ..index.segmented.lsm import Segment
+        from ..index.segmented.manifest import SegmentMeta
+
         index = self.index
         name = seg.meta.name
         path = index.directory / (name + ".store")
@@ -288,24 +311,41 @@ class TierManager:
             keys_path, np.asarray(layout.keys, dtype=np.uint64),
             layout.key_bits,
         )
-        seg.meta.tier = TIER_COLD
-        index.manifest.save(index.directory)
         reader = ColdSegmentReader(
             name, seg.meta.count, index.ndims, index.manifest.order,
             index.manifest.key_levels,
             load_keys(keys_path, seg.meta.count, layout.key_bits),
         )
-        seg.index = None
-        seg.cold = reader
+        replacement = Segment(
+            meta=SegmentMeta(name, seg.meta.count, seg.meta.sketch, TIER_COLD),
+            index=None,
+            sketch=seg.sketch,
+            cold=reader,
+        )
+        if not index._swap_segment(seg, replacement, persist=True):
+            # The segment left the manifest while we uploaded; the early
+            # blob/keys are orphans the usual GC reclaims.
+            self.discard_blob(name)
+            keys_path.unlink(missing_ok=True)
+            return False
         path.unlink(missing_ok=True)
-        self._seg_state(name).cold_touches = 0
+        with self._state_lock:
+            self._seg_state(name).cold_touches = 0
         self.stats.demotions += 1
+        return True
 
-    def promote(self, seg: "Segment") -> None:
-        """Cold → warm: fetch the blob, restore the local mmap store."""
+    def promote(self, seg: "Segment") -> bool:
+        """Cold → warm: fetch the blob, restore the local mmap store.
+
+        Copy-on-write like :meth:`demote`: the fetch and file restore
+        run without touching *seg*; the warm replacement is swapped in
+        at the end (``False`` when the segment is no longer live).
+        """
         if seg.index is not None:
-            return
+            return False
         from ..index.s3 import S3Index
+        from ..index.segmented.lsm import Segment
+        from ..index.segmented.manifest import SegmentMeta
 
         index = self.index
         name = seg.meta.name
@@ -329,25 +369,37 @@ class TierManager:
         tmp.write_bytes(data)
         tmp.replace(path)
         store = FingerprintStore.load(path, mmap=True)
-        seg.index = S3Index(
-            store,
-            order=index.manifest.order,
-            key_levels=index.manifest.key_levels,
-            depth=index.manifest.depth,
-            model=index.model,
-            layout=(seg.cold.layout if seg.cold is not None else None),
+        replacement = Segment(
+            meta=SegmentMeta(name, seg.meta.count, seg.meta.sketch, TIER_WARM),
+            index=S3Index(
+                store,
+                order=index.manifest.order,
+                key_levels=index.manifest.key_levels,
+                depth=index.manifest.depth,
+                model=index.model,
+                layout=(seg.cold.layout if seg.cold is not None else None),
+            ),
+            sketch=seg.sketch,
         )
-        seg.cold = None
-        seg.meta.tier = TIER_WARM
-        index.manifest.save(index.directory)
-        state = self._seg_state(name)
-        state.cold_touches = 0
-        state.last_scan = self._clock  # just-promoted = recently used
+        if not index._swap_segment(seg, replacement, persist=True):
+            path.unlink(missing_ok=True)
+            return False
+        with self._state_lock:
+            state = self._seg_state(name)
+            state.cold_touches = 0
+            state.last_scan = self._clock  # just-promoted = recently used
         self.stats.promotions += 1
+        return True
 
-    def _climb(self, seg: "Segment") -> None:
-        """Warm → hot: replace the mmap store with an in-RAM copy."""
+    def _climb(self, seg: "Segment") -> bool:
+        """Warm → hot: replace the mmap store with an in-RAM copy.
+
+        Advisory (tier ``hot`` is the manifest default), so the swap
+        does not rewrite the manifest file.
+        """
         from ..index.s3 import S3Index
+        from ..index.segmented.lsm import Segment
+        from ..index.segmented.manifest import SegmentMeta
 
         store = seg.index.store
         ram = FingerprintStore(
@@ -355,31 +407,44 @@ class TierManager:
             ids=np.array(store.ids),
             timecodes=np.array(store.timecodes),
         )
-        seg.index = S3Index(
-            ram,
-            order=self.index.manifest.order,
-            key_levels=self.index.manifest.key_levels,
-            depth=self.index.manifest.depth,
-            model=self.index.model,
-            layout=seg.index.layout,
+        replacement = Segment(
+            meta=SegmentMeta(
+                seg.meta.name, seg.meta.count, seg.meta.sketch, TIER_HOT
+            ),
+            index=S3Index(
+                ram,
+                order=self.index.manifest.order,
+                key_levels=self.index.manifest.key_levels,
+                depth=self.index.manifest.depth,
+                model=self.index.model,
+                layout=seg.index.layout,
+            ),
+            sketch=seg.sketch,
         )
-        seg.meta.tier = TIER_HOT
+        if not self.index._swap_segment(seg, replacement, persist=False):
+            return False
         self.stats.climbs += 1
+        return True
 
     def settle(self) -> None:
         """Apply pending promotions, then enforce the budget.
 
-        The engine calls this after each query / flush / compaction,
-        on the calling thread — the only place tiers ever change while
-        an index is live.
+        Serialised by the engine (inline after a query / flush /
+        compaction, or on the maintenance worker) — the only place
+        tiers ever change while an index is live.  The per-segment
+        bookkeeping is snapshotted under the state lock; the
+        transitions themselves run outside it (they only swap views).
         """
         for seg in list(self.index._segments):
-            state = self._state.get(seg.meta.name)
-            if state is None:
-                continue
+            with self._state_lock:
+                state = self._state.get(seg.meta.name)
+                if state is None:
+                    continue
+                touches = state.cold_touches
+                last_scan = state.last_scan
             if (
                 seg.index is None
-                and state.cold_touches >= self.promote_after
+                and touches >= self.promote_after
                 and (
                     self.budget_bytes is None
                     or self.segment_bytes(seg) <= self.budget_bytes
@@ -389,28 +454,29 @@ class TierManager:
             elif (
                 seg.index is not None
                 and seg.meta.tier == TIER_WARM
-                and state.cold_touches == 0
-                and state.last_scan > 0
+                and touches == 0
+                and last_scan > 0
                 and self.budget_bytes is not None
                 and self.resident_bytes() <= self.budget_bytes
-                and self._warm_scans(seg, state) >= 2 * self.promote_after
+                and self._warm_scans(seg, last_scan) >= 2 * self.promote_after
             ):
                 self._climb(seg)
         self.enforce_budget()
 
-    def _warm_scans(self, seg: "Segment", state: _SegState) -> int:
+    def _warm_scans(self, seg: "Segment", last_scan: int) -> int:
         # Scans since promotion are not tracked separately; climbing is
         # gated on overall recency instead: only the most recently
         # scanned warm segment climbs, one per settle.
-        most_recent = max(
-            (
-                self._state.get(s.meta.name, _SegState()).last_scan
-                for s in self.index._segments
-                if s.index is not None and s.meta.tier == TIER_WARM
-            ),
-            default=0,
-        )
-        return 2 * self.promote_after if state.last_scan == most_recent \
+        with self._state_lock:
+            most_recent = max(
+                (
+                    self._state.get(s.meta.name, _SegState()).last_scan
+                    for s in self.index._segments
+                    if s.index is not None and s.meta.tier == TIER_WARM
+                ),
+                default=0,
+            )
+        return 2 * self.promote_after if last_scan == most_recent \
             else 0
 
     def enforce_budget(self) -> int:
@@ -419,15 +485,23 @@ class TierManager:
             return 0
         demoted = 0
         while self.resident_bytes() > self.budget_bytes:
-            victims = [
-                (self._state.get(seg.meta.name, _SegState()).last_scan, i, seg)
-                for i, seg in enumerate(self.index._segments)
-                if seg.index is not None
-            ]
+            with self._state_lock:
+                victims = [
+                    (
+                        self._state.get(
+                            seg.meta.name, _SegState()
+                        ).last_scan,
+                        i,
+                        seg,
+                    )
+                    for i, seg in enumerate(self.index._segments)
+                    if seg.index is not None
+                ]
             if not victims:
                 break
             victims.sort(key=lambda v: (v[0], v[1]))
-            self.demote(victims[0][2])
+            if not self.demote(victims[0][2]):
+                break
             demoted += 1
         return demoted
 

@@ -1,0 +1,164 @@
+"""Serve-side ingest pipeline: durability config, backpressure over the
+wire, gather retention across memtable-only ingests.
+
+The serving contract for the pipelined write path:
+
+* ``ServeConfig`` validates durability/maintenance knobs with friendly
+  messages, mirroring the CLI;
+* an ingest refused by backpressure surfaces as the retryable
+  ``unavailable`` wire code — the write never touched the WAL, so a
+  capped-backoff retry is safe;
+* a memtable-only ingest invalidates query results but keeps the
+  gather layer (sealed stores are untouched); a compaction clears it;
+* ``serve stats`` exposes the ingest-pressure block and the
+  engine-lane stall histogram.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distortion.model import NormalDistortionModel
+from repro.errors import ConfigurationError
+from repro.index.segmented import SegmentedS3Index
+from repro.index.store import FingerprintStore
+from repro.serve import ServeClient, ServeConfig, ServerError, ServerThread
+from repro.serve import protocol
+from repro.serve.cache import ServeCache
+
+NDIMS = 8
+SIGMA = 10.0
+
+
+def make_records(n, seed=0):
+    rng = np.random.default_rng(seed)
+    fp = rng.integers(0, 256, size=(n, NDIMS)).astype(np.uint8)
+    ids = rng.integers(0, 50, n).astype(np.uint32)
+    tcs = rng.uniform(0, 500, n)
+    return fp, ids, tcs
+
+
+def make_index(tmp_path, **kwargs):
+    kwargs.setdefault("flush_rows", 10 ** 9)
+    kwargs.setdefault("auto_compact", False)
+    kwargs.setdefault("durability", "async")
+    index = SegmentedS3Index.create(
+        tmp_path / "live", ndims=NDIMS,
+        model=NormalDistortionModel(NDIMS, SIGMA), **kwargs,
+    )
+    index.add(*make_records(300, seed=0))
+    return index
+
+
+class TestServeConfigValidation:
+    def test_bad_durability_is_friendly(self):
+        with pytest.raises(ConfigurationError) as exc:
+            ServeConfig(durability="fsync-sometimes")
+        message = str(exc.value)
+        assert "ServeConfig.durability" in message
+        assert "group" in message  # the valid modes are spelled out
+
+    def test_bad_maintenance_knobs(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(backpressure_rows=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(compact_mb_per_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(ingest_workers=0)
+
+    def test_maintenance_config_carries_knobs(self):
+        config = ServeConfig(backpressure_rows=77, compact_mb_per_s=1.5)
+        mc = config.maintenance_config()
+        assert mc.backpressure_rows == 77
+        assert mc.compact_mb_per_s == 1.5
+
+
+class TestBackpressureOverTheWire:
+    def test_shed_is_retryable_unavailable(self, tmp_path):
+        index = make_index(tmp_path)
+        config = ServeConfig(
+            port=0, cache="off", backpressure_rows=350,
+        )
+        with ServerThread(index, config) as server:
+            with ServeClient(port=server.port, retries=0) as client:
+                # First ingest is under the limit and lands durably.
+                reply = client.ingest(*make_records(100, seed=1))
+                assert reply["added"] == 100
+                # Pending rows (300 seeded + 100) now exceed the limit:
+                # the next write is refused before touching the WAL.
+                with pytest.raises(ServerError) as err:
+                    client.ingest(*make_records(10, seed=2))
+                assert err.value.code == protocol.ERR_UNAVAILABLE
+                assert err.value.code in protocol.RETRYABLE_CODES
+
+                # The shed requested a background seal; once the worker
+                # drains, ingest resumes without losing anything.
+                assert index.maintenance is not None
+                assert index.maintenance.drain()
+                reply = client.ingest(*make_records(10, seed=2))
+                assert reply["added"] == 10
+
+                stats = client.stats()
+            ingest = stats["ingest"]
+            assert ingest["writable"]
+            assert ingest["backpressure_sheds"] >= 1
+            assert ingest["maintenance"]["seals"] >= 1
+            assert stats["config"]["durability"] == "async"
+            assert "engine_stall" in stats["batcher"]
+
+    def test_no_maintenance_mode_seals_inline(self, tmp_path):
+        index = make_index(tmp_path, flush_rows=200)
+        config = ServeConfig(port=0, cache="off", maintenance=False)
+        with ServerThread(index, config) as server:
+            with ServeClient(port=server.port) as client:
+                client.ingest(*make_records(250, seed=3))
+                stats = client.stats()
+            assert stats["ingest"]["maintenance"] is None
+            # The inline seal ran on the ingest path, as before the
+            # pipelined write path existed.
+            assert stats["ingest"]["memtable_rows"] < 300
+        assert index.num_segments >= 1
+
+
+class TestGatherRetention:
+    def put_one_gather(self, cache):
+        columns = (
+            np.arange(4, dtype=np.uint32),
+            np.arange(4, dtype=np.float64),
+            np.zeros((4, NDIMS), dtype=np.uint8),
+        )
+        cache.gather.put("seg-000001", ((0, 4),), columns, 4)
+
+    def test_memtable_only_ingest_keeps_gathers(self):
+        cache = ServeCache(token=("a",))
+        cache.results.put("k", "v", ("a",))
+        self.put_one_gather(cache)
+        cache.invalidate(("b",), keep_gathers=True)
+        # Results must go (the answer set changed)...
+        assert cache.results.get("k") is None
+        # ...but the sealed-store gather survives untouched.
+        assert cache.gather.get("seg-000001", ((0, 4),)) is not None
+
+    def test_compaction_clears_gathers(self):
+        cache = ServeCache(token=("a",))
+        self.put_one_gather(cache)
+        cache.invalidate(("b",))
+        assert cache.gather.get("seg-000001", ((0, 4),)) is None
+
+    def test_served_results_exact_across_memtable_ingest(self, tmp_path):
+        """End to end: cache on, ingest, repeat query — still exact."""
+        index = make_index(tmp_path)
+        store = FingerprintStore(*make_records(300, seed=0))
+        query = store.fingerprints[7].astype(np.float64)
+        config = ServeConfig(port=0, cache="on")
+        with ServerThread(index, config) as server:
+            with ServeClient(port=server.port) as client:
+                before = client.query(query)[0]
+                client.ingest(*make_records(50, seed=9))
+                after = client.query(query)[0]
+                stats = client.stats()
+        # The pre-ingest rows still match identically (the ingest only
+        # appended); the cached gather layer was retained.
+        assert set(zip(before.ids, before.timecodes)) <= set(
+            zip(after.ids, after.timecodes)
+        )
+        assert stats["cache"]["invalidations"] >= 1

@@ -77,8 +77,12 @@ class TestDemotion:
 
         assert backend.get(name) == original
         assert not store_path.exists()
-        assert seg.index is None and seg.cold is not None
-        assert seg.meta.tier == "cold"
+        # Copy-on-write: the old Segment object is untouched (pinned
+        # readers keep it); the *live* view carries the cold replacement.
+        assert seg.index is not None and seg.cold is None
+        live = index._segments[0]
+        assert live.index is None and live.cold is not None
+        assert live.meta.tier == "cold"
         # Sidecars stay resident: selection never touches the backend.
         assert (tmp_path / "idx" / sketch_filename(name)).is_file()
         assert (tmp_path / "idx" / keys_filename(name)).is_file()
@@ -133,10 +137,11 @@ class TestPromotion:
         index.storage.demote(seg)
         q = batches[0][0][3].astype(np.float64)
         index.statistical_query(q, alpha=0.8)  # touch 1: stays cold
-        assert seg.meta.tier == "cold"
+        assert index._segments[0].meta.tier == "cold"
         index.statistical_query(q, alpha=0.8)  # touch 2: promotes
-        assert seg.meta.tier == "warm"
-        assert seg.index is not None
+        live = index._segments[0]
+        assert live.meta.tier == "warm"
+        assert live.index is not None
         index.close()
 
     def test_budget_blocks_promotion(self, tmp_path):
@@ -152,7 +157,7 @@ class TestPromotion:
         q = batches[0][0][3].astype(np.float64)
         for _ in range(4):
             index.statistical_query(q, alpha=0.8)
-        assert seg.meta.tier == "cold"
+        assert index._segments[0].meta.tier == "cold"
         index.close()
 
 
